@@ -1,0 +1,170 @@
+//! Fractal dimension estimators for 2-d point datasets.
+//!
+//! The cost model of Section 5 needs the Hausdorff dimension `D₀`
+//! (box counting) and the correlation dimension `D₂` (pair counting).
+//! For a uniform dataset both are ≈ 2, which is what the paper plugs into
+//! Equations 6–8; clustered datasets have lower values, which the `sec5`
+//! experiment reports.
+
+use crate::regression::linear_fit;
+use fuzzy_geom::{Mbr, Point};
+use std::collections::HashMap;
+
+/// Box-counting (Hausdorff) dimension `D₀`: slope of
+/// `log N(r)` vs `log (1/r)` over geometrically spaced grid sizes.
+/// Returns `None` for degenerate inputs.
+pub fn box_counting_dimension(points: &[Point<2>], scales: usize) -> Option<f64> {
+    if points.len() < 10 || scales < 2 {
+        return None;
+    }
+    let mbr = Mbr::from_points(points.iter())?;
+    let extent = mbr.extent(0).max(mbr.extent(1));
+    if extent <= 0.0 {
+        return None;
+    }
+    let mut samples = Vec::with_capacity(scales);
+    for s in 0..scales {
+        // Grid cells per axis: 2^(s+1).
+        let cells = 1usize << (s + 1);
+        let cell = extent / cells as f64;
+        let mut occupied: HashMap<(i64, i64), ()> = HashMap::new();
+        for p in points {
+            let ix = ((p.x() - mbr.lo(0)) / cell).floor() as i64;
+            let iy = ((p.y() - mbr.lo(1)) / cell).floor() as i64;
+            occupied.insert((ix, iy), ());
+        }
+        // Stop when boxes ≈ points (saturation biases the slope).
+        if occupied.len() * 2 > points.len() {
+            break;
+        }
+        samples.push(((1.0 / cell).ln(), (occupied.len() as f64).ln()));
+    }
+    if samples.len() < 2 {
+        return None;
+    }
+    linear_fit(&samples).map(|f| f.slope)
+}
+
+/// Correlation dimension `D₂`: slope of `log C(r)` vs `log r`, where
+/// `C(r)` is the fraction of point pairs within distance `r`. Pair
+/// counting is grid-accelerated; `radii` geometric steps are sampled
+/// between `r_min` and `r_max` (fractions of the dataset extent).
+pub fn correlation_dimension(points: &[Point<2>], radii: usize) -> Option<f64> {
+    let n = points.len();
+    if n < 20 || radii < 2 {
+        return None;
+    }
+    let mbr = Mbr::from_points(points.iter())?;
+    let extent = mbr.extent(0).max(mbr.extent(1));
+    if extent <= 0.0 {
+        return None;
+    }
+    let r_max = extent * 0.25;
+    let r_min = extent * 0.25 / (1 << radii.min(16)) as f64;
+
+    // Grid with cell size r_max: all pairs within r_max live in the 3x3
+    // neighbourhood of a cell.
+    let cell = r_max;
+    let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let key = (
+            ((p.x() - mbr.lo(0)) / cell).floor() as i64,
+            ((p.y() - mbr.lo(1)) / cell).floor() as i64,
+        );
+        grid.entry(key).or_default().push(i);
+    }
+    // Histogram of pair distances over geometric radius buckets.
+    let mut counts = vec![0u64; radii];
+    let bucket_of = |d: f64| -> Option<usize> {
+        if d > r_max || d <= 0.0 {
+            return None;
+        }
+        if d <= r_min {
+            return Some(0);
+        }
+        let x = (d / r_min).ln() / (r_max / r_min).ln(); // in (0, 1]
+        Some(((x * (radii - 1) as f64).ceil() as usize).min(radii - 1))
+    };
+    for (&(ix, iy), members) in &grid {
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                let Some(other) = grid.get(&(ix + dx, iy + dy)) else { continue };
+                for &i in members {
+                    for &j in other {
+                        if j <= i {
+                            continue;
+                        }
+                        if let Some(b) = bucket_of(points[i].dist(&points[j])) {
+                            counts[b] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Cumulative counts -> C(r) at each bucket upper radius.
+    let mut samples = Vec::with_capacity(radii);
+    let mut cum = 0u64;
+    for (b, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum == 0 {
+            continue;
+        }
+        let r = if b == 0 {
+            r_min
+        } else {
+            r_min * (r_max / r_min).powf(b as f64 / (radii - 1) as f64)
+        };
+        samples.push((r.ln(), (cum as f64).ln()));
+    }
+    if samples.len() < 2 {
+        return None;
+    }
+    linear_fit(&samples).map(|f| f.slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::xy(rnd() * 100.0, rnd() * 100.0)).collect()
+    }
+
+    fn line_points(n: usize) -> Vec<Point<2>> {
+        (0..n).map(|i| Point::xy(i as f64 / n as f64 * 100.0, 50.0)).collect()
+    }
+
+    #[test]
+    fn uniform_set_has_dimension_near_two() {
+        let pts = uniform_points(20_000, 9);
+        let d0 = box_counting_dimension(&pts, 8).unwrap();
+        assert!((1.6..=2.3).contains(&d0), "D0 = {d0}");
+        let d2 = correlation_dimension(&pts, 8).unwrap();
+        assert!((1.6..=2.3).contains(&d2), "D2 = {d2}");
+    }
+
+    #[test]
+    fn line_set_has_dimension_near_one() {
+        let pts = line_points(20_000);
+        let d0 = box_counting_dimension(&pts, 8).unwrap();
+        assert!((0.7..=1.3).contains(&d0), "D0 = {d0}");
+        let d2 = correlation_dimension(&pts, 8).unwrap();
+        assert!((0.7..=1.3).contains(&d2), "D2 = {d2}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(box_counting_dimension(&[], 8).is_none());
+        assert!(correlation_dimension(&uniform_points(5, 1), 8).is_none());
+        let single = vec![Point::xy(1.0, 1.0); 100];
+        assert!(box_counting_dimension(&single, 8).is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! Ordinary least squares on paired samples.
+
+/// Result of a linear fit `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Least-squares fit of `y = m·x + t`. Returns `None` for fewer than two
+/// distinct x values.
+pub fn linear_fit(samples: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = samples.len() as f64;
+    if samples.len() < 2 {
+        return None;
+    }
+    let sx: f64 = samples.iter().map(|s| s.0).sum();
+    let sy: f64 = samples.iter().map(|s| s.1).sum();
+    let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+    let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|s| (s.1 - (slope * s.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Some(LinearFit { slope, intercept, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                let noise = ((i * 7919 % 13) as f64 - 6.0) / 30.0;
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+}

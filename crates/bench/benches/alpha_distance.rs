@@ -1,0 +1,54 @@
+//! `abl-dist`: α-distance evaluation cost — quadratic brute force vs the
+//! dual-tree closest pair, across object sizes and thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_core::distance::{alpha_distance, alpha_distance_brute};
+use fuzzy_core::Threshold;
+use fuzzy_datagen::SyntheticConfig;
+
+fn bench_alpha_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_distance");
+    for n in [100usize, 400, 1000] {
+        let cfg = SyntheticConfig {
+            num_objects: 2,
+            points_per_object: n,
+            seed: 9,
+            ..SyntheticConfig::default()
+        };
+        let objs: Vec<_> = cfg.generate().collect();
+        let (a, b) = (&objs[0], &objs[1]);
+        // Force kd construction out of the measurement.
+        let _ = a.kd_tree();
+        let _ = b.kd_tree();
+        let t = Threshold::at(0.5);
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |bench, _| {
+            bench.iter(|| alpha_distance_brute(a, b, t))
+        });
+        group.bench_with_input(BenchmarkId::new("dual_tree", n), &n, |bench, _| {
+            bench.iter(|| alpha_distance(a, b, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_sensitivity(c: &mut Criterion) {
+    let cfg = SyntheticConfig {
+        num_objects: 2,
+        points_per_object: 1000,
+        seed: 11,
+        ..SyntheticConfig::default()
+    };
+    let objs: Vec<_> = cfg.generate().collect();
+    let (a, b) = (&objs[0], &objs[1]);
+    let _ = (a.kd_tree(), b.kd_tree());
+    let mut group = c.benchmark_group("alpha_distance_vs_alpha");
+    for alpha in [0.1, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::new("dual_tree", alpha), &alpha, |bench, &al| {
+            bench.iter(|| alpha_distance(a, b, Threshold::at(al)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_distance, bench_threshold_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Conservative line fitting (Definition 6): UCH bisection vs the exact
+//! hull scan, across boundary-function sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_geom::{fit_conservative_line, fit_conservative_line_exact};
+
+fn boundary_samples(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut xs: Vec<f64> = (0..n).map(|_| rnd()).collect();
+    xs.push(0.0);
+    xs.push(1.0);
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let mut y = 0.0;
+    let mut out: Vec<(f64, f64)> = xs
+        .iter()
+        .rev()
+        .map(|&x| {
+            let p = (x, y);
+            y += rnd() * 0.2;
+            p
+        })
+        .collect();
+    out.reverse();
+    out
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conservative_line");
+    for n in [16usize, 64, 256, 1024] {
+        let samples = boundary_samples(n, 0x11AE ^ n as u64);
+        group.bench_with_input(BenchmarkId::new("bisection", n), &samples, |b, s| {
+            b.iter(|| fit_conservative_line(s))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &samples, |b, s| {
+            b.iter(|| fit_conservative_line_exact(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Interval-set algebra costs (RKNN bookkeeping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_query::{Interval, IntervalSet};
+
+fn random_set(n: usize, seed: u64) -> IntervalSet {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut s = IntervalSet::empty();
+    for _ in 0..n {
+        let lo = rnd() * 0.9;
+        let hi = lo + rnd() * 0.1;
+        s.push(Interval::left_open(lo, hi.min(1.0)));
+    }
+    s
+}
+
+fn bench_interval_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+    for n in [8usize, 64, 512] {
+        let a = random_set(n, 3);
+        let b = random_set(n, 19);
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| a.union(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |bench, _| {
+            bench.iter(|| a.intersect(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("push", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut s = a.clone();
+                s.push(Interval::closed(0.45, 0.55));
+                s
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_ops);
+criterion_main!(benches);

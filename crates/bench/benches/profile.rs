@@ -1,0 +1,34 @@
+//! Distance-profile construction: the kd descending sweep vs the brute
+//! Pareto frontier (the RKNN refinement workhorse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_core::DistanceProfile;
+use fuzzy_datagen::CellConfig;
+
+fn bench_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_profile");
+    for n in [100usize, 400, 1000] {
+        let cfg = CellConfig {
+            num_objects: 2,
+            points_per_object: n,
+            clusters: 0,
+            seed: 5,
+            ..CellConfig::default()
+        };
+        let objs: Vec<_> = cfg.generate().collect();
+        let (a, q) = (&objs[0], &objs[1]);
+        let _ = (a.kd_tree(), q.kd_tree());
+        group.bench_with_input(BenchmarkId::new("sweep", n), &n, |b, _| {
+            b.iter(|| DistanceProfile::compute(a, q))
+        });
+        if n <= 400 {
+            group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+                b.iter(|| DistanceProfile::compute_brute(a, q))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! `fkq` — a small command-line front end for fuzzy-knn stores.
+//!
+//! ```sh
+//! fkq generate --kind cell --n 1000 --ppo 200 --out cells.fzkn
+//! fkq info cells.fzkn
+//! fkq aknn cells.fzkn --k 10 --alpha 0.5 --variant lb-lp-ub
+//! fkq rknn cells.fzkn --k 10 --start 0.3 --end 0.7 --algo rss-icr
+//! ```
+
+use fuzzy_core::FuzzyObject;
+use fuzzy_datagen::{CellConfig, SyntheticConfig};
+use fuzzy_index::{RTree, RTreeConfig};
+use fuzzy_query::{AknnConfig, QueryEngine, RknnAlgorithm};
+use fuzzy_store::{FileStore, ObjectStore};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  fkq generate --kind <synthetic|cell> --n <count> [--ppo <points>] \
+         [--seed <u64>] --out <path>\n  fkq info <path>\n  fkq aknn <path> --k <k> --alpha <a> \
+         [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>]\n  fkq rknn <path> --k <k> \
+         --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] [--query-seed <u64>]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("flag --{name} needs a value");
+                usage();
+            }
+            flags.insert(name.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Option<T> {
+    flags.get(key).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v}");
+            usage()
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let (pos, flags) = parse_flags(&args[1..]);
+    match args[0].as_str() {
+        "generate" => generate(&flags),
+        "info" => info(pos.first().unwrap_or_else(|| usage())),
+        "aknn" => aknn(pos.first().unwrap_or_else(|| usage()), &flags),
+        "rknn" => rknn(pos.first().unwrap_or_else(|| usage()), &flags),
+        _ => usage(),
+    }
+}
+
+fn generate(flags: &HashMap<String, String>) {
+    let kind = flags.get("kind").cloned().unwrap_or_else(|| "synthetic".into());
+    let n: usize = get(flags, "n").unwrap_or(1_000);
+    let ppo: usize = get(flags, "ppo").unwrap_or(200);
+    let seed: u64 = get(flags, "seed").unwrap_or(42);
+    let out = flags.get("out").cloned().unwrap_or_else(|| usage());
+    let store = match kind.as_str() {
+        "synthetic" => {
+            let cfg = SyntheticConfig { num_objects: n, points_per_object: ppo, seed, ..Default::default() };
+            fuzzy_datagen::write_dataset(&out, cfg.generate())
+        }
+        "cell" => {
+            let cfg = CellConfig { num_objects: n, points_per_object: ppo, seed, ..Default::default() };
+            fuzzy_datagen::write_dataset(&out, cfg.generate())
+        }
+        other => {
+            eprintln!("unknown kind {other}");
+            usage()
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("generation failed: {e}");
+        exit(1)
+    });
+    println!("wrote {} objects to {out}", store.len());
+}
+
+fn open(path: &str) -> FileStore<2> {
+    FileStore::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1)
+    })
+}
+
+fn info(path: &str) {
+    let store = open(path);
+    println!("{path}: {} objects", store.len());
+    let total_points: u64 = store.summaries().iter().map(|s| s.point_count as u64).sum();
+    println!("  total points: {total_points}");
+    let mut bbox = fuzzy_geom::Mbr::<2>::empty();
+    for s in store.summaries() {
+        bbox.expand_mbr(&s.support_mbr);
+    }
+    println!("  bounding box: {bbox:?}");
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    println!(
+        "  R-tree: height {}, {} leaves, avg fill {:.1}",
+        tree.height(),
+        tree.leaf_count(),
+        tree.avg_leaf_fill()
+    );
+}
+
+fn query_object(store: &FileStore<2>, flags: &HashMap<String, String>) -> FuzzyObject<2> {
+    // Query by dataset object id, or a pseudo-random member.
+    if let Some(id) = get::<u64>(flags, "query-id") {
+        return store
+            .probe(fuzzy_core::ObjectId(id))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot load query object {id}: {e}");
+                exit(1)
+            })
+            .as_ref()
+            .clone();
+    }
+    let seed: u64 = get(flags, "query-seed").unwrap_or(7);
+    let ids = store.ids();
+    let pick = ids[(seed as usize) % ids.len()];
+    store.probe(pick).expect("probe query").as_ref().clone()
+}
+
+fn variant(flags: &HashMap<String, String>) -> AknnConfig {
+    match flags.get("variant").map(String::as_str).unwrap_or("lb-lp-ub") {
+        "basic" => AknnConfig::basic(),
+        "lb" => AknnConfig::lb(),
+        "lb-lp" => AknnConfig::lb_lp(),
+        "lb-lp-ub" => AknnConfig::lb_lp_ub(),
+        other => {
+            eprintln!("unknown variant {other}");
+            usage()
+        }
+    }
+}
+
+fn aknn(path: &str, flags: &HashMap<String, String>) {
+    let store = open(path);
+    let k: usize = get(flags, "k").unwrap_or(10);
+    let alpha: f64 = get(flags, "alpha").unwrap_or(0.5);
+    let q = query_object(&store, flags);
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    store.reset_stats();
+    let engine = QueryEngine::new(&tree, &store);
+    let res = engine.aknn(&q, k, alpha, &variant(flags)).unwrap_or_else(|e| {
+        eprintln!("query failed: {e}");
+        exit(1)
+    });
+    println!("{k}NN of {} at α = {alpha}:", q.id());
+    for n in &res.neighbors {
+        println!("  {n}");
+    }
+    println!(
+        "cost: {} object accesses, {} node accesses, {:?}",
+        res.stats.object_accesses, res.stats.node_accesses, res.stats.wall
+    );
+}
+
+fn rknn(path: &str, flags: &HashMap<String, String>) {
+    let store = open(path);
+    let k: usize = get(flags, "k").unwrap_or(10);
+    let start: f64 = get(flags, "start").unwrap_or(0.4);
+    let end: f64 = get(flags, "end").unwrap_or(0.6);
+    let algo = match flags.get("algo").map(String::as_str).unwrap_or("rss-icr") {
+        "naive" => RknnAlgorithm::Naive,
+        "basic" => RknnAlgorithm::Basic,
+        "rss" => RknnAlgorithm::Rss,
+        "rss-icr" => RknnAlgorithm::RssIcr,
+        other => {
+            eprintln!("unknown algorithm {other}");
+            usage()
+        }
+    };
+    let q = query_object(&store, flags);
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    store.reset_stats();
+    let engine = QueryEngine::new(&tree, &store);
+    let res = engine
+        .rknn(&q, k, start, end, algo, &AknnConfig::lb_lp_ub())
+        .unwrap_or_else(|e| {
+            eprintln!("query failed: {e}");
+            exit(1)
+        });
+    println!("range {k}NN of {} over [{start}, {end}] ({}):", q.id(), algo.name());
+    for item in &res.items {
+        println!("  {item}");
+    }
+    println!(
+        "cost: {} object accesses, {} candidates, {:?}",
+        res.stats.object_accesses, res.stats.candidates, res.stats.wall
+    );
+}

@@ -1,0 +1,184 @@
+//! Boundary functions (Section 3.2).
+//!
+//! For a fuzzy object `A` and dimension `i`, the α-cut MBR bound
+//! `M_A^{i+}(α)` approaches the kernel bound `M_A^{i+}(1)` as α grows. The
+//! *boundary function* records the gap
+//! `δ(α) = |M_A^{i+}(α) − M_A^{i+}(1)|` at every distinct membership value —
+//! a non-increasing curve that the optimal conservative line approximates.
+
+use crate::object::FuzzyObject;
+use fuzzy_geom::Mbr;
+
+/// Sampled boundary functions of one object: for every distinct membership
+/// level (plus the anchor levels 0 and 1), the per-dimension gaps between
+/// the α-cut MBR and the kernel MBR, on both the upper and lower side.
+#[derive(Clone, Debug)]
+pub struct BoundaryFunctions<const D: usize> {
+    /// Sample abscissae, ascending; `levels[0] == 0.0`,
+    /// `levels[last] == 1.0`.
+    pub levels: Vec<f64>,
+    /// `upper[j][i] = M^{i+}(levels[j]) − M^{i+}(1) ≥ 0`.
+    pub upper: Vec<[f64; D]>,
+    /// `lower[j][i] = M^{i−}(1) − M^{i−}(levels[j]) ≥ 0`.
+    pub lower: Vec<[f64; D]>,
+}
+
+impl<const D: usize> BoundaryFunctions<D> {
+    /// Compute by a single descending sweep over the object's points:
+    /// `O(n log n)` for the sort plus `O(n)` MBR growth.
+    pub fn compute(obj: &FuzzyObject<D>) -> Self {
+        let n = obj.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Highest membership first: the running MBR then *is* the α-cut MBR
+        // after consuming every point with µ ≥ current level.
+        order.sort_by(|&a, &b| obj.membership(b).total_cmp(&obj.membership(a)));
+
+        let kernel = obj.kernel_mbr();
+        let mut running = Mbr::<D>::empty();
+        let mut levels_desc: Vec<f64> = Vec::new();
+        let mut upper_desc: Vec<[f64; D]> = Vec::new();
+        let mut lower_desc: Vec<[f64; D]> = Vec::new();
+
+        let mut pos = 0;
+        while pos < n {
+            let level = obj.membership(order[pos]);
+            // Absorb every point at this level.
+            while pos < n && obj.membership(order[pos]) == level {
+                running.expand_point(obj.point(order[pos]));
+                pos += 1;
+            }
+            let mut up = [0.0; D];
+            let mut lo = [0.0; D];
+            for i in 0..D {
+                up[i] = (running.hi(i) - kernel.hi(i)).max(0.0);
+                lo[i] = (kernel.lo(i) - running.lo(i)).max(0.0);
+            }
+            levels_desc.push(level);
+            upper_desc.push(up);
+            lower_desc.push(lo);
+        }
+
+        // Ascending order, with the α = 0 anchor (cut == support, so the gap
+        // equals the lowest sampled level's gap) and the α = 1 anchor (gap 0
+        // by definition; present already because kernels are non-empty).
+        levels_desc.reverse();
+        upper_desc.reverse();
+        lower_desc.reverse();
+        let mut levels = Vec::with_capacity(levels_desc.len() + 1);
+        let mut upper = Vec::with_capacity(levels_desc.len() + 1);
+        let mut lower = Vec::with_capacity(levels_desc.len() + 1);
+        if levels_desc.first().copied() != Some(0.0) {
+            levels.push(0.0);
+            upper.push(upper_desc[0]);
+            lower.push(lower_desc[0]);
+        }
+        levels.extend_from_slice(&levels_desc);
+        upper.extend(upper_desc);
+        lower.extend(lower_desc);
+        debug_assert_eq!(*levels.last().unwrap(), 1.0, "kernel level missing");
+        Self { levels, upper, lower }
+    }
+
+    /// The `⟨α, δ(α)⟩` sample pairs for the upper side of dimension `dim` —
+    /// input to the conservative line fit.
+    pub fn upper_samples(&self, dim: usize) -> Vec<(f64, f64)> {
+        self.levels
+            .iter()
+            .zip(&self.upper)
+            .map(|(&l, row)| (l, row[dim]))
+            .collect()
+    }
+
+    /// The `⟨α, δ(α)⟩` sample pairs for the lower side of dimension `dim`.
+    pub fn lower_samples(&self, dim: usize) -> Vec<(f64, f64)> {
+        self.levels
+            .iter()
+            .zip(&self.lower)
+            .map(|(&l, row)| (l, row[dim]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+    use crate::threshold::Threshold;
+    use fuzzy_geom::Point;
+
+    fn obj() -> FuzzyObject<2> {
+        let pts = vec![
+            Point::xy(0.0, 0.0),  // kernel
+            Point::xy(1.0, 0.5),  // µ .5
+            Point::xy(-1.0, -0.5),// µ .5
+            Point::xy(3.0, 2.0),  // µ .2
+            Point::xy(-3.0, -2.0),// µ .2
+        ];
+        FuzzyObject::new(ObjectId(1), pts, vec![1.0, 0.5, 0.5, 0.2, 0.2]).unwrap()
+    }
+
+    #[test]
+    fn gaps_match_direct_cut_mbrs() {
+        let a = obj();
+        let bf = BoundaryFunctions::compute(&a);
+        let kernel = a.kernel_mbr();
+        for (j, &level) in bf.levels.iter().enumerate() {
+            let cut = a
+                .cut_mbr(Threshold::at(level.max(f64::MIN_POSITIVE)))
+                .unwrap();
+            for i in 0..2 {
+                assert!(
+                    (bf.upper[j][i] - (cut.hi(i) - kernel.hi(i)).max(0.0)).abs() < 1e-12,
+                    "upper gap mismatch at level {level} dim {i}"
+                );
+                assert!(
+                    (bf.lower[j][i] - (kernel.lo(i) - cut.lo(i)).max(0.0)).abs() < 1e-12,
+                    "lower gap mismatch at level {level} dim {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchors_present_and_monotone() {
+        let a = obj();
+        let bf = BoundaryFunctions::compute(&a);
+        assert_eq!(bf.levels.first().copied(), Some(0.0));
+        assert_eq!(bf.levels.last().copied(), Some(1.0));
+        // δ non-increasing in α on every side.
+        for i in 0..2 {
+            for w in bf.upper.windows(2) {
+                assert!(w[0][i] >= w[1][i] - 1e-12);
+            }
+            for w in bf.lower.windows(2) {
+                assert!(w[0][i] >= w[1][i] - 1e-12);
+            }
+        }
+        // Gap at the kernel level is exactly zero.
+        assert_eq!(bf.upper.last().unwrap(), &[0.0, 0.0]);
+        assert_eq!(bf.lower.last().unwrap(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_extraction_aligns() {
+        let a = obj();
+        let bf = BoundaryFunctions::compute(&a);
+        let up0 = bf.upper_samples(0);
+        assert_eq!(up0.len(), bf.levels.len());
+        // δ(0) for dim 0 upper: support hi 3.0 - kernel hi 0.0 = 3.0.
+        assert_eq!(up0[0], (0.0, 3.0));
+        let lo1 = bf.lower_samples(1);
+        // δ(0) for dim 1 lower: kernel lo 0.0 - support lo (-2.0) = 2.0.
+        assert_eq!(lo1[0], (0.0, 2.0));
+    }
+
+    #[test]
+    fn kernel_only_object_has_zero_gaps() {
+        let pts = vec![Point::xy(1.0, 1.0), Point::xy(2.0, 2.0)];
+        let a = FuzzyObject::new(ObjectId(2), pts, vec![1.0, 1.0]).unwrap();
+        let bf = BoundaryFunctions::compute(&a);
+        for row in bf.upper.iter().chain(&bf.lower) {
+            assert_eq!(row, &[0.0, 0.0]);
+        }
+    }
+}

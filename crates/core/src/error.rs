@@ -1,0 +1,58 @@
+//! Model-level validation errors.
+
+use std::fmt;
+
+/// Errors raised when constructing fuzzy objects.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// An object must contain at least one point.
+    EmptyObject,
+    /// Membership values must lie in `(0, 1]`.
+    InvalidMembership {
+        /// Index of the offending point.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// The paper assumes every fuzzy object has a non-empty kernel
+    /// (`∃a : µ(a) = 1`); see Section 2.1.
+    EmptyKernel,
+    /// Points and membership slices differ in length.
+    LengthMismatch {
+        /// Number of points supplied.
+        points: usize,
+        /// Number of membership values supplied.
+        memberships: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyObject => write!(f, "fuzzy object must contain at least one point"),
+            Self::InvalidMembership { index, value } => write!(
+                f,
+                "membership value {value} at point {index} is outside (0, 1]"
+            ),
+            Self::NonFiniteCoordinate { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+            Self::EmptyKernel => write!(
+                f,
+                "fuzzy object has an empty kernel (no point with membership 1); \
+                 normalize memberships or use FuzzyObjectBuilder::normalize_max"
+            ),
+            Self::LengthMismatch { points, memberships } => write!(
+                f,
+                "length mismatch: {points} points vs {memberships} membership values"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,423 @@
+//! The fuzzy object itself: a validated set of probabilistic spatial points.
+
+use crate::error::ModelError;
+use crate::threshold::Threshold;
+use fuzzy_geom::{KdTree, Mbr, Point};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Identifier of a fuzzy object inside a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A fuzzy object (Definition 1): `A = {⟨a, µ_A(a)⟩ | µ_A(a) > 0}`.
+///
+/// Invariants enforced at construction:
+/// * at least one point,
+/// * every membership in `(0, 1]`, every coordinate finite,
+/// * non-empty kernel — some point has membership exactly `1.0`
+///   (the paper's standing assumption, Section 2.1).
+///
+/// A kd-tree over the points (annotated with subtree membership maxima) is
+/// built lazily on first use and cached; all α-distance evaluators share it.
+#[derive(Clone, Debug)]
+pub struct FuzzyObject<const D: usize> {
+    id: ObjectId,
+    points: Vec<Point<D>>,
+    memberships: Vec<f64>,
+    kd: OnceLock<KdTree<D>>,
+}
+
+impl<const D: usize> FuzzyObject<D> {
+    /// Validate and construct. See [`FuzzyObjectBuilder`] for a more
+    /// ergonomic incremental interface with optional normalization.
+    pub fn new(
+        id: ObjectId,
+        points: Vec<Point<D>>,
+        memberships: Vec<f64>,
+    ) -> Result<Self, ModelError> {
+        if points.len() != memberships.len() {
+            return Err(ModelError::LengthMismatch {
+                points: points.len(),
+                memberships: memberships.len(),
+            });
+        }
+        if points.is_empty() {
+            return Err(ModelError::EmptyObject);
+        }
+        let mut has_kernel = false;
+        for (i, (&mu, p)) in memberships.iter().zip(&points).enumerate() {
+            if !(mu > 0.0 && mu <= 1.0) {
+                return Err(ModelError::InvalidMembership { index: i, value: mu });
+            }
+            if !p.is_finite() {
+                return Err(ModelError::NonFiniteCoordinate { index: i });
+            }
+            has_kernel |= mu == 1.0;
+        }
+        if !has_kernel {
+            return Err(ModelError::EmptyKernel);
+        }
+        Ok(Self { id, points, memberships, kd: OnceLock::new() })
+    }
+
+    /// Object identifier.
+    #[inline]
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Number of probabilistic points (`|A_s|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false (construction rejects empty objects).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points (the support set, since every stored membership is > 0).
+    #[inline]
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Membership values, parallel to [`FuzzyObject::points`].
+    #[inline]
+    pub fn memberships(&self) -> &[f64] {
+        &self.memberships
+    }
+
+    /// Iterate `⟨a, µ(a)⟩` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Point<D>, f64)> + '_ {
+        self.points.iter().zip(self.memberships.iter().copied())
+    }
+
+    /// The lazily built, cached kd-tree over the object's points.
+    pub fn kd_tree(&self) -> &KdTree<D> {
+        self.kd
+            .get_or_init(|| KdTree::build(&self.points, &self.memberships))
+    }
+
+    /// MBR of the support set (`M_A` = `M_A(0)` in the paper's notation).
+    pub fn support_mbr(&self) -> Mbr<D> {
+        Mbr::from_points(self.points.iter()).expect("object is non-empty")
+    }
+
+    /// MBR of the kernel set (`M_A(1)`); the kernel is never empty.
+    pub fn kernel_mbr(&self) -> Mbr<D> {
+        Mbr::from_points(
+            self.iter()
+                .filter(|&(_, mu)| mu == 1.0)
+                .map(|(p, _)| p),
+        )
+        .expect("kernel is non-empty by construction")
+    }
+
+    /// Indices of points belonging to the cut selected by `t`.
+    pub fn cut_indices(&self, t: Threshold) -> Vec<usize> {
+        self.memberships
+            .iter()
+            .enumerate()
+            .filter(|&(_, &mu)| t.accepts(mu))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of points in the cut selected by `t` (`|A_α|`).
+    pub fn cut_len(&self, t: Threshold) -> usize {
+        self.memberships.iter().filter(|&&mu| t.accepts(mu)).count()
+    }
+
+    /// Exact MBR of the cut selected by `t` (`M_A(α)`), or `None` when the
+    /// cut is empty (only possible for strict thresholds at high values).
+    pub fn cut_mbr(&self, t: Threshold) -> Option<Mbr<D>> {
+        Mbr::from_points(
+            self.iter()
+                .filter(|&(_, mu)| t.accepts(mu))
+                .map(|(p, _)| p),
+        )
+    }
+
+    /// The distinct membership values `U_A`, ascending (Section 3.2).
+    pub fn distinct_levels(&self) -> Vec<f64> {
+        let mut levels = self.memberships.clone();
+        levels.sort_by(f64::total_cmp);
+        levels.dedup();
+        levels
+    }
+
+    /// A representative point of the kernel, `rep(A)` (§3.4). We pick the
+    /// first kernel point deterministically; the paper chooses randomly, but
+    /// any kernel point satisfies Lemma 1 and determinism aids testing.
+    pub fn rep_point(&self) -> Point<D> {
+        *self
+            .iter()
+            .find(|&(_, mu)| mu == 1.0)
+            .map(|(p, _)| p)
+            .expect("kernel is non-empty by construction")
+    }
+
+    /// Uniformly sample (with a simple deterministic LCG keyed on `seed`)
+    /// `n` point indices from the cut at `t`; fewer when the cut is smaller.
+    /// Used to build the query sample set `Q'_α` of §3.4.
+    pub fn sample_cut_indices(&self, t: Threshold, n: usize, seed: u64) -> Vec<usize> {
+        let cut = self.cut_indices(t);
+        if cut.len() <= n {
+            return cut;
+        }
+        // Partial Fisher–Yates over the cut index vector.
+        let mut idx = cut;
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % bound as u64) as usize
+        };
+        for i in 0..n {
+            let j = i + next(idx.len() - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(n);
+        idx
+    }
+
+    /// Point accessor.
+    #[inline]
+    pub fn point(&self, i: usize) -> &Point<D> {
+        &self.points[i]
+    }
+
+    /// Membership accessor.
+    #[inline]
+    pub fn membership(&self, i: usize) -> f64 {
+        self.memberships[i]
+    }
+}
+
+/// Incremental builder with optional max-normalization (for raw data whose
+/// largest membership is not exactly 1, e.g. probabilistic segmentation
+/// masks; the paper normalizes its datasets the same way, §6.1).
+#[derive(Clone, Debug, Default)]
+pub struct FuzzyObjectBuilder<const D: usize> {
+    points: Vec<Point<D>>,
+    memberships: Vec<f64>,
+    normalize_max: bool,
+}
+
+impl<const D: usize> FuzzyObjectBuilder<D> {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self { points: Vec::new(), memberships: Vec::new(), normalize_max: false }
+    }
+
+    /// Pre-allocate for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            points: Vec::with_capacity(n),
+            memberships: Vec::with_capacity(n),
+            normalize_max: false,
+        }
+    }
+
+    /// Rescale memberships by `1 / max(µ)` at build time so the kernel is
+    /// non-empty. Mirrors the paper's "normalize the probability values"
+    /// dataset preparation step.
+    pub fn normalize_max(mut self, yes: bool) -> Self {
+        self.normalize_max = yes;
+        self
+    }
+
+    /// Add one probabilistic point.
+    pub fn push(&mut self, p: Point<D>, mu: f64) -> &mut Self {
+        self.points.push(p);
+        self.memberships.push(mu);
+        self
+    }
+
+    /// Number of points added so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points were added.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Validate and build.
+    pub fn build(mut self, id: ObjectId) -> Result<FuzzyObject<D>, ModelError> {
+        if self.normalize_max {
+            let max = self
+                .memberships
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            if max > 0.0 && max.is_finite() {
+                for mu in &mut self.memberships {
+                    *mu /= max;
+                }
+                // Guard against 0.999999... from the division itself.
+                for mu in &mut self.memberships {
+                    if *mu > 1.0 {
+                        *mu = 1.0;
+                    }
+                }
+            }
+        }
+        FuzzyObject::new(id, self.points, self.memberships)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> FuzzyObject<2> {
+        // A small pyramid-shaped object: center has µ=1, ring µ=0.5, rim µ=0.2.
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(-1.0, 0.0),
+            Point::xy(0.0, 1.0),
+            Point::xy(0.0, -1.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(-2.0, 0.0),
+        ];
+        let mus = vec![1.0, 0.5, 0.5, 0.5, 0.5, 0.2, 0.2];
+        FuzzyObject::new(ObjectId(7), pts, mus).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_input() {
+        let p = vec![Point::xy(0.0, 0.0)];
+        assert_eq!(
+            FuzzyObject::<2>::new(ObjectId(0), vec![], vec![]).unwrap_err(),
+            ModelError::EmptyObject
+        );
+        assert!(matches!(
+            FuzzyObject::new(ObjectId(0), p.clone(), vec![0.0]).unwrap_err(),
+            ModelError::InvalidMembership { .. }
+        ));
+        assert!(matches!(
+            FuzzyObject::new(ObjectId(0), p.clone(), vec![1.5]).unwrap_err(),
+            ModelError::InvalidMembership { .. }
+        ));
+        assert_eq!(
+            FuzzyObject::new(ObjectId(0), p.clone(), vec![0.9]).unwrap_err(),
+            ModelError::EmptyKernel
+        );
+        assert!(matches!(
+            FuzzyObject::new(ObjectId(0), p, vec![1.0, 0.5]).unwrap_err(),
+            ModelError::LengthMismatch { .. }
+        ));
+        assert!(matches!(
+            FuzzyObject::new(
+                ObjectId(0),
+                vec![Point::xy(f64::NAN, 0.0)],
+                vec![1.0]
+            )
+            .unwrap_err(),
+            ModelError::NonFiniteCoordinate { .. }
+        ));
+    }
+
+    #[test]
+    fn cuts_shrink_as_alpha_grows() {
+        let a = obj();
+        let sizes: Vec<usize> = [0.0, 0.2, 0.5, 1.0]
+            .iter()
+            .map(|&v: &f64| a.cut_len(Threshold::at(v.max(f64::MIN_POSITIVE))))
+            .collect();
+        assert_eq!(sizes, vec![7, 7, 5, 1]);
+        // Strict cut just above 0.5 drops the ring.
+        assert_eq!(a.cut_len(Threshold::above(0.5)), 1);
+    }
+
+    #[test]
+    fn mbrs_nest() {
+        let a = obj();
+        let support = a.support_mbr();
+        let mid = a.cut_mbr(Threshold::at(0.5)).unwrap();
+        let kernel = a.kernel_mbr();
+        assert!(support.contains_mbr(&mid));
+        assert!(mid.contains_mbr(&kernel));
+        assert_eq!(support.lo(0), -2.0);
+        assert_eq!(kernel.area(), 0.0);
+    }
+
+    #[test]
+    fn empty_cut_for_strict_one() {
+        let a = obj();
+        assert!(a.cut_mbr(Threshold::above(1.0)).is_none());
+        assert_eq!(a.cut_len(Threshold::above(1.0)), 0);
+    }
+
+    #[test]
+    fn distinct_levels_sorted_dedup() {
+        let a = obj();
+        assert_eq!(a.distinct_levels(), vec![0.2, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn rep_point_is_kernel_member() {
+        let a = obj();
+        let rep = a.rep_point();
+        assert_eq!(rep, Point::xy(0.0, 0.0));
+    }
+
+    #[test]
+    fn sampling_is_within_cut_and_deterministic() {
+        let a = obj();
+        let t = Threshold::at(0.5);
+        let s1 = a.sample_cut_indices(t, 3, 99);
+        let s2 = a.sample_cut_indices(t, 3, 99);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 3);
+        for &i in &s1 {
+            assert!(t.accepts(a.membership(i)));
+        }
+        // Requesting more than available returns the whole cut.
+        let all = a.sample_cut_indices(t, 100, 1);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn builder_normalizes_to_unit_kernel() {
+        let mut b = FuzzyObjectBuilder::with_capacity(3);
+        b.push(Point::xy(0.0, 0.0), 0.8)
+            .push(Point::xy(1.0, 0.0), 0.4)
+            .push(Point::xy(0.0, 1.0), 0.2);
+        let obj = b.normalize_max(true).build(ObjectId(1)).unwrap();
+        assert_eq!(obj.memberships()[0], 1.0);
+        assert!((obj.memberships()[1] - 0.5).abs() < 1e-12);
+        assert_eq!(obj.kernel_mbr().area(), 0.0);
+    }
+
+    #[test]
+    fn builder_without_normalization_requires_kernel() {
+        let mut b = FuzzyObjectBuilder::new();
+        b.push(Point::xy(0.0, 0.0), 0.8);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.build(ObjectId(1)).unwrap_err(), ModelError::EmptyKernel);
+    }
+
+    #[test]
+    fn kd_tree_is_cached_and_consistent() {
+        let a = obj();
+        let t1 = a.kd_tree() as *const _;
+        let t2 = a.kd_tree() as *const _;
+        assert_eq!(t1, t2);
+        assert_eq!(a.kd_tree().len(), a.len());
+    }
+}

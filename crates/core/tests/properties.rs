@@ -1,0 +1,153 @@
+//! Property-based tests for the fuzzy object model.
+
+use fuzzy_core::boundary::BoundaryFunctions;
+use fuzzy_core::distance::{alpha_distance, alpha_distance_brute};
+use fuzzy_core::{DistanceProfile, FuzzyObject, ObjectId, ObjectSummary, Threshold};
+use fuzzy_geom::Point;
+use proptest::prelude::*;
+
+/// Arbitrary fuzzy object: quantized memberships, guaranteed kernel.
+fn arb_object(id: u64, max_pts: usize) -> impl Strategy<Value = FuzzyObject<2>> {
+    prop::collection::vec(
+        ((-50.0..50.0f64), (-50.0..50.0f64), (1u32..=20)),
+        1..max_pts,
+    )
+    .prop_map(move |raw| {
+        let mut pts: Vec<Point<2>> = Vec::with_capacity(raw.len());
+        let mut mus: Vec<f64> = Vec::with_capacity(raw.len());
+        for (x, y, q) in raw {
+            pts.push(Point::xy(x, y));
+            mus.push(q as f64 / 20.0);
+        }
+        mus[0] = 1.0;
+        FuzzyObject::new(ObjectId(id), pts, mus).unwrap()
+    })
+}
+
+fn arb_threshold() -> impl Strategy<Value = Threshold> {
+    ((0u32..=20), any::<bool>()).prop_map(|(v, strict)| Threshold {
+        value: v as f64 / 20.0,
+        strict,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// α-cuts shrink as thresholds tighten (Definition 2).
+    #[test]
+    fn cuts_are_nested(obj in arb_object(1, 60), t1 in arb_threshold(), t2 in arb_threshold()) {
+        let (loose, tight) = if t1.is_looser_or_equal(&t2) { (t1, t2) } else { (t2, t1) };
+        let tight_cut = obj.cut_indices(tight);
+        let loose_cut = obj.cut_indices(loose);
+        prop_assert!(tight_cut.iter().all(|i| loose_cut.contains(i)));
+        prop_assert!(obj.cut_len(loose) >= obj.cut_len(tight));
+    }
+
+    /// Exact cut MBRs nest, and the summary's approximation sandwiches them.
+    #[test]
+    fn summary_approx_sandwich(obj in arb_object(2, 60), t in arb_threshold()) {
+        let s = ObjectSummary::from_object(&obj);
+        let approx = s.approx_cut_mbr(t);
+        prop_assert!(s.support_mbr.contains_mbr(&approx));
+        prop_assert!(approx.contains_mbr(&s.kernel_mbr));
+        if let Some(exact) = obj.cut_mbr(t) {
+            prop_assert!(approx.inflate(1e-9).contains_mbr(&exact),
+                "approx {:?} misses exact {:?} at {}", approx, exact, t);
+        }
+    }
+
+    /// α-distance is symmetric, non-negative, monotone in α, and the two
+    /// evaluators agree (Definition 3 + Section 2.1).
+    #[test]
+    fn alpha_distance_laws(
+        a in arb_object(3, 40),
+        b in arb_object(4, 40),
+        t in arb_threshold(),
+    ) {
+        let d_fast = alpha_distance(&a, &b, t);
+        let d_slow = alpha_distance_brute(&a, &b, t);
+        match (d_fast, d_slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => {
+                prop_assert!((f - s).abs() < 1e-9);
+                prop_assert!(f >= 0.0);
+                // Symmetry.
+                let back = alpha_distance(&b, &a, t).unwrap();
+                prop_assert!((f - back).abs() < 1e-9);
+            }
+            other => prop_assert!(false, "evaluator disagreement: {:?}", other),
+        }
+        // Monotonicity against the support-level distance.
+        if let Some(d) = d_fast {
+            let d0 = alpha_distance(&a, &b, Threshold::support()).unwrap();
+            prop_assert!(d0 <= d + 1e-9);
+        }
+    }
+
+    /// The sweep profile equals the brute-force Pareto profile, and lookups
+    /// into it match direct evaluation at arbitrary thresholds.
+    #[test]
+    fn profile_is_faithful(
+        a in arb_object(5, 30),
+        q in arb_object(6, 30),
+        t in arb_threshold(),
+    ) {
+        let fast = DistanceProfile::compute(&a, &q);
+        let slow = DistanceProfile::compute_brute(&a, &q);
+        prop_assert_eq!(fast.segments().len(), slow.segments().len());
+        for (f, s) in fast.segments().iter().zip(slow.segments()) {
+            prop_assert!((f.level - s.level).abs() < 1e-12);
+            prop_assert!((f.dist - s.dist).abs() < 1e-12);
+        }
+        let via = fast.value_at(t);
+        let direct = alpha_distance_brute(&a, &q, t);
+        match (via, direct) {
+            (None, None) => {}
+            (Some(p), Some(d)) => prop_assert!((p - d).abs() < 1e-9),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Critical probabilities really are change points: the distance just
+    /// above a critical value differs from the value at it; and within a
+    /// segment the distance is constant (Definition 7 / Lemma 2).
+    #[test]
+    fn critical_set_marks_changes(a in arb_object(7, 30), q in arb_object(8, 30)) {
+        let prof = DistanceProfile::compute(&a, &q);
+        let omega: Vec<f64> = prof.critical_set().collect();
+        prop_assert_eq!(*omega.last().unwrap(), 1.0);
+        for (i, &crit) in omega.iter().enumerate() {
+            let at = prof.value_at(Threshold::at(crit)).unwrap();
+            if crit < 1.0 {
+                let after = prof.value_at(Threshold::above(crit)).unwrap();
+                prop_assert!(after > at, "no change above critical {}", crit);
+            }
+            if i > 0 {
+                // Constant within the segment: value just above the previous
+                // critical equals the value at this critical.
+                let inside = prof.value_at(Threshold::above(omega[i - 1])).unwrap();
+                prop_assert!((inside - at).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Boundary functions are non-negative, non-increasing and vanish at 1.
+    #[test]
+    fn boundary_function_shape(obj in arb_object(9, 60)) {
+        let bf = BoundaryFunctions::compute(&obj);
+        for dim in 0..2 {
+            let ups = bf.upper_samples(dim);
+            let los = bf.lower_samples(dim);
+            prop_assert_eq!(ups.last().unwrap().1, 0.0);
+            prop_assert_eq!(los.last().unwrap().1, 0.0);
+            for w in ups.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+                prop_assert!(w[0].0 < w[1].0);
+            }
+            for w in los.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+            }
+        }
+    }
+}

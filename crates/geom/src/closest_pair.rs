@@ -1,0 +1,279 @@
+//! Bichromatic closest pair between two membership-filtered point sets.
+//!
+//! This is the computational core of the α-distance (Definition 3):
+//! `d_α(A, B) = min_{a ∈ A_α, b ∈ B_α} ‖a − b‖` is exactly the closest pair
+//! between the two α-cuts. The dual-tree branch-and-bound below descends two
+//! kd-trees simultaneously, pruning node pairs whose boxes are farther apart
+//! than the best pair found so far and subtrees whose maximum membership
+//! fails the level filter — the classical approach of Corral et al.
+//! (ref. [9] of the paper) adapted to fuzzy cuts.
+
+use crate::kdtree::{KdTree, LevelFilter};
+
+/// Result of a closest-pair computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairResult {
+    /// Distance between the winning pair.
+    pub dist: f64,
+    /// Original index of the winning point in the first tree.
+    pub i: usize,
+    /// Original index of the winning point in the second tree.
+    pub j: usize,
+}
+
+/// Closest pair between the points of `a` passing `filter_a` and the points
+/// of `b` passing `filter_b`. Returns `None` when either side is empty under
+/// its filter.
+///
+/// `upper_bound`, when finite, allows the caller to seed the search with an
+/// already-known distance bound (e.g. the paper's improved upper bound
+/// `d⁺_α`); pairs at or beyond it are pruned, and `None` is returned if no
+/// strictly closer pair exists.
+pub fn bichromatic_closest_pair<const D: usize>(
+    a: &KdTree<D>,
+    b: &KdTree<D>,
+    filter_a: LevelFilter,
+    filter_b: LevelFilter,
+    upper_bound: f64,
+) -> Option<PairResult> {
+    let mut best_sq = if upper_bound.is_finite() {
+        upper_bound * upper_bound
+    } else {
+        f64::INFINITY
+    };
+    let mut best: Option<(u32, u32)> = None;
+    descend(
+        a,
+        b,
+        a.root_id(),
+        b.root_id(),
+        filter_a,
+        filter_b,
+        &mut best_sq,
+        &mut best,
+    );
+    best.map(|(i, j)| PairResult {
+        dist: best_sq.sqrt(),
+        i: i as usize,
+        j: j as usize,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend<const D: usize>(
+    a: &KdTree<D>,
+    b: &KdTree<D>,
+    na: u32,
+    nb: u32,
+    fa: LevelFilter,
+    fb: LevelFilter,
+    best_sq: &mut f64,
+    best: &mut Option<(u32, u32)>,
+) {
+    if !fa.accepts(a.node_max_mu(na)) || !fb.accepts(b.node_max_mu(nb)) {
+        return;
+    }
+    let gap = a.node_mbr(na).min_dist_sq(b.node_mbr(nb));
+    if gap >= *best_sq {
+        return;
+    }
+    match (a.node_children(na), b.node_children(nb)) {
+        (None, None) => {
+            // Leaf x leaf: exhaustive scan over accepted points.
+            let (sa, ea) = a.node_points(na).expect("leaf");
+            let (sb, eb) = b.node_points(nb).expect("leaf");
+            for ia in sa..ea {
+                let (pa, mua, oa) = a.point_at(ia);
+                if !fa.accepts(mua) {
+                    continue;
+                }
+                for ib in sb..eb {
+                    let (pb, mub, ob) = b.point_at(ib);
+                    if !fb.accepts(mub) {
+                        continue;
+                    }
+                    let d2 = pa.dist_sq(pb);
+                    if d2 < *best_sq {
+                        *best_sq = d2;
+                        *best = Some((oa, ob));
+                    }
+                }
+            }
+        }
+        (Some((l, r)), None) => {
+            let mut kids = [(l, nb), (r, nb)];
+            order_by_gap(a, b, &mut kids);
+            for (ca, cb) in kids {
+                descend(a, b, ca, cb, fa, fb, best_sq, best);
+            }
+        }
+        (None, Some((l, r))) => {
+            let mut kids = [(na, l), (na, r)];
+            order_by_gap(a, b, &mut kids);
+            for (ca, cb) in kids {
+                descend(a, b, ca, cb, fa, fb, best_sq, best);
+            }
+        }
+        (Some((al, ar)), Some((bl, br))) => {
+            let mut kids = [(al, bl), (al, br), (ar, bl), (ar, br)];
+            order_by_gap(a, b, &mut kids);
+            for (ca, cb) in kids {
+                descend(a, b, ca, cb, fa, fb, best_sq, best);
+            }
+        }
+    }
+}
+
+/// Visit the most promising node pairs first: descending by box gap gives
+/// the branch-and-bound its tight early bound.
+fn order_by_gap<const D: usize>(a: &KdTree<D>, b: &KdTree<D>, pairs: &mut [(u32, u32)]) {
+    pairs.sort_by(|&(xa, xb), &(ya, yb)| {
+        a.node_mbr(xa)
+            .min_dist_sq(b.node_mbr(xb))
+            .total_cmp(&a.node_mbr(ya).min_dist_sq(b.node_mbr(yb)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn random_cloud(n: usize, seed: u64, offset: f64) -> (Vec<Point<2>>, Vec<f64>) {
+        let mut rng = Lcg(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::xy(rng.next_f64() * 10.0 + offset, rng.next_f64() * 10.0))
+            .collect();
+        // Memberships in (0, 1], with a guaranteed kernel point.
+        let mut mus: Vec<f64> = (0..n).map(|_| rng.next_f64().max(1e-3)).collect();
+        mus[0] = 1.0;
+        (pts, mus)
+    }
+
+    fn brute(
+        a: &(Vec<Point<2>>, Vec<f64>),
+        b: &(Vec<Point<2>>, Vec<f64>),
+        fa: LevelFilter,
+        fb: LevelFilter,
+    ) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (p, &mu) in a.0.iter().zip(&a.1) {
+            if !fa.accepts(mu) {
+                continue;
+            }
+            for (q, &nu) in b.0.iter().zip(&b.1) {
+                if !fb.accepts(nu) {
+                    continue;
+                }
+                let d = p.dist(q);
+                best = Some(best.map_or(d, |b: f64| b.min(d)));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_over_levels() {
+        for seed in 1..12u64 {
+            let a = random_cloud(150, seed, 0.0);
+            let b = random_cloud(130, seed.wrapping_mul(77) + 5, 6.0);
+            let ta = KdTree::build(&a.0, &a.1);
+            let tb = KdTree::build(&b.0, &b.1);
+            for lvl in [0.0, 0.2, 0.5, 0.8, 1.0] {
+                for strict in [false, true] {
+                    let f = LevelFilter { min: lvl, strict };
+                    let got = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY)
+                        .map(|r| r.dist);
+                    let want = brute(&a, &b, f, f);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(g), Some(w)) => assert!(
+                            (g - w).abs() < 1e-12,
+                            "seed {seed} lvl {lvl} strict {strict}: {g} vs {w}"
+                        ),
+                        other => panic!("seed {seed} lvl {lvl}: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_indices_are_original_and_consistent() {
+        let a = random_cloud(60, 3, 0.0);
+        let b = random_cloud(60, 4, 2.0);
+        let ta = KdTree::build(&a.0, &a.1);
+        let tb = KdTree::build(&b.0, &b.1);
+        let f = LevelFilter::at_least(0.3);
+        let r = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY).unwrap();
+        assert!(f.accepts(a.1[r.i]));
+        assert!(f.accepts(b.1[r.j]));
+        assert!((a.0[r.i].dist(&b.0[r.j]) - r.dist).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_filters() {
+        let a = random_cloud(80, 9, 0.0);
+        let b = random_cloud(80, 10, 1.0);
+        let ta = KdTree::build(&a.0, &a.1);
+        let tb = KdTree::build(&b.0, &b.1);
+        let fa = LevelFilter::at_least(0.9);
+        let fb = LevelFilter::at_least(0.1);
+        let got = bichromatic_closest_pair(&ta, &tb, fa, fb, f64::INFINITY).map(|r| r.dist);
+        let want = brute(&a, &b, fa, fb);
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => assert!((g - w).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn upper_bound_seeding_prunes_but_preserves_closer_pairs() {
+        let a = random_cloud(100, 21, 0.0);
+        let b = random_cloud(100, 22, 3.0);
+        let ta = KdTree::build(&a.0, &a.1);
+        let tb = KdTree::build(&b.0, &b.1);
+        let f = LevelFilter::support();
+        let exact = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY)
+            .unwrap()
+            .dist;
+        // A generous seed must not change the answer.
+        let seeded = bichromatic_closest_pair(&ta, &tb, f, f, exact + 1.0)
+            .unwrap()
+            .dist;
+        assert!((seeded - exact).abs() < 1e-12);
+        // A seed below the true distance finds nothing.
+        assert!(bichromatic_closest_pair(&ta, &tb, f, f, exact * 0.5).is_none());
+    }
+
+    #[test]
+    fn identical_point_in_both_sets_gives_zero() {
+        let shared = Point::xy(5.0, 5.0);
+        let a = (vec![shared, Point::xy(0.0, 0.0)], vec![1.0, 0.5]);
+        let b = (vec![Point::xy(9.0, 9.0), shared], vec![0.4, 1.0]);
+        let ta = KdTree::build(&a.0, &a.1);
+        let tb = KdTree::build(&b.0, &b.1);
+        let r = bichromatic_closest_pair(
+            &ta,
+            &tb,
+            LevelFilter::at_least(1.0),
+            LevelFilter::at_least(1.0),
+            f64::INFINITY,
+        )
+        .unwrap();
+        assert_eq!(r.dist, 0.0);
+        assert_eq!((r.i, r.j), (0, 1));
+    }
+}

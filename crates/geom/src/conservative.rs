@@ -1,0 +1,303 @@
+//! Optimal conservative linear approximation of a boundary function
+//! (Definition 6 of the paper).
+//!
+//! Given samples `⟨α, δ(α)⟩` of a (typically decreasing) boundary function,
+//! find the line `L_opt : y = m·x + t` that
+//!
+//! 1. is *conservative*: `m·α + t ≥ δ(α)` for every sample, and
+//! 2. minimises the summed squared error `Σ ((m·α + t) − δ(α))²`.
+//!
+//! The optimum is a supporting line of the *upper convex hull* (UCH) of the
+//! samples: it either interpolates a single hull vertex (the *anchor point*,
+//! with the anchor-optimal slope) or coincides with a hull edge. We locate
+//! the anchor with the bisection of Achtert et al. (ref. [1] of the paper)
+//! and additionally evaluate the neighbouring candidates, which makes the
+//! search robust to floating-point ties; [`fit_conservative_line_exact`]
+//! scans every vertex and edge and is used as the test oracle.
+
+use crate::hull::upper_hull_2d;
+use crate::point::Point;
+
+/// A line `y = m·x + t` that conservatively approximates a boundary
+/// function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConservativeLine {
+    /// Slope `m_opt`.
+    pub m: f64,
+    /// Intercept `t_opt`.
+    pub t: f64,
+}
+
+impl ConservativeLine {
+    /// The constant-zero line; conservative for the all-zero boundary
+    /// function (an object equal to its kernel).
+    pub const ZERO: Self = Self { m: 0.0, t: 0.0 };
+
+    /// Evaluate the line at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.m * x + self.t
+    }
+
+    /// Summed squared error against `samples` (lower is tighter).
+    pub fn sse(&self, samples: &[(f64, f64)]) -> f64 {
+        samples
+            .iter()
+            .map(|&(x, y)| {
+                let e = self.eval(x) - y;
+                e * e
+            })
+            .sum()
+    }
+
+    /// True when the line lies on or above every sample (within `tol`).
+    pub fn is_conservative(&self, samples: &[(f64, f64)], tol: f64) -> bool {
+        samples.iter().all(|&(x, y)| self.eval(x) >= y - tol)
+    }
+
+    /// Raise the intercept by the largest violation so the line dominates
+    /// every sample exactly (a no-op when already conservative).
+    fn lifted(mut self, samples: &[(f64, f64)]) -> Self {
+        let mut worst: f64 = 0.0;
+        for &(x, y) in samples {
+            worst = worst.max(y - self.eval(x));
+        }
+        if worst > 0.0 {
+            self.t += worst;
+        }
+        self
+    }
+}
+
+/// Anchor-optimal line (AOL): the least-squares line constrained to pass
+/// through `anchor`, i.e. the slope minimising
+/// `Σ (m·(x_i − x_a) − (y_i − y_a))²`.
+fn anchor_optimal_line(anchor: Point<2>, samples: &[(f64, f64)]) -> ConservativeLine {
+    let (xa, ya) = (anchor.x(), anchor.y());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(x, y) in samples {
+        let dx = x - xa;
+        num += dx * (y - ya);
+        den += dx * dx;
+    }
+    let m = if den > 0.0 { num / den } else { 0.0 };
+    ConservativeLine { m, t: ya - m * xa }
+}
+
+/// Line through two points (hull edge); vertical pairs fall back to a
+/// horizontal line through the higher point.
+fn line_through(a: Point<2>, b: Point<2>) -> ConservativeLine {
+    let dx = b.x() - a.x();
+    if dx.abs() < f64::EPSILON {
+        return ConservativeLine {
+            m: 0.0,
+            t: a.y().max(b.y()),
+        };
+    }
+    let m = (b.y() - a.y()) / dx;
+    ConservativeLine { m, t: a.y() - m * a.x() }
+}
+
+fn best_of(candidates: impl IntoIterator<Item = ConservativeLine>, samples: &[(f64, f64)]) -> ConservativeLine {
+    candidates
+        .into_iter()
+        .map(|c| c.lifted(samples))
+        .min_by(|a, b| a.sse(samples).total_cmp(&b.sse(samples)))
+        .expect("at least one candidate line")
+}
+
+/// Fit the optimal conservative line to `samples` using the UCH anchor
+/// bisection. Degenerate inputs (empty, single point, constant function)
+/// yield the obvious horizontal line. The result is guaranteed conservative
+/// (a final exact lift absorbs floating-point wobble).
+pub fn fit_conservative_line(samples: &[(f64, f64)]) -> ConservativeLine {
+    match samples {
+        [] => return ConservativeLine::ZERO,
+        [(_, y)] => return ConservativeLine { m: 0.0, t: *y },
+        _ => {}
+    }
+    let pts: Vec<Point<2>> = samples.iter().map(|&(x, y)| Point::xy(x, y)).collect();
+    let hull = upper_hull_2d(&pts);
+    if hull.len() == 1 {
+        // All samples share one x; a horizontal line through the top sample.
+        return ConservativeLine { m: 0.0, t: hull[0].y() };
+    }
+
+    // Bisection over hull vertices for the anchor point. `above` uses a
+    // relative tolerance: a vertex only redirects the search when it is
+    // meaningfully above the candidate line.
+    let above = |line: &ConservativeLine, p: &Point<2>| -> bool {
+        p.y() > line.eval(p.x()) + 1e-12 * (1.0 + p.y().abs())
+    };
+    let (mut lo, mut hi) = (0usize, hull.len() - 1);
+    let mut anchor = (lo + hi) / 2;
+    // The loop always terminates: each step strictly shrinks [lo, hi].
+    while lo <= hi {
+        anchor = (lo + hi) / 2;
+        let aol = anchor_optimal_line(hull[anchor], samples);
+        let succ_above = anchor + 1 < hull.len() && above(&aol, &hull[anchor + 1]);
+        let pred_above = anchor >= 1 && above(&aol, &hull[anchor - 1]);
+        if succ_above {
+            lo = anchor + 1;
+        } else if pred_above {
+            if anchor == 0 {
+                break;
+            }
+            hi = anchor - 1;
+        } else {
+            break; // both neighbours at or below: global anchor found
+        }
+        if lo > hi {
+            break;
+        }
+    }
+
+    // Evaluate the located anchor plus its neighbourhood (vertices and
+    // edges); the lift makes every candidate feasible, the SSE picks the
+    // tightest. This absorbs any bisection off-by-one near ties.
+    let mut candidates: Vec<ConservativeLine> = Vec::with_capacity(8);
+    let from = anchor.saturating_sub(1);
+    let to = (anchor + 1).min(hull.len() - 1);
+    for i in from..=to {
+        candidates.push(anchor_optimal_line(hull[i], samples));
+        if i + 1 < hull.len() {
+            candidates.push(line_through(hull[i], hull[i + 1]));
+        }
+    }
+    best_of(candidates, samples)
+}
+
+/// Exact reference implementation: evaluate the AOL of *every* hull vertex
+/// and the line of *every* hull edge, lift each to feasibility and return
+/// the smallest-SSE line. `O(h·n)` — used as the oracle in tests and in the
+/// `abl-line` ablation.
+pub fn fit_conservative_line_exact(samples: &[(f64, f64)]) -> ConservativeLine {
+    match samples {
+        [] => return ConservativeLine::ZERO,
+        [(_, y)] => return ConservativeLine { m: 0.0, t: *y },
+        _ => {}
+    }
+    let pts: Vec<Point<2>> = samples.iter().map(|&(x, y)| Point::xy(x, y)).collect();
+    let hull = upper_hull_2d(&pts);
+    if hull.len() == 1 {
+        return ConservativeLine { m: 0.0, t: hull[0].y() };
+    }
+    let mut candidates: Vec<ConservativeLine> = Vec::with_capacity(2 * hull.len());
+    for i in 0..hull.len() {
+        candidates.push(anchor_optimal_line(hull[i], samples));
+        if i + 1 < hull.len() {
+            candidates.push(line_through(hull[i], hull[i + 1]));
+        }
+    }
+    best_of(candidates, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boundary_like(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        // Decreasing, non-negative staircase on [0, 1] ending at 0 — the
+        // shape of a real boundary function.
+        let mut state = seed.max(1);
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut xs: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        xs.push(0.0);
+        xs.push(1.0);
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        let mut y = 0.0;
+        let mut pts: Vec<(f64, f64)> = xs
+            .iter()
+            .rev()
+            .map(|&x| {
+                let p = (x, y);
+                y += rnd() * 0.3;
+                p
+            })
+            .collect();
+        pts.reverse();
+        pts
+    }
+
+    #[test]
+    fn fits_exactly_collinear_samples() {
+        let samples: Vec<(f64, f64)> = (0..=10)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                (x, 2.0 - 1.5 * x)
+            })
+            .collect();
+        let line = fit_conservative_line(&samples);
+        assert!((line.m - (-1.5)).abs() < 1e-9, "m = {}", line.m);
+        assert!((line.t - 2.0).abs() < 1e-9, "t = {}", line.t);
+        assert!(line.sse(&samples) < 1e-12);
+    }
+
+    #[test]
+    fn conservative_on_staircases() {
+        for seed in 1..30u64 {
+            let samples = boundary_like(40, seed);
+            let line = fit_conservative_line(&samples);
+            assert!(
+                line.is_conservative(&samples, 1e-9),
+                "seed {seed}: line {line:?} not conservative"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exact_oracle() {
+        for seed in 1..30u64 {
+            let samples = boundary_like(25, seed * 7 + 1);
+            let fast = fit_conservative_line(&samples);
+            let exact = fit_conservative_line_exact(&samples);
+            let (fs, es) = (fast.sse(&samples), exact.sse(&samples));
+            // The oracle is optimal, so es <= fs; and the bisection should
+            // actually find the optimum.
+            assert!(es <= fs + 1e-9, "seed {seed}: exact {es} > fast {fs}");
+            assert!(
+                fs <= es + 1e-6 * (1.0 + es),
+                "seed {seed}: bisection missed optimum: fast {fs} vs exact {es}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(fit_conservative_line(&[]), ConservativeLine::ZERO);
+        let single = fit_conservative_line(&[(0.4, 2.0)]);
+        assert_eq!((single.m, single.t), (0.0, 2.0));
+        // All samples at one x: horizontal through the top.
+        let stacked = fit_conservative_line(&[(0.5, 1.0), (0.5, 3.0), (0.5, 2.0)]);
+        assert_eq!(stacked.m, 0.0);
+        assert!((stacked.t - 3.0).abs() < 1e-12);
+        // Constant function.
+        let flat = fit_conservative_line(&[(0.0, 1.0), (0.5, 1.0), (1.0, 1.0)]);
+        assert!((flat.eval(0.25) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_is_tighter_than_constant_upper_bound() {
+        // The whole point of L_opt: beat the trivial bound t = max δ.
+        let samples = boundary_like(60, 42);
+        let line = fit_conservative_line(&samples);
+        let max_y = samples.iter().map(|&(_, y)| y).fold(0.0, f64::max);
+        let constant = ConservativeLine { m: 0.0, t: max_y };
+        assert!(line.sse(&samples) <= constant.sse(&samples));
+    }
+
+    #[test]
+    fn two_point_input() {
+        let samples = [(0.0, 1.0), (1.0, 0.0)];
+        let line = fit_conservative_line(&samples);
+        assert!(line.is_conservative(&samples, 1e-12));
+        assert!(line.sse(&samples) < 1e-18);
+    }
+}

@@ -1,0 +1,456 @@
+//! A bulk-loaded kd-tree over weighted points.
+//!
+//! Every point carries a *membership* weight `µ ∈ (0, 1]` and every node is
+//! annotated with the maximum membership of its subtree, so spatial queries
+//! can be filtered by a membership level: a query at level α simply skips
+//! subtrees whose `max_µ` fails the filter. This turns the kd-tree into an
+//! index over *all α-cuts at once* — the crucial property exploited by the
+//! α-distance evaluators, because the fraction of an object participating in
+//! a query is unknown until the query arrives (Section 1 of the paper).
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+
+/// A membership-level filter: selects points with `µ ≥ min` (inclusive) or
+/// `µ > min` (strict).
+///
+/// The strict form implements the paper's `α* + ε` stepping exactly: the cut
+/// "just above" a critical value `v` is `{a : µ(a) > v}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelFilter {
+    /// Threshold value in `[0, 1]`.
+    pub min: f64,
+    /// When true, require `µ > min`; otherwise `µ ≥ min`.
+    pub strict: bool,
+}
+
+impl LevelFilter {
+    /// Inclusive filter `µ ≥ min` — a plain α-cut.
+    #[inline]
+    pub const fn at_least(min: f64) -> Self {
+        Self { min, strict: false }
+    }
+
+    /// Strict filter `µ > min` — the cut immediately above `min`.
+    #[inline]
+    pub const fn above(min: f64) -> Self {
+        Self { min, strict: true }
+    }
+
+    /// The no-op filter accepting every valid membership (`µ > 0`),
+    /// selecting the support set.
+    #[inline]
+    pub const fn support() -> Self {
+        Self { min: 0.0, strict: true }
+    }
+
+    /// Does membership `mu` pass the filter?
+    #[inline]
+    pub fn accepts(&self, mu: f64) -> bool {
+        if self.strict {
+            mu > self.min
+        } else {
+            mu >= self.min
+        }
+    }
+}
+
+const LEAF_SIZE: usize = 12;
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf { start: u32, end: u32 },
+    Internal { left: u32, right: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct Node<const D: usize> {
+    mbr: Mbr<D>,
+    max_mu: f64,
+    kind: NodeKind,
+}
+
+/// Bulk-loaded, immutable kd-tree over `(point, membership)` pairs.
+///
+/// Construction permutes the points internally; query results refer to the
+/// *original* input indices.
+#[derive(Clone, Debug)]
+pub struct KdTree<const D: usize> {
+    pts: Vec<Point<D>>,
+    mus: Vec<f64>,
+    orig: Vec<u32>,
+    nodes: Vec<Node<D>>,
+    root: u32,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Build a tree from parallel slices of points and memberships.
+    ///
+    /// # Panics
+    /// When the slices differ in length or are empty.
+    pub fn build(points: &[Point<D>], memberships: &[f64]) -> Self {
+        assert_eq!(
+            points.len(),
+            memberships.len(),
+            "points/memberships length mismatch"
+        );
+        assert!(!points.is_empty(), "cannot build a kd-tree over no points");
+        let n = points.len();
+        let mut tree = Self {
+            pts: points.to_vec(),
+            mus: memberships.to_vec(),
+            orig: (0..n as u32).collect(),
+            nodes: Vec::with_capacity(2 * n / LEAF_SIZE + 2),
+            root: 0,
+        };
+        tree.root = tree.build_range(0, n);
+        tree
+    }
+
+    fn build_range(&mut self, start: usize, end: usize) -> u32 {
+        let mbr = Mbr::from_points(self.pts[start..end].iter())
+            .expect("non-empty range");
+        let max_mu = self.mus[start..end]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if end - start <= LEAF_SIZE {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                mbr,
+                max_mu,
+                kind: NodeKind::Leaf {
+                    start: start as u32,
+                    end: end as u32,
+                },
+            });
+            return id;
+        }
+        // Split on the widest dimension at the median.
+        let mut dim = 0;
+        let mut widest = -1.0;
+        for i in 0..D {
+            let e = mbr.extent(i);
+            if e > widest {
+                widest = e;
+                dim = i;
+            }
+        }
+        let mid = start + (end - start) / 2;
+        // Select the median, permuting pts/mus/orig in lockstep via an index
+        // sort of the subrange.
+        let mut idx: Vec<usize> = (start..end).collect();
+        idx.select_nth_unstable_by(mid - start, |&a, &b| {
+            self.pts[a][dim].total_cmp(&self.pts[b][dim])
+        });
+        self.apply_permutation(start, &idx);
+
+        let left = self.build_range(start, mid);
+        let right = self.build_range(mid, end);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            mbr,
+            max_mu,
+            kind: NodeKind::Internal { left, right },
+        });
+        id
+    }
+
+    /// Reorder `pts`, `mus`, `orig` in `start..start+idx.len()` so that
+    /// position `start + i` holds what was at `idx[i]`.
+    fn apply_permutation(&mut self, start: usize, idx: &[usize]) {
+        let new_pts: Vec<Point<D>> = idx.iter().map(|&i| self.pts[i]).collect();
+        let new_mus: Vec<f64> = idx.iter().map(|&i| self.mus[i]).collect();
+        let new_orig: Vec<u32> = idx.iter().map(|&i| self.orig[i]).collect();
+        self.pts[start..start + idx.len()].copy_from_slice(&new_pts);
+        self.mus[start..start + idx.len()].copy_from_slice(&new_mus);
+        self.orig[start..start + idx.len()].copy_from_slice(&new_orig);
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Always false: construction rejects empty input.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Bounding box of all points.
+    #[inline]
+    pub fn mbr(&self) -> &Mbr<D> {
+        &self.nodes[self.root as usize].mbr
+    }
+
+    /// Largest membership in the tree.
+    #[inline]
+    pub fn max_mu(&self) -> f64 {
+        self.nodes[self.root as usize].max_mu
+    }
+
+    /// Number of internal + leaf nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nearest neighbour of `q` among points passing `filter`; returns the
+    /// original index and the distance, or `None` when no point passes.
+    pub fn nn_filtered(&self, q: &Point<D>, filter: LevelFilter) -> Option<(usize, f64)> {
+        let mut best = f64::INFINITY;
+        let mut best_idx: Option<usize> = None;
+        self.nn_rec(self.root, q, filter, &mut best, &mut best_idx);
+        best_idx.map(|i| (i, best.sqrt()))
+    }
+
+    fn nn_rec(
+        &self,
+        node_id: u32,
+        q: &Point<D>,
+        filter: LevelFilter,
+        best_sq: &mut f64,
+        best_idx: &mut Option<usize>,
+    ) {
+        let node = &self.nodes[node_id as usize];
+        if !filter.accepts(node.max_mu) {
+            return;
+        }
+        let d2 = q.dist_sq_to_box(node.mbr.lo_coords(), node.mbr.hi_coords());
+        if d2 >= *best_sq {
+            return;
+        }
+        match node.kind {
+            NodeKind::Leaf { start, end } => {
+                for i in start as usize..end as usize {
+                    if !filter.accepts(self.mus[i]) {
+                        continue;
+                    }
+                    let d2 = q.dist_sq(&self.pts[i]);
+                    if d2 < *best_sq {
+                        *best_sq = d2;
+                        *best_idx = Some(self.orig[i] as usize);
+                    }
+                }
+            }
+            NodeKind::Internal { left, right } => {
+                let dl = q.dist_sq_to_box(
+                    self.nodes[left as usize].mbr.lo_coords(),
+                    self.nodes[left as usize].mbr.hi_coords(),
+                );
+                let dr = q.dist_sq_to_box(
+                    self.nodes[right as usize].mbr.lo_coords(),
+                    self.nodes[right as usize].mbr.hi_coords(),
+                );
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.nn_rec(first, q, filter, best_sq, best_idx);
+                self.nn_rec(second, q, filter, best_sq, best_idx);
+            }
+        }
+    }
+
+    /// Collect the original indices of all points passing `filter` that lie
+    /// within `radius` of `q`.
+    pub fn within_radius_filtered(
+        &self,
+        q: &Point<D>,
+        radius: f64,
+        filter: LevelFilter,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !filter.accepts(node.max_mu) {
+                continue;
+            }
+            if q.dist_sq_to_box(node.mbr.lo_coords(), node.mbr.hi_coords()) > r2 {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, end } => {
+                    for i in start as usize..end as usize {
+                        if filter.accepts(self.mus[i]) && q.dist_sq(&self.pts[i]) <= r2 {
+                            out.push(self.orig[i] as usize);
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        out
+    }
+
+    // ----- internals exposed to the closest-pair module -----
+
+    #[inline]
+    pub(crate) fn node_mbr(&self, id: u32) -> &Mbr<D> {
+        &self.nodes[id as usize].mbr
+    }
+
+    #[inline]
+    pub(crate) fn node_max_mu(&self, id: u32) -> f64 {
+        self.nodes[id as usize].max_mu
+    }
+
+    #[inline]
+    pub(crate) fn node_children(&self, id: u32) -> Option<(u32, u32)> {
+        match self.nodes[id as usize].kind {
+            NodeKind::Internal { left, right } => Some((left, right)),
+            NodeKind::Leaf { .. } => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn node_points(&self, id: u32) -> Option<(usize, usize)> {
+        match self.nodes[id as usize].kind {
+            NodeKind::Leaf { start, end } => Some((start as usize, end as usize)),
+            NodeKind::Internal { .. } => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn root_id(&self) -> u32 {
+        self.root
+    }
+
+    #[inline]
+    pub(crate) fn point_at(&self, slot: usize) -> (&Point<D>, f64, u32) {
+        (&self.pts[slot], self.mus[slot], self.orig[slot])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_tree() -> (Vec<Point<2>>, Vec<f64>, KdTree<2>) {
+        // 10x10 grid; membership grows with x+y, normalized to (0,1].
+        let mut pts = Vec::new();
+        let mut mus = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::xy(i as f64, j as f64));
+                mus.push(((i + j) as f64 + 1.0) / 19.0);
+            }
+        }
+        let tree = KdTree::build(&pts, &mus);
+        (pts, mus, tree)
+    }
+
+    fn brute_nn(
+        pts: &[Point<2>],
+        mus: &[f64],
+        q: &Point<2>,
+        f: LevelFilter,
+    ) -> Option<(usize, f64)> {
+        pts.iter()
+            .zip(mus)
+            .enumerate()
+            .filter(|(_, (_, &mu))| f.accepts(mu))
+            .map(|(i, (p, _))| (i, p.dist(q)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let f = LevelFilter::at_least(0.5);
+        assert!(f.accepts(0.5));
+        assert!(f.accepts(0.7));
+        assert!(!f.accepts(0.49));
+        let s = LevelFilter::above(0.5);
+        assert!(!s.accepts(0.5));
+        assert!(s.accepts(0.5000001));
+        assert!(LevelFilter::support().accepts(1e-12));
+        assert!(!LevelFilter::support().accepts(0.0));
+    }
+
+    #[test]
+    fn nn_matches_brute_force_across_filters() {
+        let (pts, mus, tree) = grid_tree();
+        let queries = [
+            Point::xy(4.5, 4.5),
+            Point::xy(-3.0, 2.0),
+            Point::xy(20.0, 20.0),
+            Point::xy(0.0, 9.0),
+        ];
+        for &q in &queries {
+            for lvl in [0.0, 0.3, 0.5, 0.9, 1.0] {
+                for strict in [false, true] {
+                    let f = LevelFilter { min: lvl, strict };
+                    let got = tree.nn_filtered(&q, f);
+                    let want = brute_nn(&pts, &mus, &q, f);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some((_, dg)), Some((_, dw))) => {
+                            assert!(
+                                (dg - dw).abs() < 1e-12,
+                                "q={q:?} lvl={lvl} strict={strict}: {dg} vs {dw}"
+                            );
+                        }
+                        other => panic!("mismatch at q={q:?} lvl={lvl}: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_excluding_everything_returns_none() {
+        let (_, _, tree) = grid_tree();
+        assert!(tree
+            .nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::above(1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let (pts, mus, tree) = grid_tree();
+        let q = Point::xy(5.0, 5.0);
+        let f = LevelFilter::at_least(0.4);
+        let mut got = tree.within_radius_filtered(&q, 2.5, f);
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .zip(&mus)
+            .enumerate()
+            .filter(|(_, (p, &mu))| f.accepts(mu) && p.dist(&q) <= 2.5)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let tree = KdTree::build(&[Point::xy(1.0, 2.0)], &[0.8]);
+        assert_eq!(tree.len(), 1);
+        let (i, d) = tree
+            .nn_filtered(&Point::xy(1.0, 3.0), LevelFilter::at_least(0.5))
+            .unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+        assert!(tree
+            .nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::at_least(0.9))
+            .is_none());
+    }
+
+    #[test]
+    fn max_mu_annotation_is_root_max() {
+        let (_, mus, tree) = grid_tree();
+        let want = mus.iter().copied().fold(f64::MIN, f64::max);
+        assert_eq!(tree.max_mu(), want);
+        assert!(tree.node_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build")]
+    fn empty_build_panics() {
+        let _ = KdTree::<2>::build(&[], &[]);
+    }
+}

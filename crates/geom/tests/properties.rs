@@ -1,0 +1,173 @@
+//! Property-based tests for the geometry substrate.
+
+use fuzzy_geom::{
+    bichromatic_closest_pair, fit_conservative_line, fit_conservative_line_exact, upper_hull_2d,
+    KdTree, LevelFilter, Mbr, Point,
+};
+use proptest::prelude::*;
+
+fn arb_point2() -> impl Strategy<Value = Point<2>> {
+    (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point::xy(x, y))
+}
+
+fn arb_mbr2() -> impl Strategy<Value = Mbr<2>> {
+    (arb_point2(), arb_point2()).prop_map(|(a, b)| {
+        let lo = [a.x().min(b.x()), a.y().min(b.y())];
+        let hi = [a.x().max(b.x()), a.y().max(b.y())];
+        Mbr::new(lo, hi)
+    })
+}
+
+fn arb_mu() -> impl Strategy<Value = f64> {
+    // Memberships in (0, 1]; avoid subnormals.
+    (0.001..=1.0f64).prop_map(|m| (m * 1000.0).round() / 1000.0)
+}
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = (Vec<Point<2>>, Vec<f64>)> {
+    prop::collection::vec((arb_point2(), arb_mu()), 1..max).prop_map(|v| {
+        let (pts, mut mus): (Vec<_>, Vec<f64>) = v.into_iter().unzip();
+        mus[0] = 1.0; // non-empty kernel, like fuzzy objects
+        (pts, mus)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MinDist/MaxDist bound the distance between arbitrary contained points.
+    #[test]
+    fn min_max_dist_bracket_contained_points(
+        a in arb_mbr2(),
+        b in arb_mbr2(),
+        fx in 0.0..=1.0f64, fy in 0.0..=1.0f64,
+        gx in 0.0..=1.0f64, gy in 0.0..=1.0f64,
+    ) {
+        let p = Point::xy(
+            a.lo(0) + fx * a.extent(0),
+            a.lo(1) + fy * a.extent(1),
+        );
+        let q = Point::xy(
+            b.lo(0) + gx * b.extent(0),
+            b.lo(1) + gy * b.extent(1),
+        );
+        let d = p.dist(&q);
+        prop_assert!(a.min_dist(&b) <= d + 1e-9);
+        prop_assert!(d <= a.max_dist(&b) + 1e-9);
+    }
+
+    /// Union is commutative, contains both operands, and is monotone in area.
+    #[test]
+    fn union_laws(a in arb_mbr2(), b in arb_mbr2()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert!(u.contains_mbr(&a));
+        prop_assert!(u.contains_mbr(&b));
+        prop_assert!(u.area() >= a.area().max(b.area()) - 1e-9);
+    }
+
+    /// MinDist is symmetric and zero iff the boxes intersect.
+    #[test]
+    fn min_dist_symmetric_and_zero_on_overlap(a in arb_mbr2(), b in arb_mbr2()) {
+        prop_assert_eq!(a.min_dist(&b), b.min_dist(&a));
+        if a.intersects(&b) {
+            prop_assert_eq!(a.min_dist(&b), 0.0);
+        } else {
+            prop_assert!(a.min_dist(&b) > 0.0);
+        }
+    }
+
+    /// Upper hull dominates every input point.
+    #[test]
+    fn upper_hull_dominates(pts in prop::collection::vec(arb_point2(), 1..60)) {
+        let hull = upper_hull_2d(&pts);
+        prop_assert!(!hull.is_empty());
+        for p in &pts {
+            let y = fuzzy_geom::hull::upper_hull_eval(&hull, p.x());
+            prop_assert!(y >= p.y() - 1e-9 * (1.0 + p.y().abs()));
+        }
+    }
+
+    /// The fitted line is conservative and no tighter than the exact oracle.
+    #[test]
+    fn conservative_line_laws(
+        raw in prop::collection::vec((0.0..=1.0f64, 0.0..=10.0f64), 2..40)
+    ) {
+        let samples: Vec<(f64, f64)> = raw;
+        let fast = fit_conservative_line(&samples);
+        let exact = fit_conservative_line_exact(&samples);
+        prop_assert!(fast.is_conservative(&samples, 1e-9), "fast not conservative");
+        prop_assert!(exact.is_conservative(&samples, 1e-9), "exact not conservative");
+        // Oracle is optimal.
+        prop_assert!(exact.sse(&samples) <= fast.sse(&samples) + 1e-6);
+    }
+
+    /// Filtered kd NN agrees with brute force.
+    #[test]
+    fn kd_nn_matches_brute(
+        (pts, mus) in arb_cloud(80),
+        q in arb_point2(),
+        lvl in 0.0..=1.0f64,
+        strict in any::<bool>(),
+    ) {
+        let tree = KdTree::build(&pts, &mus);
+        let f = LevelFilter { min: lvl, strict };
+        let got = tree.nn_filtered(&q, f).map(|(_, d)| d);
+        let want = pts.iter().zip(&mus)
+            .filter(|(_, &mu)| f.accepts(mu))
+            .map(|(p, _)| p.dist(&q))
+            .min_by(f64::total_cmp);
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-9),
+            other => prop_assert!(false, "mismatch {:?}", other),
+        }
+    }
+
+    /// Dual-tree closest pair agrees with brute force.
+    #[test]
+    fn closest_pair_matches_brute(
+        (pa, ma) in arb_cloud(50),
+        (pb, mb) in arb_cloud(50),
+        lvl in 0.0..=1.0f64,
+    ) {
+        let ta = KdTree::build(&pa, &ma);
+        let tb = KdTree::build(&pb, &mb);
+        let f = LevelFilter::at_least(lvl);
+        let got = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY).map(|r| r.dist);
+        let mut want: Option<f64> = None;
+        for (p, &mu) in pa.iter().zip(&ma) {
+            if !f.accepts(mu) { continue; }
+            for (q, &nu) in pb.iter().zip(&mb) {
+                if !f.accepts(nu) { continue; }
+                let d = p.dist(q);
+                want = Some(want.map_or(d, |w: f64| w.min(d)));
+            }
+        }
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-9),
+            other => prop_assert!(false, "mismatch {:?}", other),
+        }
+    }
+
+    /// Closest pair distance is monotone non-decreasing in the level —
+    /// the geometric root of the α-distance monotonicity (Section 2.1).
+    #[test]
+    fn closest_pair_monotone_in_level(
+        (pa, ma) in arb_cloud(40),
+        (pb, mb) in arb_cloud(40),
+        l1 in 0.0..=1.0f64,
+        l2 in 0.0..=1.0f64,
+    ) {
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let ta = KdTree::build(&pa, &ma);
+        let tb = KdTree::build(&pb, &mb);
+        let d_lo = bichromatic_closest_pair(
+            &ta, &tb, LevelFilter::at_least(lo), LevelFilter::at_least(lo), f64::INFINITY);
+        let d_hi = bichromatic_closest_pair(
+            &ta, &tb, LevelFilter::at_least(hi), LevelFilter::at_least(hi), f64::INFINITY);
+        // Kernels are non-empty so both must exist.
+        let (d_lo, d_hi) = (d_lo.unwrap().dist, d_hi.unwrap().dist);
+        prop_assert!(d_lo <= d_hi + 1e-9, "d_{{{lo}}} = {d_lo} > d_{{{hi}}} = {d_hi}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Incremental insertion: R*-style ChooseSubtree and topological split
+//! (without forced reinsertion — a documented simplification; the
+//! experiments bulk-load, insertion exists for index maintenance and the
+//! `abl-bulk` ablation).
+
+use crate::node::{Node, NodeId, RTree};
+use fuzzy_core::ObjectSummary;
+use fuzzy_geom::Mbr;
+
+impl<const D: usize> RTree<D> {
+    /// Insert one object summary.
+    pub fn insert(&mut self, entry: ObjectSummary<D>) {
+        let root = self.root;
+        if let Some((left, right)) = self.insert_rec(root, &entry, self.height) {
+            // Root split: grow the tree.
+            let mbr = self.node_mbr(left).union(self.node_mbr(right));
+            let new_root = self.alloc(Node::Internal { mbr, children: vec![left, right] });
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns the pair of node ids when `node` split.
+    fn insert_rec(
+        &mut self,
+        node: NodeId,
+        entry: &ObjectSummary<D>,
+        level: usize,
+    ) -> Option<(NodeId, NodeId)> {
+        let idx = node.0 as usize;
+        match &mut self.nodes[idx] {
+            Node::Leaf { mbr, entries } => {
+                *mbr = if entries.is_empty() {
+                    entry.support_mbr
+                } else {
+                    mbr.union(&entry.support_mbr)
+                };
+                entries.push(*entry);
+                if entries.len() > self.config.max_entries {
+                    return Some(self.split_leaf(node));
+                }
+                None
+            }
+            Node::Internal { mbr, children } => {
+                *mbr = mbr.union(&entry.support_mbr);
+                let children_snapshot = children.clone();
+                let child =
+                    self.choose_subtree(&children_snapshot, &entry.support_mbr, level - 1);
+                let split = self.insert_rec(child, entry, level - 1);
+                if let Some((l, r)) = split {
+                    // Replace the split child with its two halves.
+                    if let Node::Internal { children, .. } = &mut self.nodes[idx] {
+                        children.retain(|&c| c != child);
+                        children.push(l);
+                        children.push(r);
+                        if children.len() > self.config.max_entries {
+                            return Some(self.split_internal(node));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// R* ChooseSubtree: at the level just above leaves minimise overlap
+    /// enlargement; higher up minimise area enlargement (ties: smaller
+    /// area).
+    fn choose_subtree(&self, children: &[NodeId], new: &Mbr<D>, child_level: usize) -> NodeId {
+        debug_assert!(!children.is_empty());
+        let leaf_level = child_level == 1;
+        let mut best = children[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &c in children {
+            let mbr = self.node_mbr(c);
+            let enlarged = mbr.union(new);
+            let area_growth = enlarged.area() - mbr.area();
+            let overlap_growth = if leaf_level {
+                // Overlap of the enlarged rectangle with the siblings, minus
+                // the current overlap.
+                let mut before = 0.0;
+                let mut after = 0.0;
+                for &o in children {
+                    if o == c {
+                        continue;
+                    }
+                    let other = self.node_mbr(o);
+                    before += mbr.overlap(other);
+                    after += enlarged.overlap(other);
+                }
+                after - before
+            } else {
+                0.0
+            };
+            let key = (overlap_growth, area_growth, mbr.area());
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> (NodeId, NodeId) {
+        let idx = node.0 as usize;
+        let entries = match &mut self.nodes[idx] {
+            Node::Leaf { entries, .. } => std::mem::take(entries),
+            Node::Internal { .. } => unreachable!("split_leaf on internal node"),
+        };
+        let (a, b) = split_groups(
+            entries,
+            |e: &ObjectSummary<D>| e.support_mbr,
+            self.config.min_entries(),
+        );
+        let mbr_a = group_mbr(a.iter().map(|e| e.support_mbr));
+        let mbr_b = group_mbr(b.iter().map(|e| e.support_mbr));
+        self.nodes[idx] = Node::Leaf { mbr: mbr_a, entries: a };
+        let right = self.alloc(Node::Leaf { mbr: mbr_b, entries: b });
+        (node, right)
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> (NodeId, NodeId) {
+        let idx = node.0 as usize;
+        let children = match &mut self.nodes[idx] {
+            Node::Internal { children, .. } => std::mem::take(children),
+            Node::Leaf { .. } => unreachable!("split_internal on leaf"),
+        };
+        let mbrs: Vec<(NodeId, Mbr<D>)> =
+            children.into_iter().map(|c| (c, *self.node_mbr(c))).collect();
+        let (a, b) = split_groups(mbrs, |(_, m): &(NodeId, Mbr<D>)| *m, self.config.min_entries());
+        let mbr_a = group_mbr(a.iter().map(|(_, m)| *m));
+        let mbr_b = group_mbr(b.iter().map(|(_, m)| *m));
+        self.nodes[idx] = Node::Internal {
+            mbr: mbr_a,
+            children: a.into_iter().map(|(c, _)| c).collect(),
+        };
+        let right = self.alloc(Node::Internal {
+            mbr: mbr_b,
+            children: b.into_iter().map(|(c, _)| c).collect(),
+        });
+        (node, right)
+    }
+}
+
+fn group_mbr<const D: usize>(mbrs: impl Iterator<Item = Mbr<D>>) -> Mbr<D> {
+    mbrs.fold(Mbr::empty(), |acc, m| acc.union(&m))
+}
+
+/// R* topological split: choose the axis minimising the summed margins of
+/// all candidate distributions, then the distribution minimising overlap
+/// (ties: total area).
+fn split_groups<T, const D: usize>(
+    mut items: Vec<T>,
+    mbr_of: impl Fn(&T) -> Mbr<D>,
+    min_entries: usize,
+) -> (Vec<T>, Vec<T>) {
+    let n = items.len();
+    debug_assert!(n >= 2);
+    let m = min_entries.min(n / 2).max(1);
+
+    // Pick the split axis by minimum total margin over all distributions
+    // (sorting by lower bound; the full R* also tries upper bounds — the
+    // lower-bound sort is the commonly used approximation).
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        items.sort_by(|a, b| mbr_of(a).lo(axis).total_cmp(&mbr_of(b).lo(axis)));
+        let (pre, suf) = prefix_suffix_mbrs(&items, &mbr_of);
+        let mut margin = 0.0;
+        for split in m..=(n - m) {
+            margin += pre[split - 1].margin() + suf[split].margin();
+        }
+        if margin < best_margin {
+            best_margin = margin;
+            best_axis = axis;
+        }
+    }
+
+    items.sort_by(|a, b| mbr_of(a).lo(best_axis).total_cmp(&mbr_of(b).lo(best_axis)));
+    let (pre, suf) = prefix_suffix_mbrs(&items, &mbr_of);
+    let mut best_split = m;
+    let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for split in m..=(n - m) {
+        let (left, right) = (&pre[split - 1], &suf[split]);
+        // Tie-break on balance: collinear/duplicate data makes overlap and
+        // area identical for every distribution, and always picking the
+        // extreme split would degenerate the tree into a chain.
+        let imbalance = (split as f64 - n as f64 / 2.0).abs();
+        let key = (left.overlap(right), left.area() + right.area(), imbalance);
+        if key < best_key {
+            best_key = key;
+            best_split = split;
+        }
+    }
+    let tail = items.split_off(best_split);
+    (items, tail)
+}
+
+fn prefix_suffix_mbrs<T, const D: usize>(
+    items: &[T],
+    mbr_of: &impl Fn(&T) -> Mbr<D>,
+) -> (Vec<Mbr<D>>, Vec<Mbr<D>>) {
+    let n = items.len();
+    let mut pre = Vec::with_capacity(n);
+    let mut acc = Mbr::empty();
+    for it in items {
+        acc = acc.union(&mbr_of(it));
+        pre.push(acc);
+    }
+    let mut suf = vec![Mbr::empty(); n + 1];
+    let mut acc = Mbr::empty();
+    for i in (0..n).rev() {
+        acc = acc.union(&mbr_of(&items[i]));
+        suf[i] = acc;
+    }
+    (pre, suf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RTreeConfig;
+    use fuzzy_core::{FuzzyObject, ObjectId};
+    use fuzzy_geom::Point;
+
+    fn summary(id: u64, x: f64, y: f64) -> ObjectSummary<2> {
+        let obj = FuzzyObject::new(
+            ObjectId(id),
+            vec![Point::xy(x, y), Point::xy(x + 0.3, y + 0.3)],
+            vec![1.0, 0.5],
+        )
+        .unwrap();
+        ObjectSummary::from_object(&obj)
+    }
+
+    #[test]
+    fn incremental_inserts_preserve_invariants() {
+        let mut tree: RTree<2> = RTree::new(RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        let mut state = 0x12345u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..500u64 {
+            tree.insert(summary(i, rnd() * 100.0, rnd() * 100.0));
+            if i % 97 == 0 {
+                tree.validate().unwrap();
+            }
+        }
+        assert_eq!(tree.len(), 500);
+        tree.validate().unwrap();
+        assert!(tree.height() >= 3);
+        let mut ids: Vec<u64> = tree.iter_entries().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..500u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clustered_inserts_stay_balanced() {
+        let mut tree: RTree<2> = RTree::new(RTreeConfig { max_entries: 4, min_fill: 0.4 });
+        // Pathological: all entries on a line.
+        for i in 0..200u64 {
+            tree.insert(summary(i, i as f64 * 0.1, 0.0));
+        }
+        tree.validate().unwrap();
+        // Height of a node-capacity-4 tree over 200 entries: >= log_4(50).
+        assert!(tree.height() <= 8, "degenerate height {}", tree.height());
+    }
+
+    #[test]
+    fn split_groups_respects_min_entries() {
+        let items: Vec<ObjectSummary<2>> =
+            (0..10).map(|i| summary(i, i as f64, 0.0)).collect();
+        let (a, b) = split_groups(items, |e| e.support_mbr, 4);
+        assert!(a.len() >= 4 && b.len() >= 4);
+        assert_eq!(a.len() + b.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_positions_split_fine() {
+        let mut tree: RTree<2> = RTree::new(RTreeConfig { max_entries: 4, min_fill: 0.4 });
+        for i in 0..50u64 {
+            tree.insert(summary(i, 5.0, 5.0));
+        }
+        assert_eq!(tree.len(), 50);
+        tree.validate().unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! An instrumented R-tree over fuzzy object summaries.
+//!
+//! The paper (Section 3.1) indexes fuzzy objects by the MBR of their
+//! support; leaf entries additionally carry the kernel MBR, the optimal
+//! conservative lines and the representative point (Sections 3.2/3.4), all
+//! bundled in [`fuzzy_core::ObjectSummary`]. Objects themselves stay on
+//! disk; the tree is memory-resident.
+//!
+//! We could not reuse an off-the-shelf R-tree because the evaluation needs
+//! (a) fuzzy summaries as leaf payloads and (b) node-access accounting —
+//! both of which this implementation provides:
+//!
+//! * [`RTree::bulk_load`] — Sort-Tile-Recursive packing (the default way
+//!   datasets are indexed in the experiments).
+//! * [`RTree::insert`] — R*-style ChooseSubtree + topological split for
+//!   incremental maintenance (exercised by the `abl-bulk` ablation).
+//! * [`RTree::expand`] — the navigation primitive used by the query
+//!   processor's best-first search; every expansion counts one node access.
+//! * [`RTree::knn_by`] / [`RTree::range_search`] — self-contained queries
+//!   parameterised by arbitrary node/entry scoring, used by tests and by
+//!   the RSS candidate collection (Algorithm 4).
+//! * [`RTree::validate`] — structural invariant checker used by tests.
+
+pub mod bulk;
+pub mod insert;
+pub mod node;
+pub mod query;
+pub mod validate;
+
+pub use node::{Children, NodeId, RTree, RTreeConfig};
+pub use query::{EntryHit, RangeResult};
+pub use validate::ValidationError;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Node-access counters (one per tree).
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    node_accesses: AtomicU64,
+}
+
+impl IndexStats {
+    pub(crate) fn record_node_access(&self) {
+        self.node_accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of node expansions since the last reset.
+    pub fn node_accesses(&self) -> u64 {
+        self.node_accesses.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        self.node_accesses.store(0, Ordering::Relaxed);
+    }
+}

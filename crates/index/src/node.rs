@@ -1,0 +1,194 @@
+//! Arena-based node storage and the core `RTree` type.
+
+use crate::IndexStats;
+use fuzzy_core::ObjectSummary;
+use fuzzy_geom::Mbr;
+
+/// Index of a node in the tree arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RTreeConfig {
+    /// Maximum entries/children per node (`C_max` in the paper's §5).
+    pub max_entries: usize,
+    /// Minimum fill fraction enforced by splits (R* uses 0.4).
+    pub min_fill: f64,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self { max_entries: 64, min_fill: 0.4 }
+    }
+}
+
+impl RTreeConfig {
+    /// Minimum number of entries per node implied by `min_fill`.
+    pub fn min_entries(&self) -> usize {
+        ((self.max_entries as f64 * self.min_fill).floor() as usize).max(1)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Node<const D: usize> {
+    Internal { mbr: Mbr<D>, children: Vec<NodeId> },
+    Leaf { mbr: Mbr<D>, entries: Vec<ObjectSummary<D>> },
+}
+
+impl<const D: usize> Node<D> {
+    pub(crate) fn mbr(&self) -> &Mbr<D> {
+        match self {
+            Node::Internal { mbr, .. } | Node::Leaf { mbr, .. } => mbr,
+        }
+    }
+
+    #[allow(dead_code)] // diagnostic helper kept for parity with mbr()
+    pub(crate) fn fanout(&self) -> usize {
+        match self {
+            Node::Internal { children, .. } => children.len(),
+            Node::Leaf { entries, .. } => entries.len(),
+        }
+    }
+}
+
+/// What lies beneath a node: either child nodes or object summaries.
+#[derive(Debug)]
+pub enum Children<'a, const D: usize> {
+    /// Internal node: child node ids (pair each with its MBR via
+    /// [`RTree::node_mbr`]).
+    Nodes(&'a [NodeId]),
+    /// Leaf node: the object summaries it stores.
+    Entries(&'a [ObjectSummary<D>]),
+}
+
+/// The R-tree proper. Nodes live in an arena; the root is re-assigned on
+/// growth. All read paths are `&self` and thread-safe.
+#[derive(Debug)]
+pub struct RTree<const D: usize> {
+    pub(crate) nodes: Vec<Node<D>>,
+    pub(crate) root: NodeId,
+    pub(crate) height: usize,
+    pub(crate) len: usize,
+    pub(crate) config: RTreeConfig,
+    pub(crate) stats: IndexStats,
+}
+
+impl<const D: usize> RTree<D> {
+    /// An empty tree (a single empty leaf as root).
+    pub fn new(config: RTreeConfig) -> Self {
+        let root = Node::Leaf { mbr: Mbr::empty(), entries: Vec::new() };
+        Self {
+            nodes: vec![root],
+            root: NodeId(0),
+            height: 1,
+            len: 0,
+            config,
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// Root node id.
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// MBR of a node (free — reading a parent's child pointers already
+    /// loaded these, matching the paper's I/O model where an index node
+    /// stores its children's rectangles).
+    pub fn node_mbr(&self, id: NodeId) -> &Mbr<D> {
+        self.nodes[id.0 as usize].mbr()
+    }
+
+    /// Expand a node, returning what is beneath it. Counts **one node
+    /// access** — this is the instrumentation point for all traversals.
+    pub fn expand(&self, id: NodeId) -> Children<'_, D> {
+        self.stats.record_node_access();
+        match &self.nodes[id.0 as usize] {
+            Node::Internal { children, .. } => Children::Nodes(children),
+            Node::Leaf { entries, .. } => Children::Entries(entries),
+        }
+    }
+
+    /// Node-access counters.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Number of leaf nodes (diagnostics and the §5 cost model's `C_avg`).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Average leaf fill `C_avg = C_max · U_avg` used by Equation 7/8.
+    pub fn avg_leaf_fill(&self) -> f64 {
+        let leaves = self.leaf_count();
+        if leaves == 0 {
+            0.0
+        } else {
+            self.len as f64 / leaves as f64
+        }
+    }
+
+    /// Iterate over all stored summaries (test/diagnostic use; does not
+    /// count node accesses).
+    pub fn iter_entries(&self) -> impl Iterator<Item = &ObjectSummary<D>> + '_ {
+        self.nodes.iter().flat_map(|n| match n {
+            Node::Leaf { entries, .. } => entries.as_slice().iter(),
+            Node::Internal { .. } => [].iter(),
+        })
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node<D>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_shape() {
+        let t: RTree<2> = RTree::new(RTreeConfig::default());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(matches!(t.expand(t.root_id()), Children::Entries(e) if e.is_empty()));
+        assert_eq!(t.stats().node_accesses(), 1);
+        t.stats().reset();
+        assert_eq!(t.stats().node_accesses(), 0);
+    }
+
+    #[test]
+    fn config_min_entries() {
+        let c = RTreeConfig { max_entries: 10, min_fill: 0.4 };
+        assert_eq!(c.min_entries(), 4);
+        let tiny = RTreeConfig { max_entries: 2, min_fill: 0.1 };
+        assert_eq!(tiny.min_entries(), 1);
+    }
+}

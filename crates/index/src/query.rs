@@ -1,0 +1,251 @@
+//! Self-contained queries over the tree: generic best-first kNN and range
+//! search. The AKNN/RKNN processors in `fuzzy-query` drive the tree through
+//! [`RTree::expand`] directly (they interleave object probes with index
+//! descent); the methods here serve the RSS candidate collection, tests,
+//! and standalone use of the index.
+
+use crate::node::{Children, NodeId, RTree};
+use fuzzy_core::ObjectSummary;
+use fuzzy_geom::Mbr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A matched entry together with the score that admitted it.
+#[derive(Clone, Debug)]
+pub struct EntryHit<const D: usize> {
+    /// The stored summary.
+    pub entry: ObjectSummary<D>,
+    /// The score assigned by the query (distance/lower bound).
+    pub score: f64,
+}
+
+/// Result of a range search.
+#[derive(Clone, Debug, Default)]
+pub struct RangeResult<const D: usize> {
+    /// Matching entries with their scores, unordered.
+    pub hits: Vec<EntryHit<D>>,
+    /// Nodes expanded while answering (subset of the tree counter).
+    pub node_accesses: u64,
+}
+
+/// Max-heap adapter turning `BinaryHeap` into a min-heap on f64 keys.
+struct MinKey<T> {
+    key: f64,
+    item: T,
+}
+
+impl<T> PartialEq for MinKey<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for MinKey<T> {}
+impl<T> PartialOrd for MinKey<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MinKey<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.total_cmp(&self.key) // reversed: BinaryHeap is a max-heap
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// Generic best-first k-nearest-entries search.
+    ///
+    /// `node_key` must lower-bound `entry_key` for every entry in the
+    /// node's subtree (the usual `MinDist` property, Eq. 1); under that
+    /// contract the traversal is provably correct and expands the minimum
+    /// number of nodes (Hjaltason & Samet, ref. [11] of the paper).
+    pub fn knn_by(
+        &self,
+        k: usize,
+        node_key: impl Fn(&Mbr<D>) -> f64,
+        entry_key: impl Fn(&ObjectSummary<D>) -> f64,
+    ) -> Vec<EntryHit<D>> {
+        enum Item<'a, const D: usize> {
+            Node(NodeId),
+            Entry(&'a ObjectSummary<D>),
+        }
+        let mut heap: BinaryHeap<MinKey<Item<'_, D>>> = BinaryHeap::new();
+        heap.push(MinKey { key: node_key(self.node_mbr(self.root)), item: Item::Node(self.root) });
+        let mut out = Vec::with_capacity(k);
+        while let Some(MinKey { item, key }) = heap.pop() {
+            match item {
+                Item::Entry(e) => {
+                    out.push(EntryHit { entry: *e, score: key });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(id) => match self.expand(id) {
+                    Children::Nodes(kids) => {
+                        for &c in kids {
+                            heap.push(MinKey {
+                                key: node_key(self.node_mbr(c)),
+                                item: Item::Node(c),
+                            });
+                        }
+                    }
+                    Children::Entries(entries) => {
+                        for e in entries {
+                            heap.push(MinKey { key: entry_key(e), item: Item::Entry(e) });
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Collect every entry whose `entry_key` is at most `radius`, pruning
+    /// subtrees whose `node_key` exceeds it. With `node_key = MinDist` this
+    /// is the range search of Algorithm 4 (RSS candidate collection).
+    pub fn range_search(
+        &self,
+        radius: f64,
+        node_key: impl Fn(&Mbr<D>) -> f64,
+        entry_key: impl Fn(&ObjectSummary<D>) -> f64,
+    ) -> RangeResult<D> {
+        let mut result = RangeResult::default();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if node_key(self.node_mbr(id)) > radius {
+                continue;
+            }
+            result.node_accesses += 1;
+            match self.expand(id) {
+                Children::Nodes(kids) => stack.extend_from_slice(kids),
+                Children::Entries(entries) => {
+                    for e in entries {
+                        let score = entry_key(e);
+                        if score <= radius {
+                            result.hits.push(EntryHit { entry: *e, score });
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RTreeConfig;
+    use fuzzy_core::{FuzzyObject, ObjectId};
+    use fuzzy_geom::Point;
+
+    fn build(n: usize, cap: usize) -> RTree<2> {
+        let summaries: Vec<ObjectSummary<2>> = (0..n)
+            .map(|i| {
+                let x = (i % 50) as f64 * 2.0;
+                let y = (i / 50) as f64 * 2.0;
+                let obj = FuzzyObject::new(
+                    ObjectId(i as u64),
+                    vec![Point::xy(x, y), Point::xy(x + 0.4, y + 0.4)],
+                    vec![1.0, 0.6],
+                )
+                .unwrap();
+                ObjectSummary::from_object(&obj)
+            })
+            .collect();
+        RTree::bulk_load(summaries, RTreeConfig { max_entries: cap, min_fill: 0.4 })
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let tree = build(800, 16);
+        let q = Point::xy(37.3, 11.8);
+        for k in [1usize, 5, 20, 100] {
+            let hits = tree.knn_by(
+                k,
+                |mbr| mbr.min_dist_point(&q),
+                |e| e.support_mbr.min_dist_point(&q),
+            );
+            assert_eq!(hits.len(), k);
+            // Linear scan oracle.
+            let mut all: Vec<f64> = tree
+                .iter_entries()
+                .map(|e| e.support_mbr.min_dist_point(&q))
+                .collect();
+            all.sort_by(f64::total_cmp);
+            for (i, h) in hits.iter().enumerate() {
+                assert!(
+                    (h.score - all[i]).abs() < 1e-12,
+                    "k={k} rank {i}: {} vs {}",
+                    h.score,
+                    all[i]
+                );
+            }
+            // Scores are non-decreasing.
+            for w in hits.windows(2) {
+                assert!(w[0].score <= w[1].score + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_tree() {
+        let tree = build(10, 4);
+        let q = Point::xy(0.0, 0.0);
+        let hits = tree.knn_by(
+            50,
+            |mbr| mbr.min_dist_point(&q),
+            |e| e.support_mbr.min_dist_point(&q),
+        );
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn range_search_matches_linear_scan() {
+        let tree = build(800, 16);
+        let q = Point::xy(50.0, 10.0);
+        for radius in [0.0, 3.0, 10.0, 1000.0] {
+            tree.stats().reset();
+            let res = tree.range_search(
+                radius,
+                |mbr| mbr.min_dist_point(&q),
+                |e| e.support_mbr.min_dist_point(&q),
+            );
+            let want = tree
+                .iter_entries()
+                .filter(|e| e.support_mbr.min_dist_point(&q) <= radius)
+                .count();
+            assert_eq!(res.hits.len(), want, "radius {radius}");
+            assert_eq!(res.node_accesses, tree.stats().node_accesses());
+        }
+    }
+
+    #[test]
+    fn best_first_expands_fewer_nodes_than_full_scan() {
+        let tree = build(2500, 16);
+        let q = Point::xy(2.0, 2.0);
+        tree.stats().reset();
+        let _ = tree.knn_by(
+            5,
+            |mbr| mbr.min_dist_point(&q),
+            |e| e.support_mbr.min_dist_point(&q),
+        );
+        let expanded = tree.stats().node_accesses();
+        let total_nodes = tree.nodes.len() as u64;
+        assert!(
+            expanded * 4 < total_nodes,
+            "best-first expanded {expanded} of {total_nodes} nodes"
+        );
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree: RTree<2> = RTree::new(RTreeConfig::default());
+        let q = Point::xy(0.0, 0.0);
+        assert!(tree
+            .knn_by(3, |m| m.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q))
+            .is_empty());
+        let res =
+            tree.range_search(10.0, |m| m.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
+        assert!(res.hits.is_empty());
+    }
+}

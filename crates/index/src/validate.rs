@@ -1,0 +1,205 @@
+//! Structural invariant checking, used by tests and debug assertions.
+
+use crate::node::{Node, NodeId, RTree};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A violated R-tree invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// A child's MBR is not contained in its parent's.
+    ChildNotContained {
+        /// Parent node id.
+        parent: u32,
+        /// Index of the offending child.
+        child_index: usize,
+    },
+    /// A node's MBR is not the tight union of its children.
+    LooseMbr {
+        /// Node id with the loose MBR.
+        node: u32,
+    },
+    /// A non-root node violates the fanout bounds.
+    BadFanout {
+        /// Node id.
+        node: u32,
+        /// Observed fanout.
+        fanout: usize,
+        /// Allowed range.
+        min: usize,
+        /// Allowed maximum.
+        max: usize,
+    },
+    /// Leaves are not all at the same depth.
+    UnevenDepth {
+        /// Depth found.
+        found: usize,
+        /// Depth expected (height).
+        expected: usize,
+    },
+    /// An entry id occurs in more than one leaf.
+    DuplicateEntry {
+        /// The duplicated object id.
+        id: u64,
+    },
+    /// `len()` does not match the number of stored entries.
+    WrongLen {
+        /// Stored entry count.
+        stored: usize,
+        /// `len()` value.
+        reported: usize,
+    },
+    /// A node is referenced by two parents (arena corruption).
+    SharedNode {
+        /// The shared node id.
+        node: u32,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl<const D: usize> RTree<D> {
+    /// Check every structural invariant; `Ok(())` for a well-formed tree.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let mut seen_nodes: HashSet<u32> = HashSet::new();
+        let mut seen_entries: HashSet<u64> = HashSet::new();
+        let mut entry_count = 0usize;
+        self.validate_rec(self.root, 1, &mut seen_nodes, &mut seen_entries, &mut entry_count)?;
+        if entry_count != self.len() {
+            return Err(ValidationError::WrongLen { stored: entry_count, reported: self.len() });
+        }
+        Ok(())
+    }
+
+    fn validate_rec(
+        &self,
+        id: NodeId,
+        depth: usize,
+        seen_nodes: &mut HashSet<u32>,
+        seen_entries: &mut HashSet<u64>,
+        entry_count: &mut usize,
+    ) -> Result<(), ValidationError> {
+        if !seen_nodes.insert(id.0) {
+            return Err(ValidationError::SharedNode { node: id.0 });
+        }
+        let node = &self.nodes[id.0 as usize];
+        let is_root = id == self.root;
+        let max = self.config.max_entries;
+        match node {
+            Node::Leaf { mbr, entries } => {
+                if depth != self.height {
+                    return Err(ValidationError::UnevenDepth {
+                        found: depth,
+                        expected: self.height,
+                    });
+                }
+                // Root leaf may hold 0..=max entries; other leaves must
+                // respect the minimum fill.
+                let min = if is_root { 0 } else { self.config.min_entries() };
+                if entries.len() > max || entries.len() < min {
+                    return Err(ValidationError::BadFanout {
+                        node: id.0,
+                        fanout: entries.len(),
+                        min,
+                        max,
+                    });
+                }
+                let mut tight = fuzzy_geom::Mbr::empty();
+                for (i, e) in entries.iter().enumerate() {
+                    if !mbr.contains_mbr(&e.support_mbr) {
+                        return Err(ValidationError::ChildNotContained {
+                            parent: id.0,
+                            child_index: i,
+                        });
+                    }
+                    tight = tight.union(&e.support_mbr);
+                    if !seen_entries.insert(e.id.0) {
+                        return Err(ValidationError::DuplicateEntry { id: e.id.0 });
+                    }
+                }
+                *entry_count += entries.len();
+                if !entries.is_empty() && tight != *mbr {
+                    return Err(ValidationError::LooseMbr { node: id.0 });
+                }
+            }
+            Node::Internal { mbr, children } => {
+                // An internal root needs at least two children; other
+                // internal nodes respect the minimum fill.
+                let min = if is_root { 2 } else { self.config.min_entries() };
+                if children.len() > max || children.len() < min {
+                    return Err(ValidationError::BadFanout {
+                        node: id.0,
+                        fanout: children.len(),
+                        min,
+                        max,
+                    });
+                }
+                let mut tight = fuzzy_geom::Mbr::empty();
+                for (i, &c) in children.iter().enumerate() {
+                    let child_mbr = self.node_mbr(c);
+                    if !mbr.contains_mbr(child_mbr) {
+                        return Err(ValidationError::ChildNotContained {
+                            parent: id.0,
+                            child_index: i,
+                        });
+                    }
+                    tight = tight.union(child_mbr);
+                    self.validate_rec(c, depth + 1, seen_nodes, seen_entries, entry_count)?;
+                }
+                if tight != *mbr {
+                    return Err(ValidationError::LooseMbr { node: id.0 });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RTreeConfig;
+    use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+    use fuzzy_geom::Point;
+
+    fn summary(id: u64, x: f64, y: f64) -> ObjectSummary<2> {
+        let obj = FuzzyObject::new(ObjectId(id), vec![Point::xy(x, y)], vec![1.0]).unwrap();
+        ObjectSummary::from_object(&obj)
+    }
+
+    #[test]
+    fn valid_trees_pass() {
+        let entries: Vec<_> = (0..200).map(|i| summary(i, i as f64, (i % 7) as f64)).collect();
+        let tree = RTree::bulk_load(entries, RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let entries: Vec<_> = (0..50).map(|i| summary(i, i as f64, 0.0)).collect();
+        let mut tree = RTree::bulk_load(entries, RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        // Shrink the root MBR so children poke out.
+        let root = tree.root;
+        let (Node::Internal { mbr, .. } | Node::Leaf { mbr, .. }) =
+            &mut tree.nodes[root.0 as usize];
+        *mbr = fuzzy_geom::Mbr::new([0.0, 0.0], [1.0, 1.0]);
+        assert!(tree.validate().is_err());
+    }
+
+    #[test]
+    fn wrong_len_detected() {
+        let entries: Vec<_> = (0..20).map(|i| summary(i, i as f64, 0.0)).collect();
+        let mut tree = RTree::bulk_load(entries, RTreeConfig::default());
+        tree.len = 19;
+        assert_eq!(
+            tree.validate().unwrap_err(),
+            ValidationError::WrongLen { stored: 20, reported: 19 }
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! AKNN search (Section 3): best-first traversal with configurable
+//! optimizations.
+//!
+//! One engine implements the four variants benchmarked in §6.2 as flags:
+//!
+//! | Variant    | `improved_lower_bound` | `lazy_probe` | `improved_upper_bound` |
+//! |------------|------------------------|--------------|------------------------|
+//! | `Basic`    | –                      | –            | –                      |
+//! | `LB`       | ✓                      | –            | –                      |
+//! | `LB-LP`    | ✓                      | ✓            | –                      |
+//! | `LB-LP-UB` | ✓                      | ✓            | ✓                      |
+//!
+//! ### A note on the lazy-probe buffer
+//!
+//! Algorithm 2 of the paper keeps deferred leaf entries in a second queue
+//! `G` and re-inserts probed objects into `G`. Read literally, popping a
+//! probed object from `G` into the result can race ahead of a closer
+//! candidate still waiting in the main queue `H`. We implement the
+//! mechanism with the same bounds and the same probe-saving behaviour, but
+//! route probed objects through `H` (where exact distances compete with
+//! every remaining lower bound) and confirm deferred entries only through
+//! the sound dominance test `d⁺(U) < d⁻(E)` of §3.3 or when `H` is
+//! exhausted. Both rules preserve the paper's central property: an object
+//! is retrieved from disk only when the buffer overflows ("lazy probe
+//! makes all the object retrieval mandatory").
+
+use crate::error::QueryError;
+use crate::result::{AknnResult, DistBound, Neighbor};
+use crate::stats::QueryStats;
+use fuzzy_core::distance::alpha_distance;
+use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary, Threshold};
+use fuzzy_index::{Children, NodeId, RTree};
+use fuzzy_store::ObjectStore;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Optimization switches for the AKNN engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AknnConfig {
+    /// §3.2 — use the conservative-line α-cut MBR `M_A(α)*` for `d⁻_α`
+    /// instead of the support MBR.
+    pub improved_lower_bound: bool,
+    /// §3.3 — defer object probes in a buffer of capacity `k − |NN|`.
+    pub lazy_probe: bool,
+    /// §3.4 — tighten `d⁺_α` with the kernel representative point against
+    /// sampled query points.
+    pub improved_upper_bound: bool,
+    /// Sample size `n` for `Q'_α` (the paper requires `n ≪ |Q_α|`).
+    pub query_samples: usize,
+    /// Seed for the deterministic query-point sampling.
+    pub sample_seed: u64,
+}
+
+impl Default for AknnConfig {
+    fn default() -> Self {
+        Self::lb_lp_ub()
+    }
+}
+
+impl AknnConfig {
+    /// The unoptimized Algorithm 1.
+    pub fn basic() -> Self {
+        Self {
+            improved_lower_bound: false,
+            lazy_probe: false,
+            improved_upper_bound: false,
+            query_samples: 16,
+            sample_seed: 0x5EED,
+        }
+    }
+
+    /// Improved lower bound only.
+    pub fn lb() -> Self {
+        Self { improved_lower_bound: true, ..Self::basic() }
+    }
+
+    /// Improved lower bound + lazy probe.
+    pub fn lb_lp() -> Self {
+        Self { lazy_probe: true, ..Self::lb() }
+    }
+
+    /// All optimizations (the paper's best variant).
+    pub fn lb_lp_ub() -> Self {
+        Self { improved_upper_bound: true, ..Self::lb_lp() }
+    }
+
+    /// Human-readable variant name matching the paper's figures.
+    pub fn variant_name(&self) -> &'static str {
+        match (self.improved_lower_bound, self.lazy_probe, self.improved_upper_bound) {
+            (false, false, false) => "Basic",
+            (true, false, false) => "LB",
+            (true, true, false) => "LB-LP",
+            (true, true, true) => "LB-LP-UB",
+            _ => "custom",
+        }
+    }
+
+    /// All four paper variants, in presentation order.
+    pub fn paper_variants() -> [AknnConfig; 4] {
+        [Self::basic(), Self::lb(), Self::lb_lp(), Self::lb_lp_ub()]
+    }
+}
+
+/// One confirmed neighbour with the probed object when available (RKNN
+/// refinement needs the object to build distance profiles).
+pub(crate) struct FoundNeighbor<const D: usize> {
+    pub id: ObjectId,
+    pub dist: DistBound,
+    pub object: Option<Arc<FuzzyObject<D>>>,
+}
+
+pub(crate) struct SearchOutcome<const D: usize> {
+    pub neighbors: Vec<FoundNeighbor<D>>,
+    pub stats: QueryStats,
+}
+
+/// Min-heap wrapper (BinaryHeap is a max-heap).
+struct MinKey<T> {
+    key: f64,
+    item: T,
+}
+impl<T> PartialEq for MinKey<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for MinKey<T> {}
+impl<T> PartialOrd for MinKey<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MinKey<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.total_cmp(&self.key)
+    }
+}
+
+enum Item<const D: usize> {
+    Node(NodeId),
+    Entry(ObjectSummary<D>),
+    Object(ObjectId, f64, Arc<FuzzyObject<D>>),
+}
+
+/// A probe callback: retrieves the object and evaluates its exact
+/// α-distance, charging the stats.
+type ProbeFn<'f, const D: usize> = dyn FnMut(
+        &ObjectSummary<D>,
+        &mut QueryStats,
+    ) -> Result<(ObjectId, f64, Arc<FuzzyObject<D>>), QueryError>
+    + 'f;
+
+/// Deferred leaf entry in the lazy-probe buffer `G`.
+struct Deferred<const D: usize> {
+    entry: ObjectSummary<D>,
+    lo: f64,
+    hi: f64,
+}
+
+/// Core best-first search. `force_exact` probes any bound-confirmed
+/// neighbour at the end so every returned distance is exact (the RKNN
+/// algorithms need exact distances and the objects themselves).
+pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
+    tree: &RTree<D>,
+    store: &S,
+    q: &FuzzyObject<D>,
+    k: usize,
+    t: Threshold,
+    cfg: &AknnConfig,
+    force_exact: bool,
+) -> Result<SearchOutcome<D>, QueryError> {
+    if k == 0 {
+        return Err(QueryError::ZeroK);
+    }
+    let start = Instant::now();
+    let store_before = store.stats();
+    let nodes_before = tree.stats().node_accesses();
+    let mut stats = QueryStats::default();
+
+    let q_cut = q.cut_mbr(t).ok_or(QueryError::EmptyQueryCut)?;
+    let q_samples: Vec<fuzzy_geom::Point<D>> = if cfg.improved_upper_bound {
+        q.sample_cut_indices(t, cfg.query_samples, cfg.sample_seed)
+            .into_iter()
+            .map(|i| *q.point(i))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let entry_lower = |e: &ObjectSummary<D>| -> f64 {
+        if cfg.improved_lower_bound {
+            e.lower_bound_dist(&q_cut, t)
+        } else {
+            e.support_mbr.min_dist(&q_cut)
+        }
+    };
+    let entry_upper = |e: &ObjectSummary<D>| -> f64 {
+        let geo = if cfg.improved_lower_bound {
+            e.upper_bound_dist(&q_cut, t)
+        } else {
+            e.support_mbr.max_dist(&q_cut)
+        };
+        if cfg.improved_upper_bound {
+            geo.min(e.rep_upper_bound(&q_samples))
+        } else {
+            geo
+        }
+    };
+
+    let mut probe = |e: &ObjectSummary<D>,
+                     stats: &mut QueryStats|
+     -> Result<(ObjectId, f64, Arc<FuzzyObject<D>>), QueryError> {
+        let obj = store.probe(e.id)?;
+        stats.distance_evals += 1;
+        let d = alpha_distance(&obj, q, t).expect(
+            "object cut cannot be empty: kernels are non-empty and the query threshold \
+             admits the kernel",
+        );
+        Ok((e.id, d, obj))
+    };
+
+    let mut heap: BinaryHeap<MinKey<Item<D>>> = BinaryHeap::new();
+    heap.push(MinKey {
+        key: tree.node_mbr(tree.root_id()).min_dist(&q_cut),
+        item: Item::Node(tree.root_id()),
+    });
+    let mut buffer: Vec<Deferred<D>> = Vec::new(); // the paper's G
+    let mut out: Vec<FoundNeighbor<D>> = Vec::with_capacity(k);
+
+    // Evict the most promising deferred entry: probe it and let its exact
+    // distance compete in H.
+    let evict =
+        |buffer: &mut Vec<Deferred<D>>,
+         heap: &mut BinaryHeap<MinKey<Item<D>>>,
+         stats: &mut QueryStats,
+         probe: &mut ProbeFn<'_, D>|
+         -> Result<(), QueryError> {
+            let (mut best, mut best_key) = (0usize, f64::INFINITY);
+            for (i, d) in buffer.iter().enumerate() {
+                if d.lo < best_key {
+                    best_key = d.lo;
+                    best = i;
+                }
+            }
+            let victim = buffer.swap_remove(best);
+            let (id, d, obj) = probe(&victim.entry, stats)?;
+            heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
+            Ok(())
+        };
+
+    while out.len() < k {
+        let Some(MinKey { key, item }) = heap.pop() else {
+            // H exhausted: everything still deferred is confirmed
+            // (|G| ≤ k − |NN| by invariant). Deterministic order: by lower
+            // bound, then id.
+            buffer.sort_by(|a, b| a.lo.total_cmp(&b.lo).then(a.entry.id.cmp(&b.entry.id)));
+            for d in buffer.drain(..) {
+                out.push(FoundNeighbor {
+                    id: d.entry.id,
+                    dist: DistBound::Bounded { lo: d.lo, hi: d.hi },
+                    object: None,
+                });
+            }
+            break;
+        };
+        match item {
+            Item::Node(id) => match tree.expand(id) {
+                Children::Nodes(kids) => {
+                    for &c in kids {
+                        heap.push(MinKey {
+                            key: tree.node_mbr(c).min_dist(&q_cut),
+                            item: Item::Node(c),
+                        });
+                    }
+                }
+                Children::Entries(entries) => {
+                    for e in entries {
+                        stats.bound_evals += 1;
+                        heap.push(MinKey { key: entry_lower(e), item: Item::Entry(*e) });
+                    }
+                }
+            },
+            Item::Entry(e) => {
+                if !cfg.lazy_probe {
+                    let (id, d, obj) = probe(&e, &mut stats)?;
+                    heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
+                } else {
+                    // §3.3: any buffered U with d⁺(U) < d⁻(E) is dominated
+                    // by everything left in H and fits in the remaining
+                    // slots together with the rest of G — confirm without
+                    // probing.
+                    let mut i = 0;
+                    while i < buffer.len() && out.len() < k {
+                        if buffer[i].hi < key {
+                            let u = buffer.swap_remove(i);
+                            out.push(FoundNeighbor {
+                                id: u.entry.id,
+                                dist: DistBound::Bounded { lo: u.lo, hi: u.hi },
+                                object: None,
+                            });
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if out.len() >= k {
+                        break;
+                    }
+                    stats.bound_evals += 1;
+                    buffer.push(Deferred { entry: e, lo: key, hi: entry_upper(&e) });
+                    while buffer.len() > k - out.len() {
+                        evict(&mut buffer, &mut heap, &mut stats, &mut probe)?;
+                    }
+                }
+            }
+            Item::Object(id, d, obj) => {
+                // Make room first: accepting the object shrinks the buffer
+                // capacity, and a full buffer might hide a closer candidate.
+                while !buffer.is_empty() && buffer.len() > k - out.len() - 1 {
+                    evict(&mut buffer, &mut heap, &mut stats, &mut probe)?;
+                }
+                // Eviction may have pushed a closer object into H; re-check.
+                if heap.peek().is_some_and(|top| top.key < d) {
+                    heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
+                    continue;
+                }
+                out.push(FoundNeighbor { id, dist: DistBound::Exact(d), object: Some(obj) });
+            }
+        }
+    }
+
+    if force_exact {
+        for n in &mut out {
+            if n.object.is_none() {
+                let obj = store.probe(n.id)?;
+                stats.distance_evals += 1;
+                let d = alpha_distance(&obj, q, t)
+                    .expect("non-empty cut for confirmed neighbour");
+                n.dist = DistBound::Exact(d);
+                n.object = Some(obj);
+            }
+        }
+    }
+
+    stats.object_accesses = store.stats().since(&store_before).object_reads;
+    stats.node_accesses = tree.stats().node_accesses() - nodes_before;
+    stats.wall = start.elapsed();
+    Ok(SearchOutcome { neighbors: out, stats })
+}
+
+/// Public AKNN entry point used by [`crate::QueryEngine`].
+pub(crate) fn aknn_at<S: ObjectStore<D>, const D: usize>(
+    tree: &RTree<D>,
+    store: &S,
+    q: &FuzzyObject<D>,
+    k: usize,
+    t: Threshold,
+    cfg: &AknnConfig,
+) -> Result<AknnResult, QueryError> {
+    let outcome = search(tree, store, q, k, t, cfg, false)?;
+    Ok(AknnResult {
+        neighbors: outcome
+            .neighbors
+            .into_iter()
+            .map(|n| Neighbor { id: n.id, dist: n.dist })
+            .collect(),
+        stats: outcome.stats,
+    })
+}

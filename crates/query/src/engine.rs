@@ -1,0 +1,103 @@
+//! The public query facade.
+
+use crate::aknn::{aknn_at, AknnConfig};
+use crate::error::QueryError;
+use crate::result::{AknnResult, RknnResult};
+use crate::rknn::{self, RknnAlgorithm};
+use fuzzy_core::{FuzzyObject, Threshold};
+use fuzzy_index::RTree;
+use fuzzy_store::ObjectStore;
+
+/// A query engine over an R-tree and an object store.
+///
+/// ```no_run
+/// # use fuzzy_query::{QueryEngine, AknnConfig, RknnAlgorithm};
+/// # use fuzzy_index::{RTree, RTreeConfig};
+/// # use fuzzy_store::{MemStore, ObjectStore};
+/// # fn demo(store: MemStore<2>, query: fuzzy_core::FuzzyObject<2>) {
+/// let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+/// let engine = QueryEngine::new(&tree, &store);
+/// let knn = engine.aknn(&query, 10, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+/// let rknn = engine
+///     .rknn(&query, 10, 0.3, 0.7, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
+///     .unwrap();
+/// # }
+/// ```
+pub struct QueryEngine<'a, S, const D: usize> {
+    tree: &'a RTree<D>,
+    store: &'a S,
+}
+
+impl<'a, S: ObjectStore<D>, const D: usize> QueryEngine<'a, S, D> {
+    /// Bundle an index and a store.
+    pub fn new(tree: &'a RTree<D>, store: &'a S) -> Self {
+        Self { tree, store }
+    }
+
+    /// The underlying index.
+    pub fn tree(&self) -> &RTree<D> {
+        self.tree
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        self.store
+    }
+
+    /// Ad-hoc kNN query (Definition 4): the `k` objects with smallest
+    /// α-distance to `q` at probability threshold `alpha ∈ (0, 1]`.
+    pub fn aknn(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(QueryError::InvalidProbability { value: alpha });
+        }
+        self.aknn_at(q, k, Threshold::at(alpha), cfg)
+    }
+
+    /// AKNN at an explicit [`Threshold`] (strict thresholds implement the
+    /// exact `α + ε` semantics).
+    pub fn aknn_at(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        aknn_at(self.tree, self.store, q, k, t, cfg)
+    }
+
+    /// Range kNN query (Definition 5): every object belonging to the kNN
+    /// set at some `α ∈ [alpha_start, alpha_end]`, with its qualifying
+    /// range.
+    pub fn rknn(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha_start: f64,
+        alpha_end: f64,
+        algo: RknnAlgorithm,
+        cfg: &AknnConfig,
+    ) -> Result<RknnResult, QueryError> {
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        if !(alpha_start > 0.0 && alpha_start <= 1.0) {
+            return Err(QueryError::InvalidProbability { value: alpha_start });
+        }
+        if !(alpha_end > 0.0 && alpha_end <= 1.0) {
+            return Err(QueryError::InvalidProbability { value: alpha_end });
+        }
+        if alpha_start > alpha_end {
+            return Err(QueryError::InvalidRange { start: alpha_start, end: alpha_end });
+        }
+        rknn::run(self.tree, self.store, q, k, alpha_start, alpha_end, algo, cfg)
+    }
+}

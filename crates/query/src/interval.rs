@@ -1,0 +1,345 @@
+//! Interval sets over the probability axis `(0, 1]`.
+//!
+//! RKNN qualifying ranges are unions of intervals with mixed open/closed
+//! endpoints — the paper's own example (Figure 3) is
+//! `⟨B, [0.3, 0.45] ∪ (0.55, 0.6]⟩`. Because the α-distance is a
+//! left-continuous staircase, every qualifying range produced by the
+//! algorithms is a finite union of such intervals; this module gives them
+//! an exact algebra (no epsilon fuzz).
+
+use std::fmt;
+
+/// One interval over the probability axis with explicit endpoint
+/// closedness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint value.
+    pub lo: f64,
+    /// Is the lower endpoint included?
+    pub lo_closed: bool,
+    /// Upper endpoint value.
+    pub hi: f64,
+    /// Is the upper endpoint included?
+    pub hi_closed: bool,
+}
+
+impl Interval {
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Self {
+        Self { lo, lo_closed: true, hi, hi_closed: true }
+    }
+
+    /// Half-open interval `(lo, hi]` — the natural shape of α-distance
+    /// constancy ranges.
+    pub fn left_open(lo: f64, hi: f64) -> Self {
+        Self { lo, lo_closed: false, hi, hi_closed: true }
+    }
+
+    /// Is the interval empty (inverted, or a point with an open end)?
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && !(self.lo_closed && self.hi_closed))
+    }
+
+    /// Does the interval contain probability `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        let above_lo = x > self.lo || (self.lo_closed && x == self.lo);
+        let below_hi = x < self.hi || (self.hi_closed && x == self.hi);
+        above_lo && below_hi
+    }
+
+    /// Length of the interval (endpoint closedness has measure zero).
+    pub fn measure(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// Do two intervals overlap or touch compatibly (union is one
+    /// interval)?
+    fn merges_with(&self, other: &Interval) -> bool {
+        // Assumes self.lo-key <= other.lo-key (sorted order).
+        if other.lo < self.hi {
+            return true;
+        }
+        if other.lo == self.hi {
+            return self.hi_closed || other.lo_closed;
+        }
+        false
+    }
+
+    /// Intersection with another interval, `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let (lo, lo_closed) = match self.lo.total_cmp(&other.lo) {
+            std::cmp::Ordering::Greater => (self.lo, self.lo_closed),
+            std::cmp::Ordering::Less => (other.lo, other.lo_closed),
+            std::cmp::Ordering::Equal => (self.lo, self.lo_closed && other.lo_closed),
+        };
+        let (hi, hi_closed) = match self.hi.total_cmp(&other.hi) {
+            std::cmp::Ordering::Less => (self.hi, self.hi_closed),
+            std::cmp::Ordering::Greater => (other.hi, other.hi_closed),
+            std::cmp::Ordering::Equal => (self.hi, self.hi_closed && other.hi_closed),
+        };
+        let out = Interval { lo, lo_closed, hi, hi_closed };
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}, {}{}",
+            if self.lo_closed { '[' } else { '(' },
+            self.lo,
+            self.hi,
+            if self.hi_closed { ']' } else { ')' },
+        )
+    }
+}
+
+/// A normalized union of disjoint, sorted intervals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IntervalSet {
+    parts: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A set with a single interval (empty input yields the empty set).
+    pub fn from_interval(iv: Interval) -> Self {
+        let mut s = Self::empty();
+        s.push(iv);
+        s
+    }
+
+    /// Add an interval, keeping the set normalized.
+    pub fn push(&mut self, iv: Interval) {
+        if iv.is_empty() {
+            return;
+        }
+        self.parts.push(iv);
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.parts.retain(|p| !p.is_empty());
+        // Sort by (lo, open-before-closed? closed-lo first).
+        self.parts.sort_by(|a, b| {
+            a.lo.total_cmp(&b.lo)
+                .then_with(|| b.lo_closed.cmp(&a.lo_closed))
+        });
+        let mut merged: Vec<Interval> = Vec::with_capacity(self.parts.len());
+        for &p in &self.parts {
+            match merged.last_mut() {
+                Some(last) if last.merges_with(&p) => {
+                    // Extend the upper end if p reaches further.
+                    match p.hi.total_cmp(&last.hi) {
+                        std::cmp::Ordering::Greater => {
+                            last.hi = p.hi;
+                            last.hi_closed = p.hi_closed;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            last.hi_closed |= p.hi_closed;
+                        }
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+                _ => merged.push(p),
+            }
+        }
+        self.parts = merged;
+    }
+
+    /// The disjoint intervals, ascending.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.parts
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Does the set contain probability `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        self.parts.iter().any(|p| p.contains(x))
+    }
+
+    /// Total measure (sum of interval lengths).
+    pub fn measure(&self) -> f64 {
+        self.parts.iter().map(Interval::measure).sum()
+    }
+
+    /// Union with another set.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        for &p in &other.parts {
+            out.parts.push(p);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Intersection with another set.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = IntervalSet::empty();
+        for a in &self.parts {
+            for b in &other.parts {
+                if let Some(iv) = a.intersect(b) {
+                    out.parts.push(iv);
+                }
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Structural equality up to endpoint tolerance `tol` (for comparing
+    /// algorithm outputs that differ only by floating-point noise).
+    pub fn approx_eq(&self, other: &IntervalSet, tol: f64) -> bool {
+        self.parts.len() == other.parts.len()
+            && self.parts.iter().zip(&other.parts).all(|(a, b)| {
+                (a.lo - b.lo).abs() <= tol
+                    && (a.hi - b.hi).abs() <= tol
+                    && a.lo_closed == b.lo_closed
+                    && a.hi_closed == b.hi_closed
+            })
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_respects_closedness() {
+        let iv = Interval::left_open(0.3, 0.6);
+        assert!(!iv.contains(0.3));
+        assert!(iv.contains(0.300001));
+        assert!(iv.contains(0.6));
+        assert!(!iv.contains(0.600001));
+        let c = Interval::closed(0.3, 0.6);
+        assert!(c.contains(0.3));
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Interval::left_open(0.5, 0.5).is_empty());
+        assert!(!Interval::closed(0.5, 0.5).is_empty());
+        assert!(Interval::closed(0.6, 0.5).is_empty());
+    }
+
+    #[test]
+    fn union_merges_touching_intervals() {
+        let mut s = IntervalSet::empty();
+        s.push(Interval::closed(0.3, 0.45));
+        s.push(Interval::left_open(0.45, 0.5));
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.intervals()[0], Interval::closed(0.3, 0.5));
+    }
+
+    #[test]
+    fn union_keeps_gap_between_open_endpoints() {
+        // [0.3, 0.45) ∪ (0.45, 0.6] must NOT merge: 0.45 excluded by both.
+        let mut s = IntervalSet::empty();
+        s.push(Interval { lo: 0.3, lo_closed: true, hi: 0.45, hi_closed: false });
+        s.push(Interval::left_open(0.45, 0.6));
+        assert_eq!(s.intervals().len(), 2);
+        assert!(!s.contains(0.45));
+        assert!(s.contains(0.44));
+        assert!(s.contains(0.46));
+    }
+
+    #[test]
+    fn paper_example_figure3() {
+        // B qualifies on [0.3, 0.45] ∪ (0.55, 0.6].
+        let mut b = IntervalSet::empty();
+        b.push(Interval::closed(0.3, 0.45));
+        b.push(Interval::left_open(0.55, 0.6));
+        assert_eq!(b.intervals().len(), 2);
+        assert!(b.contains(0.45));
+        assert!(!b.contains(0.5));
+        assert!(!b.contains(0.55));
+        assert!(b.contains(0.56));
+        assert!((b.measure() - 0.2).abs() < 1e-12);
+        assert_eq!(b.to_string(), "[0.3, 0.45] ∪ (0.55, 0.6]");
+    }
+
+    #[test]
+    fn overlapping_pushes_normalize() {
+        let mut s = IntervalSet::empty();
+        s.push(Interval::closed(0.1, 0.5));
+        s.push(Interval::closed(0.3, 0.7));
+        s.push(Interval::closed(0.65, 0.8));
+        assert_eq!(s.intervals(), &[Interval::closed(0.1, 0.8)]);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = IntervalSet::from_interval(Interval::closed(0.2, 0.6));
+        let mut b = IntervalSet::empty();
+        b.push(Interval::left_open(0.4, 0.9));
+        b.push(Interval::closed(0.05, 0.1));
+        let i = a.intersect(&b);
+        assert_eq!(i.intervals(), &[Interval::left_open(0.4, 0.6)]);
+        // Intersection with empty is empty.
+        assert!(a.intersect(&IntervalSet::empty()).is_empty());
+    }
+
+    #[test]
+    fn union_of_sets_is_commutative() {
+        let mut a = IntervalSet::empty();
+        a.push(Interval::closed(0.1, 0.3));
+        let mut b = IntervalSet::empty();
+        b.push(Interval::left_open(0.25, 0.5));
+        b.push(Interval::closed(0.7, 0.9));
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).intervals().len(), 2);
+    }
+
+    #[test]
+    fn point_intervals() {
+        let mut s = IntervalSet::empty();
+        s.push(Interval::closed(0.5, 0.5));
+        assert!(s.contains(0.5));
+        assert_eq!(s.measure(), 0.0);
+        // Point touching a closed interval merges.
+        s.push(Interval::left_open(0.5, 0.7));
+        assert_eq!(s.intervals(), &[Interval::closed(0.5, 0.7)]);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_noise() {
+        let a = IntervalSet::from_interval(Interval::closed(0.3, 0.6));
+        let b = IntervalSet::from_interval(Interval::closed(0.3 + 1e-12, 0.6 - 1e-12));
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        let c = IntervalSet::from_interval(Interval::left_open(0.3, 0.6));
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+}

@@ -1,0 +1,37 @@
+//! Query processing for fuzzy-object k-nearest-neighbour search.
+//!
+//! Implements both query types of the paper over an instrumented R-tree and
+//! object store:
+//!
+//! * **AKNN** (Definition 4, Section 3): best-first search returning the k
+//!   objects with smallest α-distance at one probability threshold. The
+//!   four variants benchmarked in §6.2 are configuration flags of one
+//!   engine: `Basic`, `LB` (improved lower bound via conservative α-cut
+//!   MBRs), `LB-LP` (lazy probe buffer) and `LB-LP-UB` (representative-
+//!   point upper bound).
+//! * **RKNN** (Definition 5, Section 4): all objects belonging to some kNN
+//!   set within a probability range, each with its qualifying range. Four
+//!   algorithms: `Naive` (AKNN at every membership level), `Basic`
+//!   (critical-probability stepping, Algorithm 3), `Rss` (search space
+//!   reduction, Algorithm 4 / Lemma 3) and `RssIcr` (candidate refinement
+//!   acceleration, Algorithm 5 / Lemma 4), plus an exact sweep reference
+//!   used as the test oracle.
+
+pub mod aknn;
+pub mod engine;
+pub mod error;
+pub mod interval;
+pub mod join;
+pub mod result;
+pub mod rknn;
+pub mod stats;
+pub mod sweep;
+
+pub use aknn::AknnConfig;
+pub use engine::QueryEngine;
+pub use error::QueryError;
+pub use interval::{Interval, IntervalSet};
+pub use join::{alpha_distance_join, JoinPair, JoinResult};
+pub use result::{AknnResult, DistBound, Neighbor, RknnItem, RknnResult};
+pub use rknn::RknnAlgorithm;
+pub use stats::QueryStats;

@@ -1,0 +1,388 @@
+//! RKNN query processing (Section 4).
+//!
+//! Four algorithms, in increasing sophistication:
+//!
+//! * [`RknnAlgorithm::Naive`] — probe every object, build its distance
+//!   profile and sweep; the paper's strawman ("enumerating all values in
+//!   `U_D`"), also the ground-truth oracle for tests.
+//! * [`RknnAlgorithm::Basic`] — Algorithm 3: repeated AKNN queries at the
+//!   critical probabilities of the current kNN members (Lemma 2).
+//! * [`RknnAlgorithm::Rss`] — Algorithm 4: one AKNN at `αe` yields the
+//!   radius `r = d_k(αe)`; one range search at `αs` collects every object
+//!   whose lower bound is within `r` (Lemma 3 guarantees no false
+//!   dismissals); refinement then runs entirely over this in-memory
+//!   candidate set.
+//! * [`RknnAlgorithm::RssIcr`] — Algorithm 5: like RSS, but refinement
+//!   steps leap over every critical value at which a member provably stays
+//!   within the (k+1)-th distance (Lemma 4), sharply cutting CPU work for
+//!   wide probability ranges.
+
+use crate::aknn::{search, AknnConfig};
+use crate::error::QueryError;
+use crate::interval::{Interval, IntervalSet};
+use crate::result::{RknnItem, RknnResult};
+use crate::stats::QueryStats;
+use crate::sweep::{exact_sweep, ProfiledCandidate};
+use fuzzy_core::{DistanceProfile, FuzzyObject, ObjectId, Threshold};
+use fuzzy_index::RTree;
+use fuzzy_store::ObjectStore;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// RKNN algorithm selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RknnAlgorithm {
+    /// Probe everything; exact sweep. Oracle / strawman.
+    Naive,
+    /// Algorithm 3 — critical-probability stepping with full AKNN per step.
+    Basic,
+    /// Algorithm 4 — reduced search space, basic refinement.
+    Rss,
+    /// Algorithm 5 — reduced search space + improved candidate refinement.
+    RssIcr,
+}
+
+impl RknnAlgorithm {
+    /// Name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Naive => "Naive",
+            Self::Basic => "Basic RKNN",
+            Self::Rss => "RSS",
+            Self::RssIcr => "RSS-ICR",
+        }
+    }
+
+    /// The three variants the paper benchmarks in §6.3.
+    pub fn paper_variants() -> [RknnAlgorithm; 3] {
+        [Self::Basic, Self::Rss, Self::RssIcr]
+    }
+}
+
+/// Profile cache: one α-distance profile per (object, query) pair per
+/// query execution.
+struct ProfileCache<const D: usize> {
+    map: HashMap<ObjectId, DistanceProfile>,
+    computations: u64,
+}
+
+impl<const D: usize> ProfileCache<D> {
+    fn new() -> Self {
+        Self { map: HashMap::new(), computations: 0 }
+    }
+
+    fn get_or_compute(
+        &mut self,
+        obj: &FuzzyObject<D>,
+        q: &FuzzyObject<D>,
+    ) -> &DistanceProfile {
+        if !self.map.contains_key(&obj.id()) {
+            self.computations += 1;
+            let p = DistanceProfile::compute(obj, q);
+            self.map.insert(obj.id(), p);
+        }
+        &self.map[&obj.id()]
+    }
+
+    fn get(&self, id: ObjectId) -> &DistanceProfile {
+        &self.map[&id]
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run<S: ObjectStore<D>, const D: usize>(
+    tree: &RTree<D>,
+    store: &S,
+    q: &FuzzyObject<D>,
+    k: usize,
+    alpha_start: f64,
+    alpha_end: f64,
+    algo: RknnAlgorithm,
+    cfg: &AknnConfig,
+) -> Result<RknnResult, QueryError> {
+    let start = Instant::now();
+    let store_before = store.stats();
+    let nodes_before = tree.stats().node_accesses();
+
+    let mut stats = QueryStats::default();
+    let items = match algo {
+        RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, &mut stats)?,
+        RknnAlgorithm::Basic => {
+            basic(tree, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?
+        }
+        RknnAlgorithm::Rss | RknnAlgorithm::RssIcr => rss(
+            tree,
+            store,
+            q,
+            k,
+            alpha_start,
+            alpha_end,
+            cfg,
+            algo == RknnAlgorithm::RssIcr,
+            &mut stats,
+        )?,
+    };
+
+    stats.object_accesses = store.stats().since(&store_before).object_reads;
+    stats.node_accesses = tree.stats().node_accesses() - nodes_before;
+    stats.wall = start.elapsed();
+    Ok(RknnResult { items, stats })
+}
+
+/// Naive: probe everything, profile everything, sweep exactly.
+fn naive<S: ObjectStore<D>, const D: usize>(
+    store: &S,
+    q: &FuzzyObject<D>,
+    k: usize,
+    alpha_start: f64,
+    alpha_end: f64,
+    stats: &mut QueryStats,
+) -> Result<Vec<RknnItem>, QueryError> {
+    let ids: Vec<ObjectId> = store.summaries().iter().map(|s| s.id).collect();
+    let mut profiles: Vec<(ObjectId, DistanceProfile)> = Vec::with_capacity(ids.len());
+    for id in ids {
+        let obj = store.probe(id)?;
+        stats.profile_computations += 1;
+        profiles.push((id, DistanceProfile::compute(&obj, q)));
+    }
+    stats.candidates = profiles.len() as u64;
+    let cands: Vec<ProfiledCandidate<'_>> = profiles
+        .iter()
+        .map(|(id, p)| ProfiledCandidate { id: *id, profile: p })
+        .collect();
+    Ok(exact_sweep(&cands, k, alpha_start, alpha_end))
+}
+
+/// Algorithm 3: step through critical probabilities with one AKNN each.
+#[allow(clippy::too_many_arguments)]
+fn basic<S: ObjectStore<D>, const D: usize>(
+    tree: &RTree<D>,
+    store: &S,
+    q: &FuzzyObject<D>,
+    k: usize,
+    alpha_start: f64,
+    alpha_end: f64,
+    cfg: &AknnConfig,
+    stats: &mut QueryStats,
+) -> Result<Vec<RknnItem>, QueryError> {
+    let mut cache: ProfileCache<D> = ProfileCache::new();
+    let mut acc: HashMap<ObjectId, IntervalSet> = HashMap::new();
+    let mut t = Threshold::at(alpha_start);
+
+    loop {
+        let out = search(tree, store, q, k, t, cfg, true)?;
+        stats.aknn_calls += 1;
+        stats.distance_evals += out.stats.distance_evals;
+        stats.bound_evals += out.stats.bound_evals;
+        if out.neighbors.is_empty() {
+            break;
+        }
+        // β_A = min{α' ∈ Ω_Q(A) | α' covers t}; α* = min over the set.
+        let mut alpha_star = f64::INFINITY;
+        for n in &out.neighbors {
+            let obj = n.object.as_ref().expect("force_exact probes every neighbour");
+            let beta = cache.get_or_compute(obj, q).next_critical(t).unwrap_or(1.0);
+            alpha_star = alpha_star.min(beta);
+        }
+        let hi = alpha_star.min(alpha_end);
+        let iv = Interval { lo: t.value, lo_closed: !t.strict, hi, hi_closed: true };
+        for n in &out.neighbors {
+            acc.entry(n.id).or_default().push(iv);
+        }
+        if alpha_star >= alpha_end {
+            break;
+        }
+        t = Threshold::above(alpha_star);
+    }
+
+    stats.profile_computations += cache.computations;
+    Ok(collect(acc))
+}
+
+/// Algorithms 4/5: reduce the search space, refine candidates in memory.
+#[allow(clippy::too_many_arguments)]
+fn rss<S: ObjectStore<D>, const D: usize>(
+    tree: &RTree<D>,
+    store: &S,
+    q: &FuzzyObject<D>,
+    k: usize,
+    alpha_start: f64,
+    alpha_end: f64,
+    cfg: &AknnConfig,
+    improved_refinement: bool,
+    stats: &mut QueryStats,
+) -> Result<Vec<RknnItem>, QueryError> {
+    // Step 1 — AKNN at α_e gives the pruning radius r = d_k(α_e).
+    let t_end = Threshold::at(alpha_end);
+    let out_end = search(tree, store, q, k, t_end, cfg, true)?;
+    stats.aknn_calls += 1;
+    stats.distance_evals += out_end.stats.distance_evals;
+    stats.bound_evals += out_end.stats.bound_evals;
+    let r = if out_end.neighbors.len() < k {
+        f64::INFINITY
+    } else {
+        out_end
+            .neighbors
+            .iter()
+            .map(|n| n.dist.hi())
+            .fold(0.0, f64::max)
+    };
+
+    // Step 2 — range search at α_s with radius r (Lemma 3: no object with
+    // a lower bound beyond r can ever qualify).
+    let t_start = Threshold::at(alpha_start);
+    let q_cut = q.cut_mbr(t_start).ok_or(QueryError::EmptyQueryCut)?;
+    let range = tree.range_search(
+        r,
+        |mbr| mbr.min_dist(&q_cut),
+        |e| {
+            if cfg.improved_lower_bound {
+                e.lower_bound_dist(&q_cut, t_start)
+            } else {
+                e.support_mbr.min_dist(&q_cut)
+            }
+        },
+    );
+    stats.bound_evals += range.hits.len() as u64;
+
+    // Probe every candidate once and build its profile.
+    let mut cache: ProfileCache<D> = ProfileCache::new();
+    let mut candidate_ids: Vec<ObjectId> = Vec::with_capacity(range.hits.len());
+    for hit in &range.hits {
+        let obj = store.probe(hit.entry.id)?;
+        cache.get_or_compute(&obj, q);
+        candidate_ids.push(hit.entry.id);
+    }
+    candidate_ids.sort_unstable();
+    stats.candidates = candidate_ids.len() as u64;
+    let has_non_candidates = candidate_ids.len() < store.len();
+
+    // Step 3 — in-memory refinement over the candidate profiles.
+    let acc = if improved_refinement {
+        refine_icr(&cache, &candidate_ids, k, alpha_start, alpha_end, r, has_non_candidates)
+    } else {
+        refine_basic(&cache, &candidate_ids, k, alpha_start, alpha_end)
+    };
+    stats.profile_computations += cache.computations;
+    Ok(collect(acc))
+}
+
+/// Basic refinement (the inner loop of Algorithm 3 restricted to the
+/// candidate set): advance one critical probability at a time.
+fn refine_basic<const D: usize>(
+    cache: &ProfileCache<D>,
+    candidates: &[ObjectId],
+    k: usize,
+    alpha_start: f64,
+    alpha_end: f64,
+) -> HashMap<ObjectId, IntervalSet> {
+    let mut acc: HashMap<ObjectId, IntervalSet> = HashMap::new();
+    let mut t = Threshold::at(alpha_start);
+    let mut scratch: Vec<(f64, ObjectId)> = Vec::with_capacity(candidates.len());
+    loop {
+        scratch.clear();
+        for &id in candidates {
+            if let Some(d) = cache.get(id).value_at(t) {
+                scratch.push((d, id));
+            }
+        }
+        scratch.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        if scratch.is_empty() {
+            break;
+        }
+        let nn = &scratch[..k.min(scratch.len())];
+        let mut alpha_star = f64::INFINITY;
+        for &(_, id) in nn {
+            let beta = cache.get(id).next_critical(t).unwrap_or(1.0);
+            alpha_star = alpha_star.min(beta);
+        }
+        let iv = Interval {
+            lo: t.value,
+            lo_closed: !t.strict,
+            hi: alpha_star.min(alpha_end),
+            hi_closed: true,
+        };
+        for &(_, id) in nn {
+            acc.entry(id).or_default().push(iv);
+        }
+        if alpha_star >= alpha_end {
+            break;
+        }
+        t = Threshold::above(alpha_star);
+    }
+    acc
+}
+
+/// Improved candidate refinement (Algorithm 5 / Lemma 4): each member A of
+/// the current kNN set is safe up to the largest critical value where its
+/// distance stays below the (k+1)-th distance `d_{k+1}`; record the whole
+/// safe range at once and jump to the earliest safe-range end.
+///
+/// When objects outside the candidate set exist, `d_{k+1}` is clamped to
+/// the pruning radius `r`: every non-candidate keeps a distance > r
+/// throughout the range, so `min(d̂_{k+1}, r)` is a sound (conservative)
+/// stand-in for the true global (k+1)-th distance.
+fn refine_icr<const D: usize>(
+    cache: &ProfileCache<D>,
+    candidates: &[ObjectId],
+    k: usize,
+    alpha_start: f64,
+    alpha_end: f64,
+    r: f64,
+    has_non_candidates: bool,
+) -> HashMap<ObjectId, IntervalSet> {
+    let mut acc: HashMap<ObjectId, IntervalSet> = HashMap::new();
+    let mut t = Threshold::at(alpha_start);
+    let mut scratch: Vec<(f64, ObjectId)> = Vec::with_capacity(candidates.len());
+    loop {
+        scratch.clear();
+        for &id in candidates {
+            if let Some(d) = cache.get(id).value_at(t) {
+                scratch.push((d, id));
+            }
+        }
+        scratch.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        if scratch.is_empty() {
+            break;
+        }
+        let nn = &scratch[..k.min(scratch.len())];
+        let mut dk1 = scratch.get(k).map_or(f64::INFINITY, |&(d, _)| d);
+        if has_non_candidates {
+            dk1 = dk1.min(r);
+        }
+        let mut alpha_star = f64::INFINITY;
+        for &(d, id) in nn {
+            let prof = cache.get(id);
+            // Safe range end: the farthest critical value with distance
+            // still below d_{k+1}; fall back to the plain Lemma 2 step when
+            // the bound is degenerate (ties).
+            let beta = match prof.max_level_with_dist_below(dk1) {
+                Some(b) if b >= t.value && d < dk1 => b,
+                _ => prof.next_critical(t).unwrap_or(1.0),
+            };
+            let iv = Interval {
+                lo: t.value,
+                lo_closed: !t.strict,
+                hi: beta.min(alpha_end),
+                hi_closed: true,
+            };
+            acc.entry(id).or_default().push(iv);
+            alpha_star = alpha_star.min(beta);
+        }
+        if alpha_star >= alpha_end {
+            break;
+        }
+        t = Threshold::above(alpha_star);
+    }
+    acc
+}
+
+fn collect(acc: HashMap<ObjectId, IntervalSet>) -> Vec<RknnItem> {
+    let mut items: Vec<RknnItem> = acc
+        .into_iter()
+        .filter(|(_, set)| !set.is_empty())
+        .map(|(id, range)| RknnItem { id, range })
+        .collect();
+    items.sort_by_key(|i| i.id);
+    items
+}

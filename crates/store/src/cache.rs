@@ -1,0 +1,176 @@
+//! An LRU cache layer over any object store.
+//!
+//! The paper evaluates its algorithms **without** caching — the repeated
+//! AKNN invocations of the basic RKNN algorithm re-probe objects every time,
+//! which is precisely why it loses by an order of magnitude. This wrapper
+//! exists for the `abl-cache` ablation: how much of the RSS optimization's
+//! advantage could a plain cache have recovered?
+
+use crate::error::StoreError;
+use crate::stats::IoStatsSnapshot;
+use crate::ObjectStore;
+use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// LRU entries: id → (object, last-use tick).
+struct CacheInner<const D: usize> {
+    map: HashMap<ObjectId, (Arc<FuzzyObject<D>>, u64)>,
+    tick: u64,
+}
+
+/// A bounded LRU cache in front of a store `S`.
+pub struct CachedStore<S, const D: usize> {
+    inner: S,
+    capacity: usize,
+    cache: Mutex<CacheInner<D>>,
+    hit_count: std::sync::atomic::AtomicU64,
+}
+
+impl<S: ObjectStore<D>, const D: usize> CachedStore<S, D> {
+    /// Wrap `inner` with an LRU of at most `capacity` objects.
+    pub fn new(inner: S, capacity: usize) -> Self {
+        Self {
+            inner,
+            capacity: capacity.max(1),
+            cache: Mutex::new(CacheInner { map: HashMap::new(), tick: 0 }),
+            hit_count: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Drop all cached objects.
+    pub fn clear(&self) {
+        let mut c = self.cache.lock().unwrap();
+        c.map.clear();
+    }
+
+    /// Number of currently cached objects.
+    pub fn cached_len(&self) -> usize {
+        self.cache.lock().unwrap().map.len()
+    }
+}
+
+impl<S: ObjectStore<D>, const D: usize> ObjectStore<D> for CachedStore<S, D> {
+    fn probe(&self, id: ObjectId) -> Result<Arc<FuzzyObject<D>>, StoreError> {
+        {
+            let mut c = self.cache.lock().unwrap();
+            c.tick += 1;
+            let tick = c.tick;
+            if let Some((obj, last)) = c.map.get_mut(&id) {
+                *last = tick;
+                let hit = obj.clone();
+                drop(c);
+                // A cache hit is *not* an object access in the paper's
+                // accounting; record it separately.
+                self.record_hit();
+                return Ok(hit);
+            }
+        }
+        let obj = self.inner.probe(id)?;
+        let mut c = self.cache.lock().unwrap();
+        c.tick += 1;
+        let tick = c.tick;
+        if c.map.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = c.map.iter().min_by_key(|(_, (_, last))| *last) {
+                c.map.remove(&victim);
+            }
+        }
+        c.map.insert(id, (obj.clone(), tick));
+        Ok(obj)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn summaries(&self) -> &[ObjectSummary<D>] {
+        self.inner.summaries()
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        let mut snap = self.inner.stats();
+        snap.cache_hits += self.hits();
+        snap
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+        self.hit_count.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl<S, const D: usize> CachedStore<S, D> {
+    fn record_hit(&self) {
+        self.hit_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn hits(&self) -> u64 {
+        self.hit_count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_store::MemStore;
+    use fuzzy_geom::Point;
+
+    fn obj(id: u64) -> FuzzyObject<2> {
+        FuzzyObject::new(
+            ObjectId(id),
+            vec![Point::xy(id as f64, 0.0)],
+            vec![1.0],
+        )
+        .unwrap()
+    }
+
+    fn store(n: u64, cap: usize) -> CachedStore<MemStore<2>, 2> {
+        CachedStore::new(MemStore::from_objects((0..n).map(obj)).unwrap(), cap)
+    }
+
+    #[test]
+    fn hits_do_not_count_as_object_reads() {
+        let s = store(4, 4);
+        let _ = s.probe(ObjectId(1)).unwrap();
+        let _ = s.probe(ObjectId(1)).unwrap();
+        let _ = s.probe(ObjectId(1)).unwrap();
+        let snap = s.stats();
+        assert_eq!(snap.object_reads, 1);
+        assert_eq!(snap.cache_hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let s = store(10, 2);
+        let _ = s.probe(ObjectId(0)).unwrap();
+        let _ = s.probe(ObjectId(1)).unwrap();
+        let _ = s.probe(ObjectId(0)).unwrap(); // refresh 0
+        let _ = s.probe(ObjectId(2)).unwrap(); // evicts 1
+        assert_eq!(s.cached_len(), 2);
+        let before = s.stats().object_reads;
+        let _ = s.probe(ObjectId(1)).unwrap(); // miss again, evicts 0 (LRU)
+        assert_eq!(s.stats().object_reads, before + 1);
+        let before = s.stats().object_reads;
+        let _ = s.probe(ObjectId(2)).unwrap(); // still cached
+        assert_eq!(s.stats().object_reads, before);
+        let _ = s.probe(ObjectId(0)).unwrap(); // was evicted -> miss
+        assert_eq!(s.stats().object_reads, before + 1);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let s = store(3, 3);
+        let _ = s.probe(ObjectId(0)).unwrap();
+        s.clear();
+        assert_eq!(s.cached_len(), 0);
+        let _ = s.probe(ObjectId(0)).unwrap();
+        assert_eq!(s.stats().object_reads, 2);
+    }
+}

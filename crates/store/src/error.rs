@@ -1,0 +1,78 @@
+//! Store-level errors.
+
+use fuzzy_core::{ModelError, ObjectId};
+use std::fmt;
+use std::io;
+
+/// Errors raised by object stores.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// File structure violated (bad magic, truncated section, checksum
+    /// mismatch, ...).
+    Corrupt {
+        /// Human-readable description of the corruption.
+        reason: String,
+    },
+    /// The file was written for a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u16,
+        /// Version this build understands.
+        expected: u16,
+    },
+    /// The file stores objects of a different dimensionality.
+    DimensionMismatch {
+        /// Dimensionality found in the file.
+        found: u16,
+        /// Dimensionality requested by the caller.
+        expected: u16,
+    },
+    /// No object with this id exists.
+    UnknownObject(ObjectId),
+    /// A stored record decoded into an invalid fuzzy object.
+    Model(ModelError),
+    /// An object with this id was already written.
+    DuplicateObject(ObjectId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Corrupt { reason } => write!(f, "corrupt store: {reason}"),
+            Self::VersionMismatch { found, expected } => {
+                write!(f, "format version {found}, expected {expected}")
+            }
+            Self::DimensionMismatch { found, expected } => {
+                write!(f, "stored dimensionality {found}, expected {expected}")
+            }
+            Self::UnknownObject(id) => write!(f, "unknown object {id}"),
+            Self::Model(e) => write!(f, "invalid stored object: {e}"),
+            Self::DuplicateObject(id) => write!(f, "duplicate object {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ModelError> for StoreError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}

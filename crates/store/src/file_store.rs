@@ -1,0 +1,363 @@
+//! File-backed object store with positioned reads and access counting.
+
+use crate::error::StoreError;
+use crate::format::{
+    decode_object, decode_summary, encode_object, encode_summary, Decoder, Encoder, HEADER_LEN,
+    MAGIC, TRAILER_LEN, VERSION,
+};
+use crate::stats::{IoStats, IoStatsSnapshot};
+use crate::ObjectStore;
+use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Streaming writer: objects are appended one at a time (datasets larger
+/// than memory can be generated without buffering), summaries and the index
+/// are accumulated and flushed by [`FileStoreWriter::finish`].
+pub struct FileStoreWriter<const D: usize> {
+    out: BufWriter<File>,
+    path: PathBuf,
+    offset: u64,
+    index: Vec<(ObjectId, u64, u64)>,
+    summaries: Vec<ObjectSummary<D>>,
+    seen: HashMap<ObjectId, ()>,
+}
+
+impl<const D: usize> FileStoreWriter<D> {
+    /// Create (truncate) the file at `path` and write the header.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut out = BufWriter::new(file);
+        let mut header = Encoder::with_capacity(HEADER_LEN);
+        header.bytes(&MAGIC);
+        header.u16(VERSION);
+        header.u16(D as u16);
+        header.u64(0); // reserved
+        out.write_all(header.as_bytes())?;
+        Ok(Self {
+            out,
+            path,
+            offset: HEADER_LEN as u64,
+            index: Vec::new(),
+            summaries: Vec::new(),
+            seen: HashMap::new(),
+        })
+    }
+
+    /// Append one object; its summary is computed here so readers never
+    /// need to touch the records for index construction.
+    pub fn append(&mut self, obj: &FuzzyObject<D>) -> Result<(), StoreError> {
+        if self.seen.insert(obj.id(), ()).is_some() {
+            return Err(StoreError::DuplicateObject(obj.id()));
+        }
+        let record = encode_object(obj);
+        self.out.write_all(&record)?;
+        self.index.push((obj.id(), self.offset, record.len() as u64));
+        self.offset += record.len() as u64;
+        self.summaries.push(ObjectSummary::from_object(obj));
+        Ok(())
+    }
+
+    /// Number of objects appended so far.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing was appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Flush summaries, index and trailer; returns the opened store.
+    pub fn finish(mut self) -> Result<FileStore<D>, StoreError> {
+        let summary_off = self.offset;
+        let mut enc = Encoder::with_capacity(8 + self.summaries.len() * 256);
+        enc.u64(self.summaries.len() as u64);
+        for s in &self.summaries {
+            encode_summary(&mut enc, s);
+        }
+        let index_off = summary_off + enc.len() as u64;
+        enc.u64(self.index.len() as u64);
+        for (id, off, len) in &self.index {
+            enc.u64(id.0);
+            enc.u64(*off);
+            enc.u64(*len);
+        }
+        // Trailer.
+        enc.u64(summary_off);
+        enc.u64(index_off);
+        enc.u64(self.index.len() as u64);
+        enc.bytes(&MAGIC);
+        self.out.write_all(enc.as_bytes())?;
+        self.out.flush()?;
+        drop(self.out);
+        FileStore::open(&self.path)
+    }
+}
+
+/// Read side: index and summaries live in memory, records are fetched with
+/// positioned reads (no seek contention, `File` is shared immutably).
+#[derive(Debug)]
+pub struct FileStore<const D: usize> {
+    file: File,
+    path: PathBuf,
+    index: HashMap<ObjectId, (u64, u64)>,
+    summaries: Vec<ObjectSummary<D>>,
+    stats: IoStats,
+}
+
+impl<const D: usize> FileStore<D> {
+    /// Open an existing store file, validating magic, version and
+    /// dimensionality.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let total = file.metadata()?.len();
+        if total < (HEADER_LEN + TRAILER_LEN) as u64 {
+            return Err(StoreError::Corrupt { reason: "file shorter than header+trailer".into() });
+        }
+        // Header.
+        let mut head = [0u8; HEADER_LEN];
+        file.read_exact(&mut head)?;
+        if head[..4] != MAGIC {
+            return Err(StoreError::Corrupt { reason: "bad magic in header".into() });
+        }
+        let mut d = Decoder::new(&head[4..]);
+        let version = d.u16()?;
+        if version != VERSION {
+            return Err(StoreError::VersionMismatch { found: version, expected: VERSION });
+        }
+        let dims = d.u16()?;
+        if dims as usize != D {
+            return Err(StoreError::DimensionMismatch { found: dims, expected: D as u16 });
+        }
+        // Trailer.
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+        let mut tail = [0u8; TRAILER_LEN];
+        file.read_exact(&mut tail)?;
+        if tail[TRAILER_LEN - 4..] != MAGIC {
+            return Err(StoreError::Corrupt { reason: "bad magic in trailer".into() });
+        }
+        let mut t = Decoder::new(&tail);
+        let summary_off = t.u64()?;
+        let index_off = t.u64()?;
+        let count = t.u64()? as usize;
+        if summary_off > index_off || index_off >= total {
+            return Err(StoreError::Corrupt { reason: "trailer offsets out of order".into() });
+        }
+
+        // Summaries.
+        let sum_len = (index_off - summary_off) as usize;
+        let mut sum_bytes = vec![0u8; sum_len];
+        file.read_exact_at(&mut sum_bytes, summary_off)?;
+        let mut sd = Decoder::new(&sum_bytes);
+        let sum_count = sd.u64()? as usize;
+        if sum_count != count {
+            return Err(StoreError::Corrupt {
+                reason: format!("summary count {sum_count} != object count {count}"),
+            });
+        }
+        let mut summaries = Vec::with_capacity(count);
+        for _ in 0..count {
+            summaries.push(decode_summary::<D>(&mut sd)?);
+        }
+
+        // Index.
+        let idx_len = (total - TRAILER_LEN as u64 - index_off) as usize;
+        let mut idx_bytes = vec![0u8; idx_len];
+        file.read_exact_at(&mut idx_bytes, index_off)?;
+        let mut ix = Decoder::new(&idx_bytes);
+        let idx_count = ix.u64()? as usize;
+        if idx_count != count {
+            return Err(StoreError::Corrupt {
+                reason: format!("index count {idx_count} != object count {count}"),
+            });
+        }
+        let mut index = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let id = ObjectId(ix.u64()?);
+            let off = ix.u64()?;
+            let len = ix.u64()?;
+            if off + len > summary_off {
+                return Err(StoreError::Corrupt {
+                    reason: format!("record for {id} overlaps summary section"),
+                });
+            }
+            index.insert(id, (off, len));
+        }
+
+        Ok(Self { file, path, index, summaries, stats: IoStats::new() })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All stored ids (index order is unspecified).
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.summaries.iter().map(|s| s.id).collect()
+    }
+}
+
+impl<const D: usize> ObjectStore<D> for FileStore<D> {
+    fn probe(&self, id: ObjectId) -> Result<Arc<FuzzyObject<D>>, StoreError> {
+        let &(off, len) = self.index.get(&id).ok_or(StoreError::UnknownObject(id))?;
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut buf, off)?;
+        self.stats.record_read(len);
+        let obj = decode_object::<D>(&buf)?;
+        if obj.id() != id {
+            return Err(StoreError::Corrupt {
+                reason: format!("record at offset {off} has id {} but index says {id}", obj.id()),
+            });
+        }
+        Ok(Arc::new(obj))
+    }
+
+    fn len(&self) -> usize {
+        self.summaries.len()
+    }
+
+    fn summaries(&self) -> &[ObjectSummary<D>] {
+        &self.summaries
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy_geom::Point;
+
+    fn obj(id: u64, shift: f64) -> FuzzyObject<2> {
+        let pts = vec![
+            Point::xy(shift, shift),
+            Point::xy(shift + 1.0, shift),
+            Point::xy(shift, shift + 2.0),
+        ];
+        FuzzyObject::new(ObjectId(id), pts, vec![1.0, 0.5, 0.25]).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fuzzy-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_then_probe_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+        for i in 0..20u64 {
+            w.append(&obj(i, i as f64)).unwrap();
+        }
+        assert_eq!(w.len(), 20);
+        let store = w.finish().unwrap();
+        assert_eq!(store.len(), 20);
+        for i in 0..20u64 {
+            let o = store.probe(ObjectId(i)).unwrap();
+            assert_eq!(o.id(), ObjectId(i));
+            assert_eq!(o.len(), 3);
+            assert_eq!(o.points()[0], Point::xy(i as f64, i as f64));
+        }
+        assert_eq!(store.stats().object_reads, 20);
+        store.reset_stats();
+        assert_eq!(store.stats().object_reads, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn summaries_available_without_probes() {
+        let path = tmp("summaries");
+        let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+        for i in 0..5u64 {
+            w.append(&obj(i, i as f64 * 10.0)).unwrap();
+        }
+        let store = w.finish().unwrap();
+        let sums = store.summaries();
+        assert_eq!(sums.len(), 5);
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(s.id, ObjectId(i as u64));
+            assert_eq!(s.point_count, 3);
+            assert!(s.support_mbr.contains_mbr(&s.kernel_mbr));
+        }
+        // Reading summaries must not count as object access.
+        assert_eq!(store.stats().object_reads, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_object_is_an_error() {
+        let path = tmp("unknown");
+        let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+        w.append(&obj(1, 0.0)).unwrap();
+        let store = w.finish().unwrap();
+        assert!(matches!(
+            store.probe(ObjectId(999)).unwrap_err(),
+            StoreError::UnknownObject(ObjectId(999))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_append_rejected() {
+        let path = tmp("dup");
+        let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+        w.append(&obj(1, 0.0)).unwrap();
+        assert!(matches!(
+            w.append(&obj(1, 5.0)).unwrap_err(),
+            StoreError::DuplicateObject(ObjectId(1))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let path = tmp("dims");
+        let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+        w.append(&obj(1, 0.0)).unwrap();
+        let _ = w.finish().unwrap();
+        let err = FileStore::<3>::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::DimensionMismatch { found: 2, expected: 3 }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"this is not a fuzzy dataset at all........").unwrap();
+        let err = FileStore::<2>::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bytes_read_accounts_record_sizes() {
+        let path = tmp("bytes");
+        let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+        w.append(&obj(1, 0.0)).unwrap();
+        let store = w.finish().unwrap();
+        let _ = store.probe(ObjectId(1)).unwrap();
+        let snap = store.stats();
+        // id(8) + count(4) + 3*(2*8+8) + fnv(8) = 92 bytes.
+        assert_eq!(snap.bytes_read, 92);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

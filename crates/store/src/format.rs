@@ -1,0 +1,361 @@
+//! On-disk binary format (hand-rolled, little-endian, versioned).
+//!
+//! ```text
+//! [ header   ] magic "FZKN" | version u16 | dims u16 | reserved u64
+//! [ records  ] one per object: id u64 | n u32 | n × (D×f64 coords, f64 µ) | fnv u64
+//! [ summaries] count u64, then one fixed-size summary per object
+//! [ index    ] count u64, then per object: id u64 | offset u64 | len u64
+//! [ trailer  ] summary_off u64 | index_off u64 | count u64 | magic "FZKN"
+//! ```
+//!
+//! Every record carries an FNV-1a checksum so a truncated or bit-flipped
+//! file is detected at probe time rather than silently decoded.
+
+use crate::error::StoreError;
+use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+use fuzzy_geom::{ConservativeLine, Mbr, Point};
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"FZKN";
+/// Format version understood by this build.
+pub const VERSION: u16 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 4 + 2 + 2 + 8;
+/// Trailer length in bytes.
+pub const TRAILER_LEN: usize = 8 + 8 + 8 + 4;
+
+/// FNV-1a 64-bit over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Little-endian byte writer over a growable buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encoder with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { buf: Vec::with_capacity(n) }
+    }
+
+    /// Append a u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an f64.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the buffer.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Little-endian byte reader with bounds checking.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.buf.len() {
+            return Err(StoreError::Corrupt {
+                reason: format!(
+                    "unexpected end of data: need {} bytes at offset {}, have {}",
+                    n,
+                    self.pos,
+                    self.buf.len()
+                ),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a u16.
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an f64.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Encode one object record (including trailing checksum).
+pub fn encode_object<const D: usize>(obj: &FuzzyObject<D>) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(12 + obj.len() * (D + 1) * 8 + 8);
+    e.u64(obj.id().0);
+    e.u32(obj.len() as u32);
+    for (p, mu) in obj.iter() {
+        for i in 0..D {
+            e.f64(p[i]);
+        }
+        e.f64(mu);
+    }
+    let sum = fnv1a(e.as_bytes());
+    e.u64(sum);
+    e.into_bytes()
+}
+
+/// Decode one object record, verifying the checksum and model invariants.
+pub fn decode_object<const D: usize>(bytes: &[u8]) -> Result<FuzzyObject<D>, StoreError> {
+    if bytes.len() < 12 + 8 {
+        return Err(StoreError::Corrupt { reason: "record too short".into() });
+    }
+    let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let computed = fnv1a(payload);
+    if stored != computed {
+        return Err(StoreError::Corrupt {
+            reason: format!("record checksum mismatch: stored {stored:x}, computed {computed:x}"),
+        });
+    }
+    let mut d = Decoder::new(payload);
+    let id = ObjectId(d.u64()?);
+    let n = d.u32()? as usize;
+    let expected = n * (D + 1) * 8;
+    if d.remaining() != expected {
+        return Err(StoreError::Corrupt {
+            reason: format!(
+                "record for {id} declares {n} points but carries {} payload bytes (expected {expected})",
+                d.remaining()
+            ),
+        });
+    }
+    let mut points = Vec::with_capacity(n);
+    let mut mus = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut c = [0.0; D];
+        for x in c.iter_mut() {
+            *x = d.f64()?;
+        }
+        points.push(Point::new(c));
+        mus.push(d.f64()?);
+    }
+    Ok(FuzzyObject::new(id, points, mus)?)
+}
+
+/// Fixed encoded size of one summary.
+pub const fn summary_len(d: usize) -> usize {
+    8 + 4 + 4 + (4 * d + 4 * d + d) * 8
+}
+
+/// Encode one summary into `e`.
+pub fn encode_summary<const D: usize>(e: &mut Encoder, s: &ObjectSummary<D>) {
+    e.u64(s.id.0);
+    e.u32(s.point_count);
+    e.u32(0); // padding / future flags
+    for i in 0..D {
+        e.f64(s.support_mbr.lo(i));
+        e.f64(s.support_mbr.hi(i));
+    }
+    for i in 0..D {
+        e.f64(s.kernel_mbr.lo(i));
+        e.f64(s.kernel_mbr.hi(i));
+    }
+    for line in &s.upper_lines {
+        e.f64(line.m);
+        e.f64(line.t);
+    }
+    for line in &s.lower_lines {
+        e.f64(line.m);
+        e.f64(line.t);
+    }
+    for i in 0..D {
+        e.f64(s.rep[i]);
+    }
+}
+
+/// Decode one summary.
+pub fn decode_summary<const D: usize>(d: &mut Decoder<'_>) -> Result<ObjectSummary<D>, StoreError> {
+    let id = ObjectId(d.u64()?);
+    let point_count = d.u32()?;
+    let _flags = d.u32()?;
+    let read_mbr = |d: &mut Decoder<'_>| -> Result<Mbr<D>, StoreError> {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for i in 0..D {
+            lo[i] = d.f64()?;
+            hi[i] = d.f64()?;
+        }
+        Ok(Mbr::new(lo, hi))
+    };
+    let support_mbr = read_mbr(d)?;
+    let kernel_mbr = read_mbr(d)?;
+    let mut upper_lines = [ConservativeLine::ZERO; D];
+    for line in upper_lines.iter_mut() {
+        *line = ConservativeLine { m: d.f64()?, t: d.f64()? };
+    }
+    let mut lower_lines = [ConservativeLine::ZERO; D];
+    for line in lower_lines.iter_mut() {
+        *line = ConservativeLine { m: d.f64()?, t: d.f64()? };
+    }
+    let mut rep = [0.0; D];
+    for x in rep.iter_mut() {
+        *x = d.f64()?;
+    }
+    Ok(ObjectSummary {
+        id,
+        support_mbr,
+        kernel_mbr,
+        upper_lines,
+        lower_lines,
+        rep: Point::new(rep),
+        point_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_object(id: u64) -> FuzzyObject<2> {
+        let pts = vec![
+            Point::xy(1.5, -2.25),
+            Point::xy(0.0, 0.125),
+            Point::xy(-3.5, 7.0),
+        ];
+        FuzzyObject::new(ObjectId(id), pts, vec![1.0, 0.5, 0.25]).unwrap()
+    }
+
+    #[test]
+    fn object_roundtrip_is_exact() {
+        let obj = sample_object(42);
+        let bytes = encode_object(&obj);
+        let back: FuzzyObject<2> = decode_object(&bytes).unwrap();
+        assert_eq!(back.id(), obj.id());
+        assert_eq!(back.points(), obj.points());
+        assert_eq!(back.memberships(), obj.memberships());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let obj = sample_object(1);
+        let mut bytes = encode_object(&obj);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = decode_object::<2>(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let obj = sample_object(2);
+        let bytes = encode_object(&obj);
+        let err = decode_object::<2>(&bytes[..bytes.len() - 4]).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }));
+        let err = decode_object::<2>(&bytes[..8]).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn summary_roundtrip_is_exact() {
+        let obj = sample_object(7);
+        let s = ObjectSummary::from_object(&obj);
+        let mut e = Encoder::new();
+        encode_summary(&mut e, &s);
+        assert_eq!(e.len(), summary_len(2));
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back: ObjectSummary<2> = decode_summary(&mut d).unwrap();
+        assert_eq!(back.id, s.id);
+        assert_eq!(back.point_count, s.point_count);
+        assert_eq!(back.support_mbr, s.support_mbr);
+        assert_eq!(back.kernel_mbr, s.kernel_mbr);
+        assert_eq!(back.rep, s.rep);
+        for i in 0..2 {
+            assert_eq!(back.upper_lines[i], s.upper_lines[i]);
+            assert_eq!(back.lower_lines[i], s.lower_lines[i]);
+        }
+    }
+
+    #[test]
+    fn fnv_reference_values() {
+        // Known FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn decoder_bounds_checked() {
+        let mut d = Decoder::new(&[1, 2, 3]);
+        assert!(d.u16().is_ok());
+        assert!(d.u32().is_err());
+    }
+}

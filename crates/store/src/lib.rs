@@ -1,0 +1,57 @@
+//! Object storage for fuzzy datasets.
+//!
+//! The paper's setting (Section 3.1): fuzzy objects are large (1 000 points
+//! each in the evaluation), so the R-tree keeps only per-object summaries in
+//! memory "along with a pointer which refers to the actual location on hard
+//! disk"; retrieving an object — a *probe* — is the dominant cost and the
+//! headline metric of every experiment.
+//!
+//! * [`FileStore`] — an append-only binary file of object records with an
+//!   embedded summary section and index; probes use positioned reads
+//!   (`pread`) and count accesses/bytes.
+//! * [`MemStore`] — an in-memory stand-in with identical accounting, for
+//!   tests and small workloads.
+//! * [`CachedStore`] — an LRU wrapper used by the `abl-cache` ablation (the
+//!   paper's algorithms are evaluated *without* caching).
+//! * [`ObjectStore`] — the trait the query processor is generic over.
+
+pub mod cache;
+pub mod error;
+pub mod file_store;
+pub mod format;
+pub mod mem_store;
+pub mod stats;
+
+pub use cache::CachedStore;
+pub use error::StoreError;
+pub use file_store::{FileStore, FileStoreWriter};
+pub use mem_store::MemStore;
+pub use stats::{IoStats, IoStatsSnapshot};
+
+use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+use std::sync::Arc;
+
+/// Abstract object store: the query processor only ever probes by id and
+/// reads the in-memory summary table.
+pub trait ObjectStore<const D: usize> {
+    /// Retrieve one object — this is the "object access" the paper counts.
+    fn probe(&self, id: ObjectId) -> Result<Arc<FuzzyObject<D>>, StoreError>;
+
+    /// Number of stored objects.
+    fn len(&self) -> usize;
+
+    /// True when no objects are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The in-memory summary table (support/kernel MBRs, conservative
+    /// lines, representative points) for index construction.
+    fn summaries(&self) -> &[ObjectSummary<D>];
+
+    /// I/O accounting snapshot.
+    fn stats(&self) -> IoStatsSnapshot;
+
+    /// Reset the I/O counters (between experiment runs).
+    fn reset_stats(&self);
+}

@@ -1,0 +1,120 @@
+//! In-memory object store with the same accounting semantics as
+//! [`crate::FileStore`] — every probe counts as one (simulated) object
+//! access. Used by tests, examples and CPU-bound benchmarks.
+
+use crate::error::StoreError;
+use crate::stats::{IoStats, IoStatsSnapshot};
+use crate::ObjectStore;
+use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A `HashMap`-backed store.
+#[derive(Debug)]
+pub struct MemStore<const D: usize> {
+    objects: HashMap<ObjectId, Arc<FuzzyObject<D>>>,
+    summaries: Vec<ObjectSummary<D>>,
+    stats: IoStats,
+    /// Approximate encoded record size per object, for byte accounting
+    /// parity with the file store.
+    sizes: HashMap<ObjectId, u64>,
+}
+
+impl<const D: usize> MemStore<D> {
+    /// Build from a collection of objects (summaries computed here).
+    pub fn from_objects(objects: impl IntoIterator<Item = FuzzyObject<D>>) -> Result<Self, StoreError> {
+        let mut map = HashMap::new();
+        let mut summaries = Vec::new();
+        let mut sizes = HashMap::new();
+        for obj in objects {
+            if map.contains_key(&obj.id()) {
+                return Err(StoreError::DuplicateObject(obj.id()));
+            }
+            summaries.push(ObjectSummary::from_object(&obj));
+            sizes.insert(obj.id(), (12 + obj.len() * (D + 1) * 8 + 8) as u64);
+            map.insert(obj.id(), Arc::new(obj));
+        }
+        Ok(Self { objects: map, summaries, stats: IoStats::new(), sizes })
+    }
+
+    /// All stored ids.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.summaries.iter().map(|s| s.id).collect()
+    }
+}
+
+impl<const D: usize> ObjectStore<D> for MemStore<D> {
+    fn probe(&self, id: ObjectId) -> Result<Arc<FuzzyObject<D>>, StoreError> {
+        let obj = self
+            .objects
+            .get(&id)
+            .cloned()
+            .ok_or(StoreError::UnknownObject(id))?;
+        self.stats.record_read(self.sizes[&id]);
+        Ok(obj)
+    }
+
+    fn len(&self) -> usize {
+        self.summaries.len()
+    }
+
+    fn summaries(&self) -> &[ObjectSummary<D>] {
+        &self.summaries
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy_geom::Point;
+
+    fn obj(id: u64) -> FuzzyObject<2> {
+        FuzzyObject::new(
+            ObjectId(id),
+            vec![Point::xy(id as f64, 0.0), Point::xy(id as f64 + 1.0, 1.0)],
+            vec![1.0, 0.5],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probe_counts_accesses() {
+        let store = MemStore::from_objects((0..4).map(obj)).unwrap();
+        assert_eq!(store.len(), 4);
+        let _ = store.probe(ObjectId(2)).unwrap();
+        let _ = store.probe(ObjectId(2)).unwrap();
+        assert_eq!(store.stats().object_reads, 2);
+        assert!(store.stats().bytes_read > 0);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = MemStore::from_objects([obj(1), obj(1)]).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateObject(ObjectId(1))));
+    }
+
+    #[test]
+    fn unknown_probe_fails() {
+        let store = MemStore::from_objects([obj(1)]).unwrap();
+        assert!(matches!(
+            store.probe(ObjectId(9)).unwrap_err(),
+            StoreError::UnknownObject(_)
+        ));
+    }
+
+    #[test]
+    fn byte_accounting_matches_file_encoding() {
+        let store = MemStore::from_objects([obj(5)]).unwrap();
+        let _ = store.probe(ObjectId(5)).unwrap();
+        let expected = crate::format::encode_object(&obj(5)).len() as u64;
+        assert_eq!(store.stats().bytes_read, expected);
+    }
+}

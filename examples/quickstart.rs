@@ -1,0 +1,59 @@
+//! Quickstart: generate a dataset, index it, run AKNN and RKNN queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fuzzy_knn::prelude::*;
+
+fn main() {
+    // 1. A small synthetic dataset per the paper's §6.1 (scaled down).
+    let gen = SyntheticConfig {
+        num_objects: 1_000,
+        points_per_object: 200,
+        ..SyntheticConfig::default()
+    };
+    println!("generating {} objects x {} points ...", gen.num_objects, gen.points_per_object);
+    let store = MemStore::from_objects(gen.generate()).expect("valid dataset");
+
+    // 2. Bulk-load the R-tree over the in-memory summaries.
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    println!("indexed: {} objects, R-tree height {}", tree.len(), tree.height());
+    let engine = QueryEngine::new(&tree, &store);
+
+    // 3. AKNN: the 10 nearest objects at confidence 0.5.
+    let query = gen.query_object(42);
+    let res = engine
+        .aknn(&query, 10, 0.5, &AknnConfig::lb_lp_ub())
+        .expect("aknn");
+    println!("\nAKNN  k=10  α=0.5:");
+    for n in &res.neighbors {
+        println!("  {n}");
+    }
+    println!(
+        "  cost: {} object accesses, {} node accesses, {:?}",
+        res.stats.object_accesses, res.stats.node_accesses, res.stats.wall
+    );
+
+    // 4. The same query at a higher confidence can rank differently:
+    // only the crisp parts of each object count.
+    let strict = engine
+        .aknn(&query, 10, 0.9, &AknnConfig::lb_lp_ub())
+        .expect("aknn");
+    let low: Vec<ObjectId> = res.ids();
+    let changed = strict.ids().iter().filter(|id| !low.contains(id)).count();
+    println!("\nAKNN at α=0.9 differs in {changed} of 10 results");
+
+    // 5. RKNN: every 5NN member across α ∈ [0.3, 0.7] with its range.
+    let rknn = engine
+        .rknn(&query, 5, 0.3, 0.7, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
+        .expect("rknn");
+    println!("\nRKNN  k=5  I=[0.3, 0.7]  ({} qualifying objects):", rknn.items.len());
+    for item in &rknn.items {
+        println!("  {item}");
+    }
+    println!(
+        "  cost: {} object accesses ({} candidates after pruning)",
+        rknn.stats.object_accesses, rknn.stats.candidates
+    );
+}

@@ -1,0 +1,157 @@
+//! End-to-end pipeline: generate → write to disk → reopen → index → query,
+//! exercising every crate through the public umbrella API.
+
+use fuzzy_knn::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fuzzy-knn-pipeline-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn synthetic_disk_pipeline() {
+    let path = tmp("synthetic");
+    let gen = SyntheticConfig {
+        num_objects: 300,
+        points_per_object: 120,
+        seed: 99,
+        ..SyntheticConfig::default()
+    };
+    // Write, drop, reopen: queries must work against the reopened file.
+    {
+        let store = fuzzy_knn::datagen::write_dataset(&path, gen.generate()).unwrap();
+        assert_eq!(store.len(), 300);
+    }
+    let store: FileStore<2> = FileStore::open(&path).unwrap();
+    assert_eq!(store.len(), 300);
+
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    tree.validate().unwrap();
+    let engine = QueryEngine::new(&tree, &store);
+    let q = gen.query_object(5);
+
+    let res = engine.aknn(&q, 10, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+    assert_eq!(res.neighbors.len(), 10);
+    assert!(res.stats.object_accesses > 0);
+    assert!(res.stats.object_accesses <= 300);
+
+    // The same query against a MemStore of the same data gives the same
+    // neighbour set (disk layer is transparent).
+    let mem = MemStore::from_objects(gen.generate()).unwrap();
+    let tree2 = RTree::bulk_load(mem.summaries().to_vec(), RTreeConfig::default());
+    let engine2 = QueryEngine::new(&tree2, &mem);
+    let res2 = engine2.aknn(&q, 10, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+    let mut a = res.ids();
+    let mut b = res2.ids();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cell_disk_pipeline_rknn() {
+    let path = tmp("cell");
+    let gen = CellConfig {
+        num_objects: 150,
+        points_per_object: 100,
+        clusters: 4,
+        seed: 123,
+        ..CellConfig::default()
+    };
+    let store = fuzzy_knn::datagen::write_dataset(&path, gen.generate()).unwrap();
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    let engine = QueryEngine::new(&tree, &store);
+    let q = gen.query_object(11);
+
+    let reference = engine
+        .rknn(&q, 5, 0.3, 0.7, RknnAlgorithm::Naive, &AknnConfig::lb_lp_ub())
+        .unwrap();
+    for algo in RknnAlgorithm::paper_variants() {
+        let res = engine.rknn(&q, 5, 0.3, 0.7, algo, &AknnConfig::lb_lp_ub()).unwrap();
+        assert!(
+            res.approx_eq(&reference, 1e-9),
+            "{} disagrees with naive on disk-backed cells",
+            algo.name()
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cached_store_reduces_repeat_probes() {
+    let gen = SyntheticConfig {
+        num_objects: 200,
+        points_per_object: 80,
+        quantize_levels: Some(8), // coarse levels force several RKNN steps
+        seed: 7,
+        ..SyntheticConfig::default()
+    };
+    let inner = MemStore::from_objects(gen.generate()).unwrap();
+    let store = CachedStore::new(inner, 200);
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    let engine = QueryEngine::new(&tree, &store);
+    let q = gen.query_object(1);
+
+    // Basic RKNN repeats AKNN calls; with the cache, repeat probes become
+    // hits instead of object reads (the abl-cache ablation).
+    let res = engine
+        .rknn(&q, 5, 0.1, 0.95, RknnAlgorithm::Basic, &AknnConfig::basic())
+        .unwrap();
+    assert!(res.stats.aknn_calls >= 2, "workload too easy: {:?}", res.stats);
+    let snap = store.stats();
+    assert!(snap.cache_hits > 0, "expected cache hits, got {snap:?}");
+}
+
+#[test]
+fn incremental_index_matches_bulk_load_results() {
+    let gen = SyntheticConfig {
+        num_objects: 250,
+        points_per_object: 60,
+        seed: 31,
+        ..SyntheticConfig::default()
+    };
+    let store = MemStore::from_objects(gen.generate()).unwrap();
+
+    let bulk = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    let mut incr: RTree<2> = RTree::new(RTreeConfig::default());
+    for s in store.summaries() {
+        incr.insert(*s);
+    }
+    incr.validate().unwrap();
+
+    let q = gen.query_object(2);
+    let e1 = QueryEngine::new(&bulk, &store);
+    let e2 = QueryEngine::new(&incr, &store);
+    for alpha in [0.3, 0.7] {
+        let mut a = e1.aknn(&q, 8, alpha, &AknnConfig::lb_lp_ub()).unwrap().ids();
+        let mut b = e2.aknn(&q, 8, alpha, &AknnConfig::lb_lp_ub()).unwrap().ids();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "bulk vs incremental disagree at α={alpha}");
+    }
+}
+
+#[test]
+fn stats_are_coherent_across_layers() {
+    let gen = SyntheticConfig {
+        num_objects: 400,
+        points_per_object: 60,
+        seed: 63,
+        ..SyntheticConfig::default()
+    };
+    let store = MemStore::from_objects(gen.generate()).unwrap();
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    let engine = QueryEngine::new(&tree, &store);
+    let q = gen.query_object(8);
+
+    store.reset_stats();
+    tree.stats().reset();
+    let res = engine.aknn(&q, 15, 0.5, &AknnConfig::lb()).unwrap();
+    // The per-query stats must equal the store/tree counter deltas.
+    assert_eq!(res.stats.object_accesses, store.stats().object_reads);
+    assert_eq!(res.stats.node_accesses, tree.stats().node_accesses());
+    // Without lazy probe, every access implies a distance evaluation.
+    assert_eq!(res.stats.object_accesses, res.stats.distance_evals);
+}
