@@ -30,10 +30,7 @@ pub fn linear_fit(samples: &[(f64, f64)]) -> Option<LinearFit> {
     let intercept = (sy - slope * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = samples
-        .iter()
-        .map(|s| (s.1 - (slope * s.0 + intercept)).powi(2))
-        .sum();
+    let ss_res: f64 = samples.iter().map(|s| (s.1 - (slope * s.0 + intercept)).powi(2)).sum();
     let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     Some(LinearFit { slope, intercept, r2 })
 }

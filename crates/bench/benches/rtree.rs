@@ -54,11 +54,7 @@ fn bench_queries(c: &mut Criterion) {
     for k in [1usize, 20, 100] {
         group.bench_with_input(BenchmarkId::new("knn_by", k), &k, |b, &k| {
             b.iter(|| {
-                tree.knn_by(
-                    k,
-                    |mbr| mbr.min_dist_point(&q),
-                    |e| e.support_mbr.min_dist_point(&q),
-                )
+                tree.knn_by(k, |mbr| mbr.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q))
             })
         });
     }

@@ -15,13 +15,15 @@ use fuzzy_store::{FileStore, ObjectStore};
 use std::collections::HashMap;
 use std::process::exit;
 
+const USAGE: &str = "usage:
+  fkq generate --kind <synthetic|cell> --n <count> [--ppo <points>] [--seed <u64>] --out <path>
+  fkq info <path>
+  fkq aknn <path> --k <k> --alpha <a> [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>]
+  fkq rknn <path> --k <k> --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] \
+[--query-seed <u64>]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage:\n  fkq generate --kind <synthetic|cell> --n <count> [--ppo <points>] \
-         [--seed <u64>] --out <path>\n  fkq info <path>\n  fkq aknn <path> --k <k> --alpha <a> \
-         [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>]\n  fkq rknn <path> --k <k> \
-         --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] [--query-seed <u64>]"
-    );
+    eprintln!("{USAGE}");
     exit(2)
 }
 
@@ -59,6 +61,10 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    if matches!(args[0].as_str(), "--help" | "-h" | "help") {
+        println!("fkq — query fuzzy-knn object stores\n\n{USAGE}");
+        return;
+    }
     let (pos, flags) = parse_flags(&args[1..]);
     match args[0].as_str() {
         "generate" => generate(&flags),
@@ -77,11 +83,17 @@ fn generate(flags: &HashMap<String, String>) {
     let out = flags.get("out").cloned().unwrap_or_else(|| usage());
     let store = match kind.as_str() {
         "synthetic" => {
-            let cfg = SyntheticConfig { num_objects: n, points_per_object: ppo, seed, ..Default::default() };
+            let cfg = SyntheticConfig {
+                num_objects: n,
+                points_per_object: ppo,
+                seed,
+                ..Default::default()
+            };
             fuzzy_datagen::write_dataset(&out, cfg.generate())
         }
         "cell" => {
-            let cfg = CellConfig { num_objects: n, points_per_object: ppo, seed, ..Default::default() };
+            let cfg =
+                CellConfig { num_objects: n, points_per_object: ppo, seed, ..Default::default() };
             fuzzy_datagen::write_dataset(&out, cfg.generate())
         }
         other => {
@@ -194,12 +206,10 @@ fn rknn(path: &str, flags: &HashMap<String, String>) {
     let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
     store.reset_stats();
     let engine = QueryEngine::new(&tree, &store);
-    let res = engine
-        .rknn(&q, k, start, end, algo, &AknnConfig::lb_lp_ub())
-        .unwrap_or_else(|e| {
-            eprintln!("query failed: {e}");
-            exit(1)
-        });
+    let res = engine.rknn(&q, k, start, end, algo, &AknnConfig::lb_lp_ub()).unwrap_or_else(|e| {
+        eprintln!("query failed: {e}");
+        exit(1)
+    });
     println!("range {k}NN of {} over [{start}, {end}] ({}):", q.id(), algo.name());
     for item in &res.items {
         println!("  {item}");

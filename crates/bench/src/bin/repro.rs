@@ -169,11 +169,13 @@ fn table2(opts: &Opts) {
     t.emit("table2");
 }
 
-fn aknn_row(env: &Env, queries: &[fuzzy_core::FuzzyObject<2>], k: usize, alpha: f64) -> Vec<QueryStats> {
-    AknnConfig::paper_variants()
-        .iter()
-        .map(|cfg| env.run_aknn(queries, k, alpha, cfg))
-        .collect()
+fn aknn_row(
+    env: &Env,
+    queries: &[fuzzy_core::FuzzyObject<2>],
+    k: usize,
+    alpha: f64,
+) -> Vec<QueryStats> {
+    AknnConfig::paper_variants().iter().map(|cfg| env.run_aknn(queries, k, alpha, cfg)).collect()
 }
 
 const AKNN_HEADER: [&str; 9] = [
@@ -247,15 +249,8 @@ fn fig11c(opts: &Opts) {
     t.emit("fig11c");
 }
 
-const RKNN_HEADER: [&str; 7] = [
-    "x",
-    "Basic:acc",
-    "RSS:acc",
-    "RSS-ICR:acc",
-    "Basic:ms",
-    "RSS:ms",
-    "RSS-ICR:ms",
-];
+const RKNN_HEADER: [&str; 7] =
+    ["x", "Basic:acc", "RSS:acc", "RSS-ICR:acc", "Basic:ms", "RSS:ms", "RSS-ICR:ms"];
 
 fn rknn_rows(
     env: &Env,
@@ -328,12 +323,8 @@ fn sec5(opts: &Opts) {
     let queries = spec.queries(opts.queries);
 
     // Model inputs measured from the data.
-    let centers: Vec<Point<2>> = env
-        .store
-        .summaries()
-        .iter()
-        .map(|s: &ObjectSummary<2>| s.support_mbr.center())
-        .collect();
+    let centers: Vec<Point<2>> =
+        env.store.summaries().iter().map(|s: &ObjectSummary<2>| s.support_mbr.center()).collect();
     let d0 = box_counting_dimension(&centers, 8).unwrap_or(2.0);
     let d2 = correlation_dimension(&centers, 8).unwrap_or(2.0);
     let c_avg = env.tree.avg_leaf_fill();
@@ -487,7 +478,8 @@ fn abl_bulk(opts: &Opts) {
     let incr_build = t_incr.elapsed();
     incr.validate().expect("valid incremental tree");
 
-    let mut t = Table::new(&["load", "build ms", "height", "leaves", "node acc/query", "obj acc/query"]);
+    let mut t =
+        Table::new(&["load", "build ms", "height", "leaves", "node acc/query", "obj acc/query"]);
     for (name, tree, build) in [("STR bulk", &bulk, bulk_build), ("R* insert", &incr, incr_build)] {
         let engine = QueryEngine::new(tree, &store);
         let mut stats = Vec::new();

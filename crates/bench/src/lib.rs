@@ -128,10 +128,8 @@ impl Env {
         cfg: &AknnConfig,
     ) -> QueryStats {
         let engine = self.engine();
-        let stats: Vec<QueryStats> = queries
-            .iter()
-            .map(|q| engine.aknn(q, k, alpha, cfg).expect("aknn").stats)
-            .collect();
+        let stats: Vec<QueryStats> =
+            queries.iter().map(|q| engine.aknn(q, k, alpha, cfg).expect("aknn").stats).collect();
         QueryStats::mean(&stats)
     }
 
@@ -147,12 +145,7 @@ impl Env {
         let engine = self.engine();
         let stats: Vec<QueryStats> = queries
             .iter()
-            .map(|q| {
-                engine
-                    .rknn(q, k, range.0, range.1, algo, cfg)
-                    .expect("rknn")
-                    .stats
-            })
+            .map(|q| engine.rknn(q, k, range.0, range.1, algo, cfg).expect("rknn").stats)
             .collect();
         QueryStats::mean(&stats)
     }
@@ -200,12 +193,7 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
@@ -249,12 +237,8 @@ mod tests {
 
     #[test]
     fn spec_paths_distinguish_parameters() {
-        let a = DatasetSpec {
-            kind: DatasetKind::Synthetic,
-            n: 100,
-            points_per_object: 50,
-            seed: 1,
-        };
+        let a =
+            DatasetSpec { kind: DatasetKind::Synthetic, n: 100, points_per_object: 50, seed: 1 };
         let b = DatasetSpec { n: 200, ..a };
         assert_ne!(a.path(), b.path());
         let c = DatasetSpec { kind: DatasetKind::Cell, ..a };
@@ -264,12 +248,8 @@ mod tests {
     #[test]
     fn end_to_end_small_experiment() {
         std::env::set_var("FUZZY_DATASET_DIR", std::env::temp_dir().join("fzkn-bench-test"));
-        let spec = DatasetSpec {
-            kind: DatasetKind::Synthetic,
-            n: 60,
-            points_per_object: 40,
-            seed: 5,
-        };
+        let spec =
+            DatasetSpec { kind: DatasetKind::Synthetic, n: 60, points_per_object: 40, seed: 5 };
         let env = Env::prepare(&spec);
         assert_eq!(env.tree.len(), 60);
         let queries = spec.queries(2);
@@ -280,7 +260,8 @@ mod tests {
         let basic = env.run_aknn(&queries, 5, 0.5, &AknnConfig::basic());
         assert!(basic.object_accesses > 0);
         assert!(stats.object_accesses <= basic.object_accesses);
-        let rstats = env.run_rknn(&queries, 3, (0.4, 0.6), RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub());
+        let rstats =
+            env.run_rknn(&queries, 3, (0.4, 0.6), RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub());
         assert!(rstats.object_accesses > 0);
     }
 }

@@ -82,20 +82,12 @@ impl<const D: usize> BoundaryFunctions<D> {
     /// The `⟨α, δ(α)⟩` sample pairs for the upper side of dimension `dim` —
     /// input to the conservative line fit.
     pub fn upper_samples(&self, dim: usize) -> Vec<(f64, f64)> {
-        self.levels
-            .iter()
-            .zip(&self.upper)
-            .map(|(&l, row)| (l, row[dim]))
-            .collect()
+        self.levels.iter().zip(&self.upper).map(|(&l, row)| (l, row[dim])).collect()
     }
 
     /// The `⟨α, δ(α)⟩` sample pairs for the lower side of dimension `dim`.
     pub fn lower_samples(&self, dim: usize) -> Vec<(f64, f64)> {
-        self.levels
-            .iter()
-            .zip(&self.lower)
-            .map(|(&l, row)| (l, row[dim]))
-            .collect()
+        self.levels.iter().zip(&self.lower).map(|(&l, row)| (l, row[dim])).collect()
     }
 }
 
@@ -108,11 +100,11 @@ mod tests {
 
     fn obj() -> FuzzyObject<2> {
         let pts = vec![
-            Point::xy(0.0, 0.0),  // kernel
-            Point::xy(1.0, 0.5),  // µ .5
-            Point::xy(-1.0, -0.5),// µ .5
-            Point::xy(3.0, 2.0),  // µ .2
-            Point::xy(-3.0, -2.0),// µ .2
+            Point::xy(0.0, 0.0),   // kernel
+            Point::xy(1.0, 0.5),   // µ .5
+            Point::xy(-1.0, -0.5), // µ .5
+            Point::xy(3.0, 2.0),   // µ .2
+            Point::xy(-3.0, -2.0), // µ .2
         ];
         FuzzyObject::new(ObjectId(1), pts, vec![1.0, 0.5, 0.5, 0.2, 0.2]).unwrap()
     }
@@ -123,9 +115,7 @@ mod tests {
         let bf = BoundaryFunctions::compute(&a);
         let kernel = a.kernel_mbr();
         for (j, &level) in bf.levels.iter().enumerate() {
-            let cut = a
-                .cut_mbr(Threshold::at(level.max(f64::MIN_POSITIVE)))
-                .unwrap();
+            let cut = a.cut_mbr(Threshold::at(level.max(f64::MIN_POSITIVE))).unwrap();
             for i in 0..2 {
                 assert!(
                     (bf.upper[j][i] - (cut.hi(i) - kernel.hi(i)).max(0.0)).abs() < 1e-12,

@@ -120,10 +120,9 @@ mod tests {
                     let slow = alpha_distance_brute(&a, &b, t);
                     match (fast, slow) {
                         (None, None) => {}
-                        (Some(f), Some(s)) => assert!(
-                            (f - s).abs() < 1e-12,
-                            "seed {seed} t {t}: {f} vs {s}"
-                        ),
+                        (Some(f), Some(s)) => {
+                            assert!((f - s).abs() < 1e-12, "seed {seed} t {t}: {f} vs {s}")
+                        }
                         other => panic!("seed {seed} t {t}: {other:?}"),
                     }
                 }
@@ -176,10 +175,7 @@ mod tests {
         let b = blob(10, 60, 5.0, 0.0);
         let t = Threshold::at(0.5);
         let exact = alpha_distance(&a, &b, t).unwrap();
-        assert_eq!(
-            alpha_distance_bounded(&a, &b, t, exact + 0.5).unwrap(),
-            exact
-        );
+        assert_eq!(alpha_distance_bounded(&a, &b, t, exact + 0.5).unwrap(), exact);
         assert_eq!(alpha_distance_bounded(&a, &b, t, exact * 0.9), None);
     }
 

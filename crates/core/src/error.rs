@@ -35,10 +35,9 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::EmptyObject => write!(f, "fuzzy object must contain at least one point"),
-            Self::InvalidMembership { index, value } => write!(
-                f,
-                "membership value {value} at point {index} is outside (0, 1]"
-            ),
+            Self::InvalidMembership { index, value } => {
+                write!(f, "membership value {value} at point {index} is outside (0, 1]")
+            }
             Self::NonFiniteCoordinate { index } => {
                 write!(f, "point {index} has a non-finite coordinate")
             }
@@ -47,10 +46,9 @@ impl fmt::Display for ModelError {
                 "fuzzy object has an empty kernel (no point with membership 1); \
                  normalize memberships or use FuzzyObjectBuilder::normalize_max"
             ),
-            Self::LengthMismatch { points, memberships } => write!(
-                f,
-                "length mismatch: {points} points vs {memberships} membership values"
-            ),
+            Self::LengthMismatch { points, memberships } => {
+                write!(f, "length mismatch: {points} points vs {memberships} membership values")
+            }
         }
     }
 }

@@ -104,8 +104,7 @@ impl<const D: usize> FuzzyObject<D> {
 
     /// The lazily built, cached kd-tree over the object's points.
     pub fn kd_tree(&self) -> &KdTree<D> {
-        self.kd
-            .get_or_init(|| KdTree::build(&self.points, &self.memberships))
+        self.kd.get_or_init(|| KdTree::build(&self.points, &self.memberships))
     }
 
     /// MBR of the support set (`M_A` = `M_A(0)` in the paper's notation).
@@ -115,12 +114,8 @@ impl<const D: usize> FuzzyObject<D> {
 
     /// MBR of the kernel set (`M_A(1)`); the kernel is never empty.
     pub fn kernel_mbr(&self) -> Mbr<D> {
-        Mbr::from_points(
-            self.iter()
-                .filter(|&(_, mu)| mu == 1.0)
-                .map(|(p, _)| p),
-        )
-        .expect("kernel is non-empty by construction")
+        Mbr::from_points(self.iter().filter(|&(_, mu)| mu == 1.0).map(|(p, _)| p))
+            .expect("kernel is non-empty by construction")
     }
 
     /// Indices of points belonging to the cut selected by `t`.
@@ -141,11 +136,7 @@ impl<const D: usize> FuzzyObject<D> {
     /// Exact MBR of the cut selected by `t` (`M_A(α)`), or `None` when the
     /// cut is empty (only possible for strict thresholds at high values).
     pub fn cut_mbr(&self, t: Threshold) -> Option<Mbr<D>> {
-        Mbr::from_points(
-            self.iter()
-                .filter(|&(_, mu)| t.accepts(mu))
-                .map(|(p, _)| p),
-        )
+        Mbr::from_points(self.iter().filter(|&(_, mu)| t.accepts(mu)).map(|(p, _)| p))
     }
 
     /// The distinct membership values `U_A`, ascending (Section 3.2).
@@ -258,11 +249,7 @@ impl<const D: usize> FuzzyObjectBuilder<D> {
     /// Validate and build.
     pub fn build(mut self, id: ObjectId) -> Result<FuzzyObject<D>, ModelError> {
         if self.normalize_max {
-            let max = self
-                .memberships
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max = self.memberships.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             if max > 0.0 && max.is_finite() {
                 for mu in &mut self.memberships {
                     *mu /= max;
@@ -322,12 +309,7 @@ mod tests {
             ModelError::LengthMismatch { .. }
         ));
         assert!(matches!(
-            FuzzyObject::new(
-                ObjectId(0),
-                vec![Point::xy(f64::NAN, 0.0)],
-                vec![1.0]
-            )
-            .unwrap_err(),
+            FuzzyObject::new(ObjectId(0), vec![Point::xy(f64::NAN, 0.0)], vec![1.0]).unwrap_err(),
             ModelError::NonFiniteCoordinate { .. }
         ));
     }

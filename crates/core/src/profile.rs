@@ -41,12 +41,7 @@ impl DistanceProfile {
     /// Compute the profile with the descending kd sweep.
     pub fn compute<const D: usize>(a: &FuzzyObject<D>, q: &FuzzyObject<D>) -> Self {
         // Union of distinct levels, descending.
-        let mut levels: Vec<f64> = a
-            .memberships()
-            .iter()
-            .chain(q.memberships())
-            .copied()
-            .collect();
+        let mut levels: Vec<f64> = a.memberships().iter().chain(q.memberships()).copied().collect();
         levels.sort_by(|x, y| y.total_cmp(x));
         levels.dedup();
 

@@ -70,12 +70,10 @@ impl<const D: usize> ObjectSummary<D> {
         for i in 0..D {
             let up = self.upper_lines[i].eval(alpha).max(0.0);
             let dn = self.lower_lines[i].eval(alpha).max(0.0);
-            hi[i] = (self.kernel_mbr.hi(i) + up)
-                .min(self.support_mbr.hi(i))
-                .max(self.kernel_mbr.hi(i));
-            lo[i] = (self.kernel_mbr.lo(i) - dn)
-                .max(self.support_mbr.lo(i))
-                .min(self.kernel_mbr.lo(i));
+            hi[i] =
+                (self.kernel_mbr.hi(i) + up).min(self.support_mbr.hi(i)).max(self.kernel_mbr.hi(i));
+            lo[i] =
+                (self.kernel_mbr.lo(i) - dn).max(self.support_mbr.lo(i)).min(self.kernel_mbr.lo(i));
         }
         Mbr::new(lo, hi)
     }
@@ -98,10 +96,7 @@ impl<const D: usize> ObjectSummary<D> {
     /// (Lemma 1): the distance from the kernel representative to the closest
     /// of the sampled query points. Returns `+∞` for an empty sample.
     pub fn rep_upper_bound(&self, query_samples: &[Point<D>]) -> f64 {
-        query_samples
-            .iter()
-            .map(|q| self.rep.dist(q))
-            .fold(f64::INFINITY, f64::min)
+        query_samples.iter().map(|q| self.rep.dist(q)).fold(f64::INFINITY, f64::min)
     }
 }
 

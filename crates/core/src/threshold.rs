@@ -78,9 +78,7 @@ impl Threshold {
     /// before the strict form (`µ ≥ v ⊇ µ > v`).
     #[inline]
     pub fn cmp_cut(&self, other: &Self) -> Ordering {
-        self.value
-            .total_cmp(&other.value)
-            .then_with(|| self.strict.cmp(&other.strict))
+        self.value.total_cmp(&other.value).then_with(|| self.strict.cmp(&other.strict))
     }
 
     /// True when this threshold selects a superset of `other`'s cut

@@ -8,27 +8,23 @@ use proptest::prelude::*;
 
 /// Arbitrary fuzzy object: quantized memberships, guaranteed kernel.
 fn arb_object(id: u64, max_pts: usize) -> impl Strategy<Value = FuzzyObject<2>> {
-    prop::collection::vec(
-        ((-50.0..50.0f64), (-50.0..50.0f64), (1u32..=20)),
-        1..max_pts,
+    prop::collection::vec(((-50.0..50.0f64), (-50.0..50.0f64), (1u32..=20)), 1..max_pts).prop_map(
+        move |raw| {
+            let mut pts: Vec<Point<2>> = Vec::with_capacity(raw.len());
+            let mut mus: Vec<f64> = Vec::with_capacity(raw.len());
+            for (x, y, q) in raw {
+                pts.push(Point::xy(x, y));
+                mus.push(q as f64 / 20.0);
+            }
+            mus[0] = 1.0;
+            FuzzyObject::new(ObjectId(id), pts, mus).unwrap()
+        },
     )
-    .prop_map(move |raw| {
-        let mut pts: Vec<Point<2>> = Vec::with_capacity(raw.len());
-        let mut mus: Vec<f64> = Vec::with_capacity(raw.len());
-        for (x, y, q) in raw {
-            pts.push(Point::xy(x, y));
-            mus.push(q as f64 / 20.0);
-        }
-        mus[0] = 1.0;
-        FuzzyObject::new(ObjectId(id), pts, mus).unwrap()
-    })
 }
 
 fn arb_threshold() -> impl Strategy<Value = Threshold> {
-    ((0u32..=20), any::<bool>()).prop_map(|(v, strict)| Threshold {
-        value: v as f64 / 20.0,
-        strict,
-    })
+    ((0u32..=20), any::<bool>())
+        .prop_map(|(v, strict)| Threshold { value: v as f64 / 20.0, strict })
 }
 
 proptest! {
@@ -129,6 +125,28 @@ proptest! {
                 let inside = prof.value_at(Threshold::above(omega[i - 1])).unwrap();
                 prop_assert!((inside - at).abs() < 1e-12);
             }
+        }
+    }
+
+    /// α-distance is monotone non-decreasing in α (Section 2.1): tightening
+    /// the threshold shrinks both cuts, so the closest pair can only move
+    /// apart. The foundation of RKNN's qualifying-range reasoning.
+    #[test]
+    fn alpha_distance_monotone_in_alpha(
+        a in arb_object(10, 40),
+        b in arb_object(11, 40),
+        t1 in arb_threshold(),
+        t2 in arb_threshold(),
+    ) {
+        let (loose, tight) = if t1.is_looser_or_equal(&t2) { (t1, t2) } else { (t2, t1) };
+        match (alpha_distance(&a, &b, loose), alpha_distance(&a, &b, tight)) {
+            (Some(dl), Some(dt)) => prop_assert!(
+                dl <= dt + 1e-9,
+                "d at loose {loose} is {dl} > d at tight {tight} is {dt}"
+            ),
+            // A non-empty tight cut implies a non-empty loose cut.
+            (None, Some(_)) => prop_assert!(false, "cut vanished at the looser threshold"),
+            _ => {}
         }
     }
 

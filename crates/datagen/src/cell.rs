@@ -147,9 +147,7 @@ impl CellConfig {
             let mu = ((core * speckle * levels).ceil().max(1.0)) / levels;
             b.push(Point::xy(cx + dx, cy + dy), mu);
         }
-        b.normalize_max(true)
-            .build(id)
-            .expect("generator produces valid objects")
+        b.normalize_max(true).build(id).expect("generator produces valid objects")
     }
 }
 
@@ -199,7 +197,8 @@ mod tests {
 
     #[test]
     fn clustering_concentrates_centers() {
-        let clustered = CellConfig { num_objects: 200, clusters: 2, cluster_spread: 1.0, ..small() };
+        let clustered =
+            CellConfig { num_objects: 200, clusters: 2, cluster_spread: 1.0, ..small() };
         let uniform = CellConfig { num_objects: 200, clusters: 0, ..small() };
         let spread = |cfg: &CellConfig| {
             let centers: Vec<(f64, f64)> = cfg
@@ -211,10 +210,7 @@ mod tests {
                 .collect();
             let mx = centers.iter().map(|c| c.0).sum::<f64>() / centers.len() as f64;
             let my = centers.iter().map(|c| c.1).sum::<f64>() / centers.len() as f64;
-            centers
-                .iter()
-                .map(|c| ((c.0 - mx).powi(2) + (c.1 - my).powi(2)).sqrt())
-                .sum::<f64>()
+            centers.iter().map(|c| ((c.0 - mx).powi(2) + (c.1 - my).powi(2)).sqrt()).sum::<f64>()
                 / centers.len() as f64
         };
         assert!(spread(&clustered) < spread(&uniform));

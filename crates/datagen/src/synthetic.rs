@@ -80,9 +80,7 @@ impl SyntheticConfig {
             }
             b.push(Point::xy(cx + dx, cy + dy), mu);
         }
-        b.normalize_max(true)
-            .build(id)
-            .expect("generator produces valid objects")
+        b.normalize_max(true).build(id).expect("generator produces valid objects")
     }
 }
 

@@ -36,27 +36,11 @@ pub fn bichromatic_closest_pair<const D: usize>(
     filter_b: LevelFilter,
     upper_bound: f64,
 ) -> Option<PairResult> {
-    let mut best_sq = if upper_bound.is_finite() {
-        upper_bound * upper_bound
-    } else {
-        f64::INFINITY
-    };
+    let mut best_sq =
+        if upper_bound.is_finite() { upper_bound * upper_bound } else { f64::INFINITY };
     let mut best: Option<(u32, u32)> = None;
-    descend(
-        a,
-        b,
-        a.root_id(),
-        b.root_id(),
-        filter_a,
-        filter_b,
-        &mut best_sq,
-        &mut best,
-    );
-    best.map(|(i, j)| PairResult {
-        dist: best_sq.sqrt(),
-        i: i as usize,
-        j: j as usize,
-    })
+    descend(a, b, a.root_id(), b.root_id(), filter_a, filter_b, &mut best_sq, &mut best);
+    best.map(|(i, j)| PairResult { dist: best_sq.sqrt(), i: i as usize, j: j as usize })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -142,10 +126,7 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next_f64(&mut self) -> f64 {
-            self.0 = self
-                .0
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (self.0 >> 11) as f64 / (1u64 << 53) as f64
         }
     }
@@ -193,8 +174,8 @@ mod tests {
             for lvl in [0.0, 0.2, 0.5, 0.8, 1.0] {
                 for strict in [false, true] {
                     let f = LevelFilter { min: lvl, strict };
-                    let got = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY)
-                        .map(|r| r.dist);
+                    let got =
+                        bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY).map(|r| r.dist);
                     let want = brute(&a, &b, f, f);
                     match (got, want) {
                         (None, None) => {}
@@ -246,13 +227,9 @@ mod tests {
         let ta = KdTree::build(&a.0, &a.1);
         let tb = KdTree::build(&b.0, &b.1);
         let f = LevelFilter::support();
-        let exact = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY)
-            .unwrap()
-            .dist;
+        let exact = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY).unwrap().dist;
         // A generous seed must not change the answer.
-        let seeded = bichromatic_closest_pair(&ta, &tb, f, f, exact + 1.0)
-            .unwrap()
-            .dist;
+        let seeded = bichromatic_closest_pair(&ta, &tb, f, f, exact + 1.0).unwrap().dist;
         assert!((seeded - exact).abs() < 1e-12);
         // A seed below the true distance finds nothing.
         assert!(bichromatic_closest_pair(&ta, &tb, f, f, exact * 0.5).is_none());

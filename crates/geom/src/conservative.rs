@@ -90,16 +90,16 @@ fn anchor_optimal_line(anchor: Point<2>, samples: &[(f64, f64)]) -> Conservative
 fn line_through(a: Point<2>, b: Point<2>) -> ConservativeLine {
     let dx = b.x() - a.x();
     if dx.abs() < f64::EPSILON {
-        return ConservativeLine {
-            m: 0.0,
-            t: a.y().max(b.y()),
-        };
+        return ConservativeLine { m: 0.0, t: a.y().max(b.y()) };
     }
     let m = (b.y() - a.y()) / dx;
     ConservativeLine { m, t: a.y() - m * a.x() }
 }
 
-fn best_of(candidates: impl IntoIterator<Item = ConservativeLine>, samples: &[(f64, f64)]) -> ConservativeLine {
+fn best_of(
+    candidates: impl IntoIterator<Item = ConservativeLine>,
+    samples: &[(f64, f64)],
+) -> ConservativeLine {
     candidates
         .into_iter()
         .map(|c| c.lifted(samples))

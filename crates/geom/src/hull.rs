@@ -53,11 +53,7 @@ pub fn upper_hull_2d(points: &[Point<2>]) -> Vec<Point<2>> {
     }
     let mut pts: Vec<Point<2>> = points.to_vec();
     // Sort by x asc then y desc so the first of each x-group is the topmost.
-    pts.sort_by(|a, b| {
-        a.x()
-            .total_cmp(&b.x())
-            .then_with(|| b.y().total_cmp(&a.y()))
-    });
+    pts.sort_by(|a, b| a.x().total_cmp(&b.x()).then_with(|| b.y().total_cmp(&a.y())));
     pts.dedup_by(|next, kept| next.x() == kept.x());
 
     let mut hull: Vec<Point<2>> = Vec::with_capacity(pts.len());
@@ -113,14 +109,8 @@ mod tests {
 
     #[test]
     fn hull_of_square_with_interior_points() {
-        let pts = vec![
-            p(0.0, 0.0),
-            p(1.0, 0.0),
-            p(1.0, 1.0),
-            p(0.0, 1.0),
-            p(0.5, 0.5),
-            p(0.25, 0.75),
-        ];
+        let pts =
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.5, 0.5), p(0.25, 0.75)];
         let hull = convex_hull_2d(&pts);
         assert_eq!(hull.len(), 4);
         for corner in [p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)] {
@@ -183,10 +173,7 @@ mod tests {
         }
         let hull = upper_hull_2d(&pts);
         for q in &pts {
-            assert!(
-                upper_hull_eval(&hull, q.x()) >= q.y() - 1e-9,
-                "point {q:?} above hull"
-            );
+            assert!(upper_hull_eval(&hull, q.x()) >= q.y() - 1e-9, "point {q:?} above hull");
         }
     }
 

@@ -89,11 +89,7 @@ impl<const D: usize> KdTree<D> {
     /// # Panics
     /// When the slices differ in length or are empty.
     pub fn build(points: &[Point<D>], memberships: &[f64]) -> Self {
-        assert_eq!(
-            points.len(),
-            memberships.len(),
-            "points/memberships length mismatch"
-        );
+        assert_eq!(points.len(), memberships.len(), "points/memberships length mismatch");
         assert!(!points.is_empty(), "cannot build a kd-tree over no points");
         let n = points.len();
         let mut tree = Self {
@@ -108,21 +104,14 @@ impl<const D: usize> KdTree<D> {
     }
 
     fn build_range(&mut self, start: usize, end: usize) -> u32 {
-        let mbr = Mbr::from_points(self.pts[start..end].iter())
-            .expect("non-empty range");
-        let max_mu = self.mus[start..end]
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let mbr = Mbr::from_points(self.pts[start..end].iter()).expect("non-empty range");
+        let max_mu = self.mus[start..end].iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if end - start <= LEAF_SIZE {
             let id = self.nodes.len() as u32;
             self.nodes.push(Node {
                 mbr,
                 max_mu,
-                kind: NodeKind::Leaf {
-                    start: start as u32,
-                    end: end as u32,
-                },
+                kind: NodeKind::Leaf { start: start as u32, end: end as u32 },
             });
             return id;
         }
@@ -148,11 +137,7 @@ impl<const D: usize> KdTree<D> {
         let left = self.build_range(start, mid);
         let right = self.build_range(mid, end);
         let id = self.nodes.len() as u32;
-        self.nodes.push(Node {
-            mbr,
-            max_mu,
-            kind: NodeKind::Internal { left, right },
-        });
+        self.nodes.push(Node { mbr, max_mu, kind: NodeKind::Internal { left, right } });
         id
     }
 
@@ -373,12 +358,8 @@ mod tests {
     #[test]
     fn nn_matches_brute_force_across_filters() {
         let (pts, mus, tree) = grid_tree();
-        let queries = [
-            Point::xy(4.5, 4.5),
-            Point::xy(-3.0, 2.0),
-            Point::xy(20.0, 20.0),
-            Point::xy(0.0, 9.0),
-        ];
+        let queries =
+            [Point::xy(4.5, 4.5), Point::xy(-3.0, 2.0), Point::xy(20.0, 20.0), Point::xy(0.0, 9.0)];
         for &q in &queries {
             for lvl in [0.0, 0.3, 0.5, 0.9, 1.0] {
                 for strict in [false, true] {
@@ -403,9 +384,7 @@ mod tests {
     #[test]
     fn filter_excluding_everything_returns_none() {
         let (_, _, tree) = grid_tree();
-        assert!(tree
-            .nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::above(1.0))
-            .is_none());
+        assert!(tree.nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::above(1.0)).is_none());
     }
 
     #[test]
@@ -430,14 +409,10 @@ mod tests {
     fn singleton_tree() {
         let tree = KdTree::build(&[Point::xy(1.0, 2.0)], &[0.8]);
         assert_eq!(tree.len(), 1);
-        let (i, d) = tree
-            .nn_filtered(&Point::xy(1.0, 3.0), LevelFilter::at_least(0.5))
-            .unwrap();
+        let (i, d) = tree.nn_filtered(&Point::xy(1.0, 3.0), LevelFilter::at_least(0.5)).unwrap();
         assert_eq!(i, 0);
         assert!((d - 1.0).abs() < 1e-12);
-        assert!(tree
-            .nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::at_least(0.9))
-            .is_none());
+        assert!(tree.nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::at_least(0.9)).is_none());
     }
 
     #[test]

@@ -22,20 +22,14 @@ impl<const D: usize> Mbr<D> {
     /// `lo[i] > hi[i]` — an inverted rectangle is always a logic error.
     #[inline]
     pub fn new(lo: [f64; D], hi: [f64; D]) -> Self {
-        debug_assert!(
-            (0..D).all(|i| lo[i] <= hi[i]),
-            "inverted MBR: {lo:?} > {hi:?}"
-        );
+        debug_assert!((0..D).all(|i| lo[i] <= hi[i]), "inverted MBR: {lo:?} > {hi:?}");
         Self { lo, hi }
     }
 
     /// The degenerate rectangle covering exactly one point.
     #[inline]
     pub fn from_point(p: &Point<D>) -> Self {
-        Self {
-            lo: *p.coords(),
-            hi: *p.coords(),
-        }
+        Self { lo: *p.coords(), hi: *p.coords() }
     }
 
     /// Tightest rectangle enclosing all `points`; `None` when empty.
@@ -56,10 +50,7 @@ impl<const D: usize> Mbr<D> {
     /// useful as a fold seed. Never returned by queries.
     #[inline]
     pub fn empty() -> Self {
-        Self {
-            lo: [f64::INFINITY; D],
-            hi: [f64::NEG_INFINITY; D],
-        }
+        Self { lo: [f64::INFINITY; D], hi: [f64::NEG_INFINITY; D] }
     }
 
     /// True for the [`Mbr::empty`] sentinel.
@@ -230,9 +221,7 @@ impl<const D: usize> Mbr<D> {
     pub fn max_dist_sq(&self, other: &Self) -> f64 {
         let mut acc = 0.0;
         for i in 0..D {
-            let l = (self.hi[i] - other.lo[i])
-                .abs()
-                .max((self.lo[i] - other.hi[i]).abs());
+            let l = (self.hi[i] - other.lo[i]).abs().max((self.lo[i] - other.hi[i]).abs());
             acc += l * l;
         }
         acc

@@ -150,6 +150,82 @@ proptest! {
         }
     }
 
+    /// Closest-pair distance is bounded above by the distance between any
+    /// concrete member pair — in particular the kernel representatives
+    /// (index 0, µ = 1, accepted by every level filter). This is the
+    /// geometric fact behind the paper's representative-point upper bound.
+    #[test]
+    fn closest_pair_le_representative_distance(
+        (pa, ma) in arb_cloud(40),
+        (pb, mb) in arb_cloud(40),
+        lvl in 0.0..=1.0f64,
+    ) {
+        let ta = KdTree::build(&pa, &ma);
+        let tb = KdTree::build(&pb, &mb);
+        let f = LevelFilter::at_least(lvl);
+        let got = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY)
+            .expect("kernels are non-empty")
+            .dist;
+        prop_assert!(got <= pa[0].dist(&pb[0]) + 1e-9);
+        // The filtered centroids are convex combinations of members, so
+        // their distance is dominated by the maximum cross distance, which
+        // brackets the closest pair from the other side:
+        //   closest pair ≤ representative distance ≤ max cross,
+        //   centroid distance ≤ max cross.
+        let centroid = |pts: &[Point<2>], mus: &[f64]| {
+            let mut acc = Point::xy(0.0, 0.0);
+            let mut n = 0.0;
+            for (p, &mu) in pts.iter().zip(mus) {
+                if f.accepts(mu) {
+                    acc = acc.add(p);
+                    n += 1.0;
+                }
+            }
+            acc.scale(1.0 / n)
+        };
+        let (ca, cb) = (centroid(&pa, &ma), centroid(&pb, &mb));
+        let max_cross = pa.iter().zip(&ma)
+            .filter(|(_, &mu)| f.accepts(mu))
+            .flat_map(|(p, _)| {
+                pb.iter().zip(&mb).filter(|(_, &nu)| f.accepts(nu)).map(move |(q, _)| p.dist(q))
+            })
+            .fold(0.0, f64::max);
+        prop_assert!(pa[0].dist(&pb[0]) <= max_cross + 1e-9);
+        prop_assert!(ca.dist(&cb) <= max_cross + 1e-9);
+        prop_assert!(got <= max_cross + 1e-9);
+    }
+
+    /// The MinDist of the filtered sets' MBRs lower-bounds the exact
+    /// filtered closest-pair distance (the index-level pruning bound used
+    /// as the α-distance lower bound, Eq. 1).
+    #[test]
+    fn mbr_min_dist_lower_bounds_closest_pair(
+        (pa, ma) in arb_cloud(40),
+        (pb, mb) in arb_cloud(40),
+        lvl in 0.0..=1.0f64,
+    ) {
+        let f = LevelFilter::at_least(lvl);
+        let filtered = |pts: &[Point<2>], mus: &[f64]| -> Vec<Point<2>> {
+            pts.iter().zip(mus).filter(|(_, &mu)| f.accepts(mu)).map(|(p, _)| *p).collect()
+        };
+        let (fa, fb) = (filtered(&pa, &ma), filtered(&pb, &mb));
+        let mbr_a = Mbr::from_points(fa.iter()).expect("kernel keeps the cut non-empty");
+        let mbr_b = Mbr::from_points(fb.iter()).expect("kernel keeps the cut non-empty");
+        let ta = KdTree::build(&pa, &ma);
+        let tb = KdTree::build(&pb, &mb);
+        let exact = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY).unwrap().dist;
+        prop_assert!(mbr_a.min_dist(&mbr_b) <= exact + 1e-9);
+        // And MaxDist brackets it from above.
+        prop_assert!(exact <= mbr_a.max_dist(&mbr_b) + 1e-9);
+        // The MBRs really are minimal: every filtered point is contained.
+        for p in &fa {
+            prop_assert!(mbr_a.contains_point(p));
+        }
+        for p in &fb {
+            prop_assert!(mbr_b.contains_point(p));
+        }
+    }
+
     /// Closest pair distance is monotone non-decreasing in the level —
     /// the geometric root of the α-distance monotonicity (Section 2.1).
     #[test]

@@ -25,9 +25,7 @@ impl<const D: usize> RTree<D> {
         let mut groups: Vec<Vec<ObjectSummary<D>>> = Vec::new();
         str_tile(&mut entries, 0, cap, &mut |group| groups.push(group.to_vec()));
         for group in groups {
-            let mbr = group
-                .iter()
-                .fold(Mbr::empty(), |acc, s| acc.union(&s.support_mbr));
+            let mbr = group.iter().fold(Mbr::empty(), |acc, s| acc.union(&s.support_mbr));
             let id = tree.alloc(Node::Leaf { mbr, entries: group });
             leaves.push(id);
         }
@@ -41,18 +39,12 @@ impl<const D: usize> RTree<D> {
                 id: NodeId,
                 mbr: Mbr<D>,
             }
-            let mut items: Vec<Item<D>> = level
-                .iter()
-                .map(|&id| Item { id, mbr: *tree.node_mbr(id) })
-                .collect();
+            let mut items: Vec<Item<D>> =
+                level.iter().map(|&id| Item { id, mbr: *tree.node_mbr(id) }).collect();
             let mut parent_groups: Vec<Vec<Item<D>>> = Vec::new();
-            str_tile_by(
-                &mut items,
-                0,
-                cap,
-                &|it: &Item<D>| it.mbr.center(),
-                &mut |group| parent_groups.push(group.to_vec()),
-            );
+            str_tile_by(&mut items, 0, cap, &|it: &Item<D>| it.mbr.center(), &mut |group| {
+                parent_groups.push(group.to_vec())
+            });
             let mut parents = Vec::with_capacity(parent_groups.len());
             for group in parent_groups {
                 let mbr = group.iter().fold(Mbr::empty(), |acc, it| acc.union(&it.mbr));

@@ -45,8 +45,7 @@ impl<const D: usize> RTree<D> {
             Node::Internal { mbr, children } => {
                 *mbr = mbr.union(&entry.support_mbr);
                 let children_snapshot = children.clone();
-                let child =
-                    self.choose_subtree(&children_snapshot, &entry.support_mbr, level - 1);
+                let child = self.choose_subtree(&children_snapshot, &entry.support_mbr, level - 1);
                 let split = self.insert_rec(child, entry, level - 1);
                 if let Some((l, r)) = split {
                     // Replace the split child with its two halves.
@@ -108,11 +107,8 @@ impl<const D: usize> RTree<D> {
             Node::Leaf { entries, .. } => std::mem::take(entries),
             Node::Internal { .. } => unreachable!("split_leaf on internal node"),
         };
-        let (a, b) = split_groups(
-            entries,
-            |e: &ObjectSummary<D>| e.support_mbr,
-            self.config.min_entries(),
-        );
+        let (a, b) =
+            split_groups(entries, |e: &ObjectSummary<D>| e.support_mbr, self.config.min_entries());
         let mbr_a = group_mbr(a.iter().map(|e| e.support_mbr));
         let mbr_b = group_mbr(b.iter().map(|e| e.support_mbr));
         self.nodes[idx] = Node::Leaf { mbr: mbr_a, entries: a };
@@ -131,10 +127,8 @@ impl<const D: usize> RTree<D> {
         let (a, b) = split_groups(mbrs, |(_, m): &(NodeId, Mbr<D>)| *m, self.config.min_entries());
         let mbr_a = group_mbr(a.iter().map(|(_, m)| *m));
         let mbr_b = group_mbr(b.iter().map(|(_, m)| *m));
-        self.nodes[idx] = Node::Internal {
-            mbr: mbr_a,
-            children: a.into_iter().map(|(c, _)| c).collect(),
-        };
+        self.nodes[idx] =
+            Node::Internal { mbr: mbr_a, children: a.into_iter().map(|(c, _)| c).collect() };
         let right = self.alloc(Node::Internal {
             mbr: mbr_b,
             children: b.into_iter().map(|(c, _)| c).collect(),
@@ -272,8 +266,7 @@ mod tests {
 
     #[test]
     fn split_groups_respects_min_entries() {
-        let items: Vec<ObjectSummary<2>> =
-            (0..10).map(|i| summary(i, i as f64, 0.0)).collect();
+        let items: Vec<ObjectSummary<2>> = (0..10).map(|i| summary(i, i as f64, 0.0)).collect();
         let (a, b) = split_groups(items, |e| e.support_mbr, 4);
         assert!(a.len() >= 4 && b.len() >= 4);
         assert_eq!(a.len() + b.len(), 10);

@@ -137,10 +137,7 @@ impl<const D: usize> RTree<D> {
 
     /// Number of leaf nodes (diagnostics and the §5 cost model's `C_avg`).
     pub fn leaf_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Node::Leaf { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
     }
 
     /// Average leaf fill `C_avg = C_max · U_avg` used by Equation 7/8.

@@ -160,17 +160,12 @@ mod tests {
         let tree = build(800, 16);
         let q = Point::xy(37.3, 11.8);
         for k in [1usize, 5, 20, 100] {
-            let hits = tree.knn_by(
-                k,
-                |mbr| mbr.min_dist_point(&q),
-                |e| e.support_mbr.min_dist_point(&q),
-            );
+            let hits =
+                tree.knn_by(k, |mbr| mbr.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
             assert_eq!(hits.len(), k);
             // Linear scan oracle.
-            let mut all: Vec<f64> = tree
-                .iter_entries()
-                .map(|e| e.support_mbr.min_dist_point(&q))
-                .collect();
+            let mut all: Vec<f64> =
+                tree.iter_entries().map(|e| e.support_mbr.min_dist_point(&q)).collect();
             all.sort_by(f64::total_cmp);
             for (i, h) in hits.iter().enumerate() {
                 assert!(
@@ -191,11 +186,8 @@ mod tests {
     fn knn_with_k_larger_than_tree() {
         let tree = build(10, 4);
         let q = Point::xy(0.0, 0.0);
-        let hits = tree.knn_by(
-            50,
-            |mbr| mbr.min_dist_point(&q),
-            |e| e.support_mbr.min_dist_point(&q),
-        );
+        let hits =
+            tree.knn_by(50, |mbr| mbr.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
         assert_eq!(hits.len(), 10);
     }
 
@@ -210,10 +202,8 @@ mod tests {
                 |mbr| mbr.min_dist_point(&q),
                 |e| e.support_mbr.min_dist_point(&q),
             );
-            let want = tree
-                .iter_entries()
-                .filter(|e| e.support_mbr.min_dist_point(&q) <= radius)
-                .count();
+            let want =
+                tree.iter_entries().filter(|e| e.support_mbr.min_dist_point(&q) <= radius).count();
             assert_eq!(res.hits.len(), want, "radius {radius}");
             assert_eq!(res.node_accesses, tree.stats().node_accesses());
         }
@@ -224,11 +214,7 @@ mod tests {
         let tree = build(2500, 16);
         let q = Point::xy(2.0, 2.0);
         tree.stats().reset();
-        let _ = tree.knn_by(
-            5,
-            |mbr| mbr.min_dist_point(&q),
-            |e| e.support_mbr.min_dist_point(&q),
-        );
+        let _ = tree.knn_by(5, |mbr| mbr.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
         let expanded = tree.stats().node_accesses();
         let total_nodes = tree.nodes.len() as u64;
         assert!(

@@ -231,24 +231,23 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
 
     // Evict the most promising deferred entry: probe it and let its exact
     // distance compete in H.
-    let evict =
-        |buffer: &mut Vec<Deferred<D>>,
-         heap: &mut BinaryHeap<MinKey<Item<D>>>,
-         stats: &mut QueryStats,
-         probe: &mut ProbeFn<'_, D>|
-         -> Result<(), QueryError> {
-            let (mut best, mut best_key) = (0usize, f64::INFINITY);
-            for (i, d) in buffer.iter().enumerate() {
-                if d.lo < best_key {
-                    best_key = d.lo;
-                    best = i;
-                }
+    let evict = |buffer: &mut Vec<Deferred<D>>,
+                 heap: &mut BinaryHeap<MinKey<Item<D>>>,
+                 stats: &mut QueryStats,
+                 probe: &mut ProbeFn<'_, D>|
+     -> Result<(), QueryError> {
+        let (mut best, mut best_key) = (0usize, f64::INFINITY);
+        for (i, d) in buffer.iter().enumerate() {
+            if d.lo < best_key {
+                best_key = d.lo;
+                best = i;
             }
-            let victim = buffer.swap_remove(best);
-            let (id, d, obj) = probe(&victim.entry, stats)?;
-            heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
-            Ok(())
-        };
+        }
+        let victim = buffer.swap_remove(best);
+        let (id, d, obj) = probe(&victim.entry, stats)?;
+        heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
+        Ok(())
+    };
 
     while out.len() < k {
         let Some(MinKey { key, item }) = heap.pop() else {
@@ -335,8 +334,7 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
             if n.object.is_none() {
                 let obj = store.probe(n.id)?;
                 stats.distance_evals += 1;
-                let d = alpha_distance(&obj, q, t)
-                    .expect("non-empty cut for confirmed neighbour");
+                let d = alpha_distance(&obj, q, t).expect("non-empty cut for confirmed neighbour");
                 n.dist = DistBound::Exact(d);
                 n.object = Some(obj);
             }

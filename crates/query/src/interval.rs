@@ -134,10 +134,8 @@ impl IntervalSet {
     fn normalize(&mut self) {
         self.parts.retain(|p| !p.is_empty());
         // Sort by (lo, open-before-closed? closed-lo first).
-        self.parts.sort_by(|a, b| {
-            a.lo.total_cmp(&b.lo)
-                .then_with(|| b.lo_closed.cmp(&a.lo_closed))
-        });
+        self.parts
+            .sort_by(|a, b| a.lo.total_cmp(&b.lo).then_with(|| b.lo_closed.cmp(&a.lo_closed)));
         let mut merged: Vec<Interval> = Vec::with_capacity(self.parts.len());
         for &p in &self.parts {
             match merged.last_mut() {

@@ -64,8 +64,7 @@ where
     let start = Instant::now();
     let l_before = left_store.stats();
     let r_before = right_store.stats();
-    let nodes_before =
-        left_tree.stats().node_accesses() + right_tree.stats().node_accesses();
+    let nodes_before = left_tree.stats().node_accesses() + right_tree.stats().node_accesses();
     let mut stats = QueryStats::default();
     let mut pairs: Vec<JoinPair> = Vec::new();
 
@@ -184,9 +183,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        MemStore::from_objects((0..n).map(|i| {
-            blob(i as u64, rnd() * 30.0 + offset, rnd() * 30.0, base + i as u64)
-        }))
+        MemStore::from_objects(
+            (0..n).map(|i| blob(i as u64, rnd() * 30.0 + offset, rnd() * 30.0, base + i as u64)),
+        )
         .unwrap()
     }
 
@@ -214,15 +213,16 @@ mod tests {
     fn join_matches_brute_force() {
         let l = dataset(40, 3, 0.0);
         let r = dataset(35, 91, 5.0);
-        let lt = RTree::bulk_load(l.summaries().to_vec(), RTreeConfig { max_entries: 8, min_fill: 0.4 });
-        let rt = RTree::bulk_load(r.summaries().to_vec(), RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        let lt =
+            RTree::bulk_load(l.summaries().to_vec(), RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        let rt =
+            RTree::bulk_load(r.summaries().to_vec(), RTreeConfig { max_entries: 8, min_fill: 0.4 });
         for alpha in [0.2, 0.6, 1.0] {
             for radius in [0.5, 2.0] {
                 let t = Threshold::at(alpha);
                 let want = brute_join(&l, &r, t, radius);
                 for cfg in [AknnConfig::basic(), AknnConfig::lb_lp_ub()] {
-                    let res =
-                        alpha_distance_join(&lt, &l, &rt, &r, t, radius, &cfg).unwrap();
+                    let res = alpha_distance_join(&lt, &l, &rt, &r, t, radius, &cfg).unwrap();
                     let got: Vec<(ObjectId, ObjectId)> =
                         res.pairs.iter().map(|p| (p.left, p.right)).collect();
                     assert_eq!(got, want, "α={alpha} ε={radius} {}", cfg.variant_name());
@@ -248,11 +248,7 @@ mod tests {
         let t = Threshold::at(0.8);
         let basic = alpha_distance_join(&lt, &l, &rt, &r, t, 1.0, &AknnConfig::basic()).unwrap();
         let lb = alpha_distance_join(&lt, &l, &rt, &r, t, 1.0, &AknnConfig::lb()).unwrap();
-        assert_eq!(
-            basic.pairs.len(),
-            lb.pairs.len(),
-            "same answers regardless of pruning"
-        );
+        assert_eq!(basic.pairs.len(), lb.pairs.len(), "same answers regardless of pruning");
         assert!(lb.stats.candidates <= basic.stats.candidates);
     }
 
@@ -262,16 +258,9 @@ mod tests {
         let r = dataset(10, 6, 200.0); // far away
         let lt = RTree::bulk_load(l.summaries().to_vec(), RTreeConfig::default());
         let rt = RTree::bulk_load(r.summaries().to_vec(), RTreeConfig::default());
-        let res = alpha_distance_join(
-            &lt,
-            &l,
-            &rt,
-            &r,
-            Threshold::at(0.5),
-            1.0,
-            &AknnConfig::lb_lp_ub(),
-        )
-        .unwrap();
+        let res =
+            alpha_distance_join(&lt, &l, &rt, &r, Threshold::at(0.5), 1.0, &AknnConfig::lb_lp_ub())
+                .unwrap();
         assert!(res.pairs.is_empty());
         // And the index pruned everything before touching objects.
         assert_eq!(res.stats.object_accesses, 0);
@@ -281,16 +270,9 @@ mod tests {
     fn self_join_contains_diagonal() {
         let l = dataset(20, 17, 0.0);
         let lt = RTree::bulk_load(l.summaries().to_vec(), RTreeConfig::default());
-        let res = alpha_distance_join(
-            &lt,
-            &l,
-            &lt,
-            &l,
-            Threshold::at(0.5),
-            0.0,
-            &AknnConfig::lb_lp_ub(),
-        )
-        .unwrap();
+        let res =
+            alpha_distance_join(&lt, &l, &lt, &l, Threshold::at(0.5), 0.0, &AknnConfig::lb_lp_ub())
+                .unwrap();
         // Every object joins with itself at distance 0.
         for s in l.summaries() {
             assert!(res.pairs.iter().any(|p| p.left == s.id && p.right == s.id));

@@ -71,11 +71,7 @@ impl<const D: usize> ProfileCache<D> {
         Self { map: HashMap::new(), computations: 0 }
     }
 
-    fn get_or_compute(
-        &mut self,
-        obj: &FuzzyObject<D>,
-        q: &FuzzyObject<D>,
-    ) -> &DistanceProfile {
+    fn get_or_compute(&mut self, obj: &FuzzyObject<D>, q: &FuzzyObject<D>) -> &DistanceProfile {
         if !self.map.contains_key(&obj.id()) {
             self.computations += 1;
             let p = DistanceProfile::compute(obj, q);
@@ -107,9 +103,7 @@ pub(crate) fn run<S: ObjectStore<D>, const D: usize>(
     let mut stats = QueryStats::default();
     let items = match algo {
         RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, &mut stats)?,
-        RknnAlgorithm::Basic => {
-            basic(tree, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?
-        }
+        RknnAlgorithm::Basic => basic(tree, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?,
         RknnAlgorithm::Rss | RknnAlgorithm::RssIcr => rss(
             tree,
             store,
@@ -146,10 +140,8 @@ fn naive<S: ObjectStore<D>, const D: usize>(
         profiles.push((id, DistanceProfile::compute(&obj, q)));
     }
     stats.candidates = profiles.len() as u64;
-    let cands: Vec<ProfiledCandidate<'_>> = profiles
-        .iter()
-        .map(|(id, p)| ProfiledCandidate { id: *id, profile: p })
-        .collect();
+    let cands: Vec<ProfiledCandidate<'_>> =
+        profiles.iter().map(|(id, p)| ProfiledCandidate { id: *id, profile: p }).collect();
     Ok(exact_sweep(&cands, k, alpha_start, alpha_end))
 }
 
@@ -221,11 +213,7 @@ fn rss<S: ObjectStore<D>, const D: usize>(
     let r = if out_end.neighbors.len() < k {
         f64::INFINITY
     } else {
-        out_end
-            .neighbors
-            .iter()
-            .map(|n| n.dist.hi())
-            .fold(0.0, f64::max)
+        out_end.neighbors.iter().map(|n| n.dist.hi()).fold(0.0, f64::max)
     };
 
     // Step 2 — range search at α_s with radius r (Lemma 3: no object with

@@ -68,8 +68,14 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = QueryStats { object_accesses: 3, wall: Duration::from_millis(5), ..Default::default() };
-        let b = QueryStats { object_accesses: 2, node_accesses: 7, wall: Duration::from_millis(10), ..Default::default() };
+        let mut a =
+            QueryStats { object_accesses: 3, wall: Duration::from_millis(5), ..Default::default() };
+        let b = QueryStats {
+            object_accesses: 2,
+            node_accesses: 7,
+            wall: Duration::from_millis(10),
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.object_accesses, 5);
         assert_eq!(a.node_accesses, 7);

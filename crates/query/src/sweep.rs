@@ -55,22 +55,15 @@ pub fn exact_sweep(
             }
         }
         scratch.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let iv = Interval {
-            lo: t.value,
-            lo_closed: !t.strict,
-            hi: event,
-            hi_closed: true,
-        };
+        let iv = Interval { lo: t.value, lo_closed: !t.strict, hi: event, hi_closed: true };
         for &(_, id) in scratch.iter().take(k) {
             acc.entry(id).or_default().push(iv);
         }
         t = Threshold::above(event);
     }
 
-    let mut items: Vec<RknnItem> = acc
-        .into_iter()
-        .map(|(id, range)| RknnItem { id, range })
-        .collect();
+    let mut items: Vec<RknnItem> =
+        acc.into_iter().map(|(id, range)| RknnItem { id, range }).collect();
     items.sort_by_key(|i| i.id);
     items
 }
@@ -120,22 +113,15 @@ mod tests {
         assert_eq!(items.len(), 3);
         let a = &items[0];
         assert_eq!(a.id, ObjectId(1));
-        assert!(a.range.approx_eq(
-            &IntervalSet::from_interval(Interval::closed(0.3, 0.6)),
-            1e-12
-        ));
+        assert!(a.range.approx_eq(&IntervalSet::from_interval(Interval::closed(0.3, 0.6)), 1e-12));
         let b = &items[1];
         assert_eq!(b.id, ObjectId(2));
-        assert!(b.range.approx_eq(
-            &IntervalSet::from_interval(Interval::closed(0.3, 0.45)),
-            1e-12
-        ));
+        assert!(b.range.approx_eq(&IntervalSet::from_interval(Interval::closed(0.3, 0.45)), 1e-12));
         let c = &items[2];
         assert_eq!(c.id, ObjectId(3));
-        assert!(c.range.approx_eq(
-            &IntervalSet::from_interval(Interval::left_open(0.45, 0.6)),
-            1e-12
-        ));
+        assert!(c
+            .range
+            .approx_eq(&IntervalSet::from_interval(Interval::left_open(0.45, 0.6)), 1e-12));
     }
 
     #[test]
@@ -151,10 +137,9 @@ mod tests {
         let items = exact_sweep(&cands, 10, 0.2, 0.9);
         assert_eq!(items.len(), 4);
         for item in &items {
-            assert!(item.range.approx_eq(
-                &IntervalSet::from_interval(Interval::closed(0.2, 0.9)),
-                1e-12
-            ));
+            assert!(item
+                .range
+                .approx_eq(&IntervalSet::from_interval(Interval::closed(0.2, 0.9)), 1e-12));
         }
     }
 

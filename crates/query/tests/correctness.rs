@@ -49,11 +49,7 @@ fn dataset(seed: u64, count: usize, pts_per_obj: usize) -> (MemStore<2>, FuzzyOb
 }
 
 /// Linear-scan oracle: exact α-distances of every object, ascending.
-fn oracle_distances(
-    store: &MemStore<2>,
-    q: &FuzzyObject<2>,
-    t: Threshold,
-) -> Vec<(f64, ObjectId)> {
+fn oracle_distances(store: &MemStore<2>, q: &FuzzyObject<2>, t: Threshold) -> Vec<(f64, ObjectId)> {
     let mut all: Vec<(f64, ObjectId)> = store
         .summaries()
         .iter()
@@ -170,9 +166,8 @@ fn rknn_algorithms_agree_with_naive() {
         );
         let engine = QueryEngine::new(&tree, &store);
         for (k, lo, hi) in [(3usize, 0.3, 0.6), (5, 0.1, 0.9), (2, 0.5, 0.5), (4, 0.7, 1.0)] {
-            let reference = engine
-                .rknn(&q, k, lo, hi, RknnAlgorithm::Naive, &AknnConfig::lb_lp_ub())
-                .unwrap();
+            let reference =
+                engine.rknn(&q, k, lo, hi, RknnAlgorithm::Naive, &AknnConfig::lb_lp_ub()).unwrap();
             for algo in RknnAlgorithm::paper_variants() {
                 for cfg in [AknnConfig::basic(), AknnConfig::lb_lp_ub()] {
                     let res = engine.rknn(&q, k, lo, hi, algo, &cfg).unwrap();
@@ -181,11 +176,7 @@ fn rknn_algorithms_agree_with_naive() {
                         "seed {seed} k {k} [{lo},{hi}] {} ({}):\n got {}\n want {}",
                         algo.name(),
                         cfg.variant_name(),
-                        res.items
-                            .iter()
-                            .map(|i| i.to_string())
-                            .collect::<Vec<_>>()
-                            .join("; "),
+                        res.items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("; "),
                         reference
                             .items
                             .iter()
@@ -232,16 +223,10 @@ fn rknn_ranges_partition_correctly_at_every_alpha() {
     let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
     let engine = QueryEngine::new(&tree, &store);
     let k = 4;
-    let res = engine
-        .rknn(&q, k, 0.2, 0.8, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
-        .unwrap();
+    let res = engine.rknn(&q, k, 0.2, 0.8, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub()).unwrap();
     for alpha in [0.2, 0.25, 0.33, 0.41, 0.5, 0.62, 0.75, 0.8] {
-        let qualifying: Vec<ObjectId> = res
-            .items
-            .iter()
-            .filter(|i| i.range.contains(alpha))
-            .map(|i| i.id)
-            .collect();
+        let qualifying: Vec<ObjectId> =
+            res.items.iter().filter(|i| i.range.contains(alpha)).map(|i| i.id).collect();
         assert_eq!(qualifying.len(), k, "α = {alpha}");
         let t = Threshold::at(alpha);
         let oracle = oracle_distances(&store, &q, t);
@@ -274,8 +259,7 @@ fn k_exceeding_dataset_returns_all_objects() {
     let engine = QueryEngine::new(&tree, &store);
     let res = engine.aknn(&q, 50, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
     assert_eq!(res.neighbors.len(), 12);
-    let rknn = engine
-        .rknn(&q, 50, 0.3, 0.7, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
-        .unwrap();
+    let rknn =
+        engine.rknn(&q, 50, 0.3, 0.7, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub()).unwrap();
     assert_eq!(rknn.items.len(), 12);
 }

@@ -123,12 +123,7 @@ mod tests {
     use fuzzy_geom::Point;
 
     fn obj(id: u64) -> FuzzyObject<2> {
-        FuzzyObject::new(
-            ObjectId(id),
-            vec![Point::xy(id as f64, 0.0)],
-            vec![1.0],
-        )
-        .unwrap()
+        FuzzyObject::new(ObjectId(id), vec![Point::xy(id as f64, 0.0)], vec![1.0]).unwrap()
     }
 
     fn store(n: u64, cap: usize) -> CachedStore<MemStore<2>, 2> {

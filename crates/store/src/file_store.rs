@@ -31,11 +31,7 @@ impl<const D: usize> FileStoreWriter<D> {
     /// Create (truncate) the file at `path` and write the header.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
         let mut out = BufWriter::new(file);
         let mut header = Encoder::with_capacity(HEADER_LEN);
         header.bytes(&MAGIC);

@@ -285,11 +285,7 @@ mod tests {
     use super::*;
 
     fn sample_object(id: u64) -> FuzzyObject<2> {
-        let pts = vec![
-            Point::xy(1.5, -2.25),
-            Point::xy(0.0, 0.125),
-            Point::xy(-3.5, 7.0),
-        ];
+        let pts = vec![Point::xy(1.5, -2.25), Point::xy(0.0, 0.125), Point::xy(-3.5, 7.0)];
         FuzzyObject::new(ObjectId(id), pts, vec![1.0, 0.5, 0.25]).unwrap()
     }
 

@@ -22,7 +22,9 @@ pub struct MemStore<const D: usize> {
 
 impl<const D: usize> MemStore<D> {
     /// Build from a collection of objects (summaries computed here).
-    pub fn from_objects(objects: impl IntoIterator<Item = FuzzyObject<D>>) -> Result<Self, StoreError> {
+    pub fn from_objects(
+        objects: impl IntoIterator<Item = FuzzyObject<D>>,
+    ) -> Result<Self, StoreError> {
         let mut map = HashMap::new();
         let mut summaries = Vec::new();
         let mut sizes = HashMap::new();
@@ -45,11 +47,7 @@ impl<const D: usize> MemStore<D> {
 
 impl<const D: usize> ObjectStore<D> for MemStore<D> {
     fn probe(&self, id: ObjectId) -> Result<Arc<FuzzyObject<D>>, StoreError> {
-        let obj = self
-            .objects
-            .get(&id)
-            .cloned()
-            .ok_or(StoreError::UnknownObject(id))?;
+        let obj = self.objects.get(&id).cloned().ok_or(StoreError::UnknownObject(id))?;
         self.stats.record_read(self.sizes[&id]);
         Ok(obj)
     }
@@ -104,10 +102,7 @@ mod tests {
     #[test]
     fn unknown_probe_fails() {
         let store = MemStore::from_objects([obj(1)]).unwrap();
-        assert!(matches!(
-            store.probe(ObjectId(9)).unwrap_err(),
-            StoreError::UnknownObject(_)
-        ));
+        assert!(matches!(store.probe(ObjectId(9)).unwrap_err(), StoreError::UnknownObject(_)));
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate, implementing the API subset
+//! this workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `BatchSize`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it reports the best mean
+//! over a handful of timed samples as plain text — good enough for
+//! relative comparisons while the environment has no crates.io access.
+//! `--test` on the command line (what `cargo test --benches` passes) runs
+//! every routine exactly once so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// A benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a displayed parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// How much setup output `iter_batched` amortizes per batch. The stand-in
+/// always runs setup once per iteration, so this is a no-op marker.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration (what the stand-in always does).
+    PerIteration,
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration of the measured routine.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Time a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result_ns = 0.0;
+            return;
+        }
+        // Warm up and estimate a per-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let mean = start.elapsed().as_nanos() as f64 / per_sample as f64;
+            best = best.min(mean);
+        }
+        self.result_ns = best;
+    }
+
+    /// Time a routine that consumes a fresh input per iteration. Setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.result_ns = 0.0;
+            return;
+        }
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let mean = start.elapsed().as_nanos() as f64 / per_sample as f64;
+            best = best.min(mean);
+        }
+        self.result_ns = best;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        size: BatchSize,
+    ) {
+        self.iter_batched(setup_wrap(&mut setup), |mut i| black_box(routine(&mut i)), size);
+    }
+}
+
+fn setup_wrap<'a, I, S: FnMut() -> I>(setup: &'a mut S) -> impl FnMut() -> I + 'a {
+    move || setup()
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine against one input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { test_mode: self.criterion.test_mode, result_ns: 0.0 };
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { test_mode: self.criterion.test_mode, result_ns: 0.0 };
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// End the group (marker for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id.id);
+        } else {
+            println!("{}/{}: {}", self.name, id.id, format_ns(b.result_ns));
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Read harness-relevant flags (`--test`) from the command line,
+    /// ignoring the rest of criterion's CLI surface.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+
+    /// Print the closing line.
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            println!("(criterion stand-in: best-of-sample means, no statistics)");
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            let _ = &$config;
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench target (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_plausible_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

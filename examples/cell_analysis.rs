@@ -44,9 +44,7 @@ fn main() {
     let mut previous: Vec<ObjectId> = Vec::new();
     let mut sweep_accesses = 0;
     for alpha in [0.2, 0.4, 0.6, 0.8, 0.95] {
-        let res = engine
-            .aknn(&query, 5, alpha, &AknnConfig::lb_lp_ub())
-            .expect("aknn");
+        let res = engine.aknn(&query, 5, alpha, &AknnConfig::lb_lp_ub()).expect("aknn");
         sweep_accesses += res.stats.object_accesses;
         let ids = res.ids();
         let marker = if !previous.is_empty() && ids != previous { "  <- changed" } else { "" };
@@ -62,10 +60,7 @@ fn main() {
     let rknn = engine
         .rknn(&query, 5, 0.2, 0.95, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
         .expect("rknn");
-    println!(
-        "\nRKNN over [0.2, 0.95]: {} cells ever enter the 5NN set",
-        rknn.items.len()
-    );
+    println!("\nRKNN over [0.2, 0.95]: {} cells ever enter the 5NN set", rknn.items.len());
     for item in &rknn.items {
         println!("  cell {:<6} qualifies on {}", item.id.0, item.range);
     }

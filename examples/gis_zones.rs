@@ -48,9 +48,7 @@ fn main() {
     // Strict reading (core zones only) vs loose reading (any plausible
     // extent) of the boundaries.
     for (label, alpha) in [("loose (α=0.25)", 0.25), ("strict (α=0.90)", 0.90)] {
-        let res = engine
-            .aknn(&facility, 3, alpha, &AknnConfig::lb_lp_ub())
-            .expect("aknn");
+        let res = engine.aknn(&facility, 3, alpha, &AknnConfig::lb_lp_ub()).expect("aknn");
         println!("\n3 nearest zones, {label}:");
         for n in &res.neighbors {
             println!("  zone {:<6} d_α ∈ [{:.4}, {:.4}]", n.id.0, n.dist.lo(), n.dist.hi());

@@ -23,9 +23,7 @@ fn main() {
 
     // 3. AKNN: the 10 nearest objects at confidence 0.5.
     let query = gen.query_object(42);
-    let res = engine
-        .aknn(&query, 10, 0.5, &AknnConfig::lb_lp_ub())
-        .expect("aknn");
+    let res = engine.aknn(&query, 10, 0.5, &AknnConfig::lb_lp_ub()).expect("aknn");
     println!("\nAKNN  k=10  α=0.5:");
     for n in &res.neighbors {
         println!("  {n}");
@@ -37,9 +35,7 @@ fn main() {
 
     // 4. The same query at a higher confidence can rank differently:
     // only the crisp parts of each object count.
-    let strict = engine
-        .aknn(&query, 10, 0.9, &AknnConfig::lb_lp_ub())
-        .expect("aknn");
+    let strict = engine.aknn(&query, 10, 0.9, &AknnConfig::lb_lp_ub()).expect("aknn");
     let low: Vec<ObjectId> = res.ids();
     let changed = strict.ids().iter().filter(|id| !low.contains(id)).count();
     println!("\nAKNN at α=0.9 differs in {changed} of 10 results");

@@ -29,7 +29,10 @@ fn main() {
     let (k, alpha) = (20, 0.5);
 
     println!("\nAKNN variants (k={k}, α={alpha}, mean over {} queries):", queries.len());
-    println!("{:<10} {:>14} {:>13} {:>12} {:>10}", "variant", "object access", "node access", "dist evals", "time");
+    println!(
+        "{:<10} {:>14} {:>13} {:>12} {:>10}",
+        "variant", "object access", "node access", "dist evals", "time"
+    );
     for cfg in AknnConfig::paper_variants() {
         let started = Instant::now();
         let mut stats: Vec<QueryStats> = Vec::new();
@@ -48,16 +51,16 @@ fn main() {
     }
 
     println!("\nRKNN algorithms (k=10, I=[0.4, 0.6], mean over {} queries):", queries.len());
-    println!("{:<10} {:>14} {:>12} {:>12} {:>10}", "algorithm", "object access", "aknn calls", "candidates", "time");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>10}",
+        "algorithm", "object access", "aknn calls", "candidates", "time"
+    );
     for algo in RknnAlgorithm::paper_variants() {
         let started = Instant::now();
         let mut stats: Vec<QueryStats> = Vec::new();
         for q in &queries {
             stats.push(
-                engine
-                    .rknn(q, 10, 0.4, 0.6, algo, &AknnConfig::lb_lp_ub())
-                    .expect("rknn")
-                    .stats,
+                engine.rknn(q, 10, 0.4, 0.6, algo, &AknnConfig::lb_lp_ub()).expect("rknn").stats,
             );
         }
         let mean = QueryStats::mean(&stats);

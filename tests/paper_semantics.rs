@@ -8,12 +8,8 @@ use fuzzy_knn::prelude::*;
 /// Build an object whose distance staircase to a point query at the
 /// origin is: `near` for α ≤ m, `far` for α > m.
 fn staircase(id: u64, near: f64, far: f64, m: f64) -> FuzzyObject2 {
-    FuzzyObject2::new(
-        ObjectId(id),
-        vec![Point::xy(far, 0.0), Point::xy(near, 0.0)],
-        vec![1.0, m],
-    )
-    .unwrap()
+    FuzzyObject2::new(ObjectId(id), vec![Point::xy(far, 0.0), Point::xy(near, 0.0)], vec![1.0, m])
+        .unwrap()
 }
 
 fn point_query() -> FuzzyObject2 {
@@ -47,37 +43,23 @@ fn figure3_aknn_flips_with_alpha() {
     assert_eq!(ids, vec![ObjectId(1), ObjectId(3)], "2NN at 0.5 must be {{A, C}}");
 
     // RKNN with k=2 over [0.3, 0.6].
-    let rknn = engine
-        .rknn(&q, 2, 0.3, 0.6, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
-        .unwrap();
+    let rknn =
+        engine.rknn(&q, 2, 0.3, 0.6, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub()).unwrap();
     assert_eq!(rknn.items.len(), 3);
     let a_range = rknn.range_of(ObjectId(1)).unwrap();
-    assert!(a_range.approx_eq(
-        &IntervalSet::from_interval(Interval::closed(0.3, 0.6)),
-        1e-9
-    ));
+    assert!(a_range.approx_eq(&IntervalSet::from_interval(Interval::closed(0.3, 0.6)), 1e-9));
     let b_range = rknn.range_of(ObjectId(2)).unwrap();
-    assert!(b_range.approx_eq(
-        &IntervalSet::from_interval(Interval::closed(0.3, 0.45)),
-        1e-9
-    ));
+    assert!(b_range.approx_eq(&IntervalSet::from_interval(Interval::closed(0.3, 0.45)), 1e-9));
     let c_range = rknn.range_of(ObjectId(3)).unwrap();
-    assert!(c_range.approx_eq(
-        &IntervalSet::from_interval(Interval::left_open(0.45, 0.6)),
-        1e-9
-    ));
+    assert!(c_range.approx_eq(&IntervalSet::from_interval(Interval::left_open(0.45, 0.6)), 1e-9));
 }
 
 /// Definition 3 / Section 2.1: the α-distance is monotonically
 /// non-decreasing in α for real generated objects.
 #[test]
 fn alpha_distance_monotone_on_generated_data() {
-    let gen = CellConfig {
-        num_objects: 10,
-        points_per_object: 150,
-        seed: 5,
-        ..CellConfig::default()
-    };
+    let gen =
+        CellConfig { num_objects: 10, points_per_object: 150, seed: 5, ..CellConfig::default() };
     let objs: Vec<_> = gen.generate().collect();
     let q = gen.query_object(1);
     for o in &objs {
@@ -106,9 +88,8 @@ fn results_stable_between_critical_probabilities() {
     let engine = QueryEngine::new(&tree, &store);
     let q = gen.query_object(4);
 
-    let rknn = engine
-        .rknn(&q, 5, 0.2, 0.9, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
-        .unwrap();
+    let rknn =
+        engine.rknn(&q, 5, 0.2, 0.9, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub()).unwrap();
     // Pick probes inside each reported interval and check AKNN agreement.
     for item in &rknn.items {
         for iv in item.range.intervals() {

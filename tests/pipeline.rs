@@ -65,9 +65,8 @@ fn cell_disk_pipeline_rknn() {
     let engine = QueryEngine::new(&tree, &store);
     let q = gen.query_object(11);
 
-    let reference = engine
-        .rknn(&q, 5, 0.3, 0.7, RknnAlgorithm::Naive, &AknnConfig::lb_lp_ub())
-        .unwrap();
+    let reference =
+        engine.rknn(&q, 5, 0.3, 0.7, RknnAlgorithm::Naive, &AknnConfig::lb_lp_ub()).unwrap();
     for algo in RknnAlgorithm::paper_variants() {
         let res = engine.rknn(&q, 5, 0.3, 0.7, algo, &AknnConfig::lb_lp_ub()).unwrap();
         assert!(
@@ -96,9 +95,7 @@ fn cached_store_reduces_repeat_probes() {
 
     // Basic RKNN repeats AKNN calls; with the cache, repeat probes become
     // hits instead of object reads (the abl-cache ablation).
-    let res = engine
-        .rknn(&q, 5, 0.1, 0.95, RknnAlgorithm::Basic, &AknnConfig::basic())
-        .unwrap();
+    let res = engine.rknn(&q, 5, 0.1, 0.95, RknnAlgorithm::Basic, &AknnConfig::basic()).unwrap();
     assert!(res.stats.aknn_calls >= 2, "workload too easy: {:?}", res.stats);
     let snap = store.stats();
     assert!(snap.cache_hits > 0, "expected cache hits, got {snap:?}");
