@@ -1,13 +1,15 @@
 //! Cost model of Section 5: estimating the number of object accesses of an
 //! AKNN query over *ideal fuzzy objects* (circles whose α-cut radius is a
 //! function `R(α)`), using the fractal-dimension framework of Papadopoulos
-//! & Manolopoulos (ref. [16] of the paper).
+//! & Manolopoulos (ref. \[16\] of the paper).
 //!
 //! * [`regression`] — least-squares line fitting in log-log space.
 //! * [`fractal`] — box-counting (Hausdorff, `D₀`) and correlation (`D₂`)
 //!   dimension estimators for point datasets.
 //! * [`cost_model`] — Equations 6–8 and the Gaussian-disk `R(α)` profile
 //!   matching the synthetic dataset generator.
+
+#![warn(missing_docs)]
 
 pub mod cost_model;
 pub mod fractal;

@@ -1,0 +1,306 @@
+//! The `fkq bench` harness: §6-style AKNN throughput sweeps with a
+//! machine-readable JSON report.
+//!
+//! The paper's experiments measure per-query cost (object/node accesses,
+//! runtime) as one axis varies — k (Fig. 11/12), α (Fig. 13/14), the
+//! pruning variant (§6.2). This harness reruns those sweeps as *batched*
+//! workloads through [`fuzzy_query::BatchExecutor`], adding the thread
+//! count as an axis, and emits a `BENCH_aknn.json` whose schema is stable
+//! across PRs so successive runs are diffable (and CI can smoke-parse it).
+
+use crate::json::Json;
+use crate::{DatasetSpec, Env};
+use fuzzy_datagen::DatasetKind;
+use fuzzy_query::{AknnConfig, BatchExecutor, BatchOutcome, BatchRequest};
+use std::path::Path;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v1";
+
+/// Sweep axes of one bench invocation.
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Dataset to generate/open.
+    pub dataset: DatasetSpec,
+    /// Number of queries per measurement batch.
+    pub queries: usize,
+    /// k used by the variant/α/thread sweeps.
+    pub default_k: usize,
+    /// α used by the variant/k/thread sweeps.
+    pub default_alpha: f64,
+    /// k values of the k sweep.
+    pub ks: Vec<usize>,
+    /// α values of the α sweep.
+    pub alphas: Vec<f64>,
+    /// Worker counts of the thread sweep.
+    pub thread_counts: Vec<usize>,
+    /// True for the CI smoke configuration (recorded in the report).
+    pub smoke: bool,
+}
+
+impl BenchOptions {
+    /// The default full configuration (a few seconds of wall clock).
+    pub fn full() -> Self {
+        Self {
+            dataset: DatasetSpec {
+                kind: DatasetKind::Synthetic,
+                n: 2_000,
+                points_per_object: 120,
+                seed: 42,
+            },
+            queries: 48,
+            default_k: 10,
+            default_alpha: 0.5,
+            ks: vec![1, 5, 10, 20, 50],
+            alphas: vec![0.2, 0.5, 0.8],
+            thread_counts: vec![1, 2, 4, 8],
+            smoke: false,
+        }
+    }
+
+    /// A sub-second configuration for CI: tiny dataset, every sweep still
+    /// exercised so the schema cannot rot unnoticed.
+    pub fn smoke() -> Self {
+        Self {
+            dataset: DatasetSpec {
+                kind: DatasetKind::Synthetic,
+                n: 80,
+                points_per_object: 30,
+                seed: 42,
+            },
+            queries: 4,
+            default_k: 3,
+            default_alpha: 0.5,
+            ks: vec![1, 3],
+            alphas: vec![0.5],
+            thread_counts: vec![1, 2],
+            smoke: true,
+        }
+    }
+}
+
+/// One measured cell of a sweep, flattened into the report's `runs` array.
+fn record(
+    sweep: &str,
+    cfg: &AknnConfig,
+    k: usize,
+    alpha: f64,
+    threads: usize,
+    outcome: &BatchOutcome,
+) -> Json {
+    let total = outcome.total_stats();
+    let ok = outcome.ok_count().max(1) as f64;
+    let batch_secs = outcome.wall.as_secs_f64();
+    Json::obj(vec![
+        ("sweep", Json::str(sweep)),
+        ("variant", Json::str(cfg.variant_name())),
+        ("k", Json::num(k as f64)),
+        ("alpha", Json::num(alpha)),
+        ("threads", Json::num(threads as f64)),
+        ("queries", Json::num(outcome.responses.len() as f64)),
+        ("errors", Json::num(outcome.error_count() as f64)),
+        ("wall_ms_batch", Json::num(batch_secs * 1e3)),
+        ("wall_ms_mean_query", Json::num(total.wall.as_secs_f64() * 1e3 / ok)),
+        ("qps", Json::num(if batch_secs > 0.0 { ok / batch_secs } else { 0.0 })),
+        ("object_accesses_total", Json::num(total.object_accesses as f64)),
+        ("object_accesses_mean", Json::num(total.object_accesses as f64 / ok)),
+        ("node_accesses_total", Json::num(total.node_accesses as f64)),
+        ("node_accesses_mean", Json::num(total.node_accesses as f64 / ok)),
+        ("distance_evals_total", Json::num(total.distance_evals as f64)),
+        ("bound_evals_total", Json::num(total.bound_evals as f64)),
+    ])
+}
+
+/// Fields every entry of `runs` must carry, with their JSON types.
+const RUN_FIELDS: &[(&str, bool)] = &[
+    // (name, is_number) — false means string.
+    ("sweep", false),
+    ("variant", false),
+    ("k", true),
+    ("alpha", true),
+    ("threads", true),
+    ("queries", true),
+    ("errors", true),
+    ("wall_ms_batch", true),
+    ("wall_ms_mean_query", true),
+    ("qps", true),
+    ("object_accesses_total", true),
+    ("object_accesses_mean", true),
+    ("node_accesses_total", true),
+    ("node_accesses_mean", true),
+    ("distance_evals_total", true),
+    ("bound_evals_total", true),
+];
+
+/// Run every sweep and assemble the report.
+pub fn run(opts: &BenchOptions) -> Json {
+    let env = Env::prepare(&opts.dataset);
+    let queries = opts.dataset.queries(opts.queries);
+    let mut runs: Vec<Json> = Vec::new();
+
+    // Returns the outcome together with the *resolved* worker count, so a
+    // `--threads 0` (one per CPU) request is recorded as the count that
+    // actually ran, not as 0.
+    let batch = |cfg: &AknnConfig, k: usize, alpha: f64, threads: usize| -> (BatchOutcome, usize) {
+        let requests: Vec<BatchRequest<2>> =
+            queries.iter().map(|q| BatchRequest::aknn(q.clone(), k, alpha, *cfg)).collect();
+        let executor = BatchExecutor::new(threads);
+        (executor.run(&env.tree, &env.store, &requests), executor.threads())
+    };
+
+    // Sweep 1 — variant × thread count at the default (k, α): the paper's
+    // §6.2 ablation, extended with the concurrency axis.
+    for &threads in &opts.thread_counts {
+        for cfg in AknnConfig::paper_variants() {
+            let (outcome, resolved) = batch(&cfg, opts.default_k, opts.default_alpha, threads);
+            runs.push(record(
+                "variant_threads",
+                &cfg,
+                opts.default_k,
+                opts.default_alpha,
+                resolved,
+                &outcome,
+            ));
+        }
+    }
+
+    // Sweep 2 — k (Fig. 11/12) with the best variant at the largest
+    // configured thread count.
+    let best = AknnConfig::lb_lp_ub();
+    let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    for &k in &opts.ks {
+        let (outcome, resolved) = batch(&best, k, opts.default_alpha, max_threads);
+        runs.push(record("k", &best, k, opts.default_alpha, resolved, &outcome));
+    }
+
+    // Sweep 3 — α (Fig. 13/14) with the best variant.
+    for &alpha in &opts.alphas {
+        let (outcome, resolved) = batch(&best, opts.default_k, alpha, max_threads);
+        runs.push(record("alpha", &best, opts.default_k, alpha, resolved, &outcome));
+    }
+
+    let threads_available =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    Json::obj(vec![
+        ("schema", Json::str(SCHEMA)),
+        ("smoke", Json::Bool(opts.smoke)),
+        // Thread-sweep context: speedups cap at this machine's parallelism
+        // (a 1-CPU CI runner legitimately shows a flat thread axis).
+        ("machine", Json::obj(vec![("threads_available", Json::num(threads_available as f64))])),
+        (
+            "dataset",
+            Json::obj(vec![
+                (
+                    "kind",
+                    Json::str(match opts.dataset.kind {
+                        DatasetKind::Synthetic => "synthetic",
+                        DatasetKind::Cell => "cell",
+                    }),
+                ),
+                ("n", Json::num(opts.dataset.n as f64)),
+                ("points_per_object", Json::num(opts.dataset.points_per_object as f64)),
+                ("seed", Json::num(opts.dataset.seed as f64)),
+            ]),
+        ),
+        (
+            "workload",
+            Json::obj(vec![
+                ("queries", Json::num(opts.queries as f64)),
+                ("default_k", Json::num(opts.default_k as f64)),
+                ("default_alpha", Json::num(opts.default_alpha)),
+                ("ks", Json::Arr(opts.ks.iter().map(|&k| Json::num(k as f64)).collect())),
+                ("alphas", Json::Arr(opts.alphas.iter().map(|&a| Json::num(a)).collect())),
+                (
+                    "thread_counts",
+                    Json::Arr(opts.thread_counts.iter().map(|&t| Json::num(t as f64)).collect()),
+                ),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+    ])
+}
+
+/// Structural schema check used by the CI smoke job (and re-run on every
+/// report `fkq bench` writes). Returns a description of the first
+/// violation.
+pub fn validate_report(report: &Json) -> Result<(), String> {
+    if report.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field missing or not {SCHEMA:?}"));
+    }
+    for key in ["dataset", "workload", "machine"] {
+        match report.get(key) {
+            Some(Json::Obj(_)) => {}
+            _ => return Err(format!("{key} must be an object")),
+        }
+    }
+    let runs = report
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "runs must be an array".to_string())?;
+    if runs.is_empty() {
+        return Err("runs must not be empty".to_string());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for &(field, is_number) in RUN_FIELDS {
+            let value = run.get(field).ok_or_else(|| format!("runs[{i}] missing {field:?}"))?;
+            match (is_number, value) {
+                (true, Json::Num(n)) if n.is_finite() && *n >= 0.0 => {}
+                (false, Json::Str(_)) => {}
+                _ => return Err(format!("runs[{i}].{field} has the wrong type: {value:?}")),
+            }
+        }
+        if run.get("errors").and_then(Json::as_num) != Some(0.0) {
+            return Err(format!("runs[{i}] recorded query errors"));
+        }
+    }
+    Ok(())
+}
+
+/// Serialize, validate and write a report; returns the rendered text.
+pub fn write_report(path: &Path, report: &Json) -> std::io::Result<String> {
+    validate_report(report).map_err(std::io::Error::other)?;
+    let text = report.to_pretty();
+    std::fs::write(path, &text)?;
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_produces_a_valid_report() {
+        let _env = crate::dataset_dir_test_lock();
+        std::env::set_var("FUZZY_DATASET_DIR", std::env::temp_dir().join("fzkn-bench-suite-test"));
+        let report = run(&BenchOptions::smoke());
+        validate_report(&report).expect("smoke report must satisfy the schema");
+        // The report survives a serialize → parse round trip.
+        let reparsed = Json::parse(&report.to_pretty()).unwrap();
+        validate_report(&reparsed).unwrap();
+        // All three sweeps are present.
+        let runs = reparsed.get("runs").unwrap().as_arr().unwrap();
+        for sweep in ["variant_threads", "k", "alpha"] {
+            assert!(
+                runs.iter().any(|r| r.get("sweep").and_then(Json::as_str) == Some(sweep)),
+                "missing sweep {sweep}"
+            );
+        }
+        // Every paper variant appears in the variant sweep.
+        for variant in ["Basic", "LB", "LB-LP", "LB-LP-UB"] {
+            assert!(runs.iter().any(|r| r.get("variant").and_then(Json::as_str) == Some(variant)));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_reports() {
+        assert!(validate_report(&Json::Null).is_err());
+        assert!(validate_report(&Json::obj(vec![("schema", Json::str("wrong"))])).is_err());
+        let no_runs = Json::obj(vec![
+            ("schema", Json::str(SCHEMA)),
+            ("dataset", Json::Obj(vec![])),
+            ("workload", Json::Obj(vec![])),
+            ("runs", Json::Arr(vec![])),
+        ]);
+        assert!(validate_report(&no_runs).is_err());
+    }
+}

@@ -5,6 +5,7 @@
 //! fkq info cells.fzkn
 //! fkq aknn cells.fzkn --k 10 --alpha 0.5 --variant lb-lp-ub
 //! fkq rknn cells.fzkn --k 10 --start 0.3 --end 0.7 --algo rss-icr
+//! fkq bench --out BENCH_aknn.json
 //! ```
 
 use fuzzy_core::FuzzyObject;
@@ -20,7 +21,10 @@ const USAGE: &str = "usage:
   fkq info <path>
   fkq aknn <path> --k <k> --alpha <a> [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>]
   fkq rknn <path> --k <k> --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] \
-[--query-seed <u64>]";
+[--query-seed <u64>]
+  fkq bench [--out <path=BENCH_aknn.json>] [--smoke <true|false>] [--kind <synthetic|cell>] \
+[--n <count>] [--ppo <points>] [--seed <u64>] [--queries <count>] [--k <k>] [--alpha <a>] \
+[--ks <csv>] [--alphas <csv>] [--threads <csv>]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -71,6 +75,7 @@ fn main() {
         "info" => info(pos.first().unwrap_or_else(|| usage())),
         "aknn" => aknn(pos.first().unwrap_or_else(|| usage()), &flags),
         "rknn" => rknn(pos.first().unwrap_or_else(|| usage()), &flags),
+        "bench" => bench(&flags),
         _ => usage(),
     }
 }
@@ -106,6 +111,92 @@ fn generate(flags: &HashMap<String, String>) {
         exit(1)
     });
     println!("wrote {} objects to {out}", store.len());
+}
+
+fn csv_list<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Option<Vec<T>> {
+    flags.get(key).map(|v| {
+        v.split(',')
+            .map(|item| {
+                item.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad value in --{key}: {item}");
+                    usage()
+                })
+            })
+            .collect()
+    })
+}
+
+/// Run the §6-style AKNN sweeps through the batch executor and write a
+/// machine-readable report (see `fuzzy_bench::aknn_suite` for the schema).
+fn bench(flags: &HashMap<String, String>) {
+    use fuzzy_bench::aknn_suite::{self, BenchOptions};
+    use fuzzy_bench::DatasetSpec;
+    use fuzzy_datagen::DatasetKind;
+
+    let smoke: bool = get(flags, "smoke").unwrap_or(false);
+    let mut opts = if smoke { BenchOptions::smoke() } else { BenchOptions::full() };
+    if let Some(kind) = flags.get("kind") {
+        opts.dataset.kind = match kind.as_str() {
+            "synthetic" => DatasetKind::Synthetic,
+            "cell" => DatasetKind::Cell,
+            other => {
+                eprintln!("unknown kind {other}");
+                usage()
+            }
+        };
+    }
+    let d = &mut opts.dataset;
+    *d = DatasetSpec {
+        kind: d.kind,
+        n: get(flags, "n").unwrap_or(d.n),
+        points_per_object: get(flags, "ppo").unwrap_or(d.points_per_object),
+        seed: get(flags, "seed").unwrap_or(d.seed),
+    };
+    opts.queries = get(flags, "queries").unwrap_or(opts.queries);
+    opts.default_k = get(flags, "k").unwrap_or(opts.default_k);
+    opts.default_alpha = get(flags, "alpha").unwrap_or(opts.default_alpha);
+    if let Some(ks) = csv_list(flags, "ks") {
+        opts.ks = ks;
+    }
+    if let Some(alphas) = csv_list(flags, "alphas") {
+        opts.alphas = alphas;
+    }
+    if let Some(threads) = csv_list(flags, "threads") {
+        opts.thread_counts = threads;
+    }
+
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_aknn.json".into());
+    eprintln!(
+        "benchmarking {:?} n={} ppo={} queries={} (smoke: {smoke}) ...",
+        opts.dataset.kind, opts.dataset.n, opts.dataset.points_per_object, opts.queries
+    );
+    let report = aknn_suite::run(&opts);
+    aknn_suite::write_report(std::path::Path::new(&out), &report).unwrap_or_else(|e| {
+        eprintln!("cannot write report: {e}");
+        exit(1)
+    });
+
+    // Console summary: the variant × threads sweep, qps and mean accesses.
+    let runs = report.get("runs").and_then(|r| r.as_arr()).unwrap_or(&[]);
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>12}",
+        "variant", "threads", "qps", "obj/query", "node/query"
+    );
+    for run in runs {
+        if run.get("sweep").and_then(|s| s.as_str()) != Some("variant_threads") {
+            continue;
+        }
+        let f = |key: &str| run.get(key).and_then(|v| v.as_num()).unwrap_or(f64::NAN);
+        println!(
+            "{:>10} {:>8} {:>10.1} {:>12.1} {:>12.1}",
+            run.get("variant").and_then(|v| v.as_str()).unwrap_or("?"),
+            f("threads") as u64,
+            f("qps"),
+            f("object_accesses_mean"),
+            f("node_accesses_mean"),
+        );
+    }
+    println!("-> {out}");
 }
 
 fn open(path: &str) -> FileStore<2> {

@@ -1,10 +1,17 @@
-//! Shared experiment infrastructure for the `repro` binary.
+//! Shared experiment infrastructure for the `repro` and `fkq` binaries.
 //!
 //! Datasets are generated deterministically and cached as store files
 //! under `target/fuzzy-datasets/`, keyed by (kind, N, points-per-object,
 //! seed); each experiment then opens the file store, bulk-loads the
 //! R-tree, runs a batch of queries per algorithm variant and reports the
-//! mean per-query costs as CSV.
+//! mean per-query costs as CSV. The [`aknn_suite`] module adds the
+//! batched throughput sweeps behind `fkq bench` (JSON report via
+//! [`json`]).
+
+#![warn(missing_docs)]
+
+pub mod aknn_suite;
+pub mod json;
 
 use fuzzy_core::FuzzyObject;
 use fuzzy_datagen::{CellConfig, DatasetKind, SyntheticConfig};
@@ -223,6 +230,16 @@ pub fn ms(stats: &QueryStats) -> String {
     format!("{:.2}", stats.wall.as_secs_f64() * 1e3)
 }
 
+/// Serializes every test (in this binary) that reads or writes the
+/// `FUZZY_DATASET_DIR` process environment variable: concurrent
+/// `setenv`/`getenv` from parallel test threads is undefined behavior on
+/// glibc. Hold the returned guard for the whole test body.
+#[cfg(test)]
+pub(crate) fn dataset_dir_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +254,7 @@ mod tests {
 
     #[test]
     fn spec_paths_distinguish_parameters() {
+        let _env = crate::dataset_dir_test_lock(); // path() reads the env var
         let a =
             DatasetSpec { kind: DatasetKind::Synthetic, n: 100, points_per_object: 50, seed: 1 };
         let b = DatasetSpec { n: 200, ..a };
@@ -247,6 +265,7 @@ mod tests {
 
     #[test]
     fn end_to_end_small_experiment() {
+        let _env = crate::dataset_dir_test_lock();
         std::env::set_var("FUZZY_DATASET_DIR", std::env::temp_dir().join("fzkn-bench-test"));
         let spec =
             DatasetSpec { kind: DatasetKind::Synthetic, n: 60, points_per_object: 40, seed: 5 };

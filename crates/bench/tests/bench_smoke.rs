@@ -1,0 +1,42 @@
+//! End-to-end smoke test of the bench harness: run the real `fkq bench`
+//! binary in smoke mode and assert the emitted report parses and satisfies
+//! the schema. This is the test the CI bench job runs so the harness (and
+//! its JSON contract) cannot rot silently.
+
+use fuzzy_bench::aknn_suite;
+use fuzzy_bench::json::Json;
+use std::process::Command;
+
+#[test]
+fn fkq_bench_smoke_emits_a_parsable_schema_conformant_report() {
+    let dir = std::env::temp_dir().join(format!("fzkn-bench-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_aknn.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_fkq"))
+        .args(["bench", "--smoke", "true", "--out"])
+        .arg(&out)
+        .env("FUZZY_DATASET_DIR", &dir)
+        .status()
+        .expect("spawn fkq");
+    assert!(status.success(), "fkq bench --smoke true failed: {status}");
+
+    let text = std::fs::read_to_string(&out).expect("report file written");
+    let report = Json::parse(&text).expect("report must be valid JSON");
+    aknn_suite::validate_report(&report).expect("report must satisfy the schema");
+
+    // Spot-check the performance surface the ISSUE promises: per-variant /
+    // per-thread-count wall clock and node accesses.
+    let runs = report.get("runs").unwrap().as_arr().unwrap();
+    let vt: Vec<&Json> = runs
+        .iter()
+        .filter(|r| r.get("sweep").and_then(Json::as_str) == Some("variant_threads"))
+        .collect();
+    assert_eq!(vt.len(), 8, "4 variants x 2 thread counts in smoke mode");
+    for run in vt {
+        assert!(run.get("wall_ms_batch").and_then(Json::as_num).unwrap() >= 0.0);
+        assert!(run.get("node_accesses_total").and_then(Json::as_num).unwrap() > 0.0);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -20,6 +20,8 @@
 //! * [`DistanceProfile`] — the full step function `α ↦ d_α(A, Q)` and the
 //!   critical probability set `Ω_Q(A)` (Definition 7).
 
+#![warn(missing_docs)]
+
 pub mod boundary;
 pub mod distance;
 pub mod error;

@@ -14,6 +14,8 @@
 //!
 //! All generators are deterministic given their seed.
 
+#![warn(missing_docs)]
+
 pub mod cell;
 pub mod synthetic;
 

@@ -6,7 +6,7 @@
 //! kd-trees simultaneously, pruning node pairs whose boxes are farther apart
 //! than the best pair found so far and subtrees whose maximum membership
 //! fails the level filter — the classical approach of Corral et al.
-//! (ref. [9] of the paper) adapted to fuzzy cuts.
+//! (ref. \[9\] of the paper) adapted to fuzzy cuts.
 
 use crate::kdtree::{KdTree, LevelFilter};
 

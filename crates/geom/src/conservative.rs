@@ -10,7 +10,7 @@
 //! The optimum is a supporting line of the *upper convex hull* (UCH) of the
 //! samples: it either interpolates a single hull vertex (the *anchor point*,
 //! with the anchor-optimal slope) or coincides with a hull edge. We locate
-//! the anchor with the bisection of Achtert et al. (ref. [1] of the paper)
+//! the anchor with the bisection of Achtert et al. (ref. \[1\] of the paper)
 //! and additionally evaluate the neighbouring candidates, which makes the
 //! search robust to floating-point ties; [`fit_conservative_line_exact`]
 //! scans every vertex and edge and is used as the test oracle.

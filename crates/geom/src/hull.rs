@@ -1,4 +1,4 @@
-//! Convex hulls in the plane (Andrew's monotone chain, ref. [3] of the
+//! Convex hulls in the plane (Andrew's monotone chain, ref. \[3\] of the
 //! paper) and the *upper convex hull* used by Definition 6.
 
 use crate::point::Point;

@@ -19,6 +19,8 @@
 //!   pruning; this is the evaluator for the α-distance
 //!   `d_α(A,B) = min_{a∈A_α, b∈B_α} ‖a−b‖`.
 
+#![warn(missing_docs)]
+
 pub mod closest_pair;
 pub mod conservative;
 pub mod hull;

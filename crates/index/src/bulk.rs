@@ -11,6 +11,31 @@ use fuzzy_geom::{Mbr, Point};
 
 impl<const D: usize> RTree<D> {
     /// Build a tree containing `entries` using STR packing.
+    ///
+    /// ```
+    /// use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+    /// use fuzzy_geom::Point;
+    /// use fuzzy_index::{RTree, RTreeConfig};
+    ///
+    /// // Summaries of 100 small fuzzy objects on a 10×10 grid.
+    /// let summaries: Vec<ObjectSummary<2>> = (0..100)
+    ///     .map(|i| {
+    ///         let (x, y) = ((i % 10) as f64, (i / 10) as f64);
+    ///         let obj = FuzzyObject::new(
+    ///             ObjectId(i),
+    ///             vec![Point::xy(x, y), Point::xy(x + 0.4, y + 0.4)],
+    ///             vec![1.0, 0.5],
+    ///         )
+    ///         .unwrap();
+    ///         ObjectSummary::from_object(&obj)
+    ///     })
+    ///     .collect();
+    ///
+    /// let tree = RTree::bulk_load(summaries, RTreeConfig { max_entries: 16, min_fill: 0.4 });
+    /// assert_eq!(tree.len(), 100);
+    /// assert!(tree.height() >= 2); // 100 entries cannot fit one 16-entry leaf
+    /// tree.validate().unwrap();
+    /// ```
     pub fn bulk_load(mut entries: Vec<ObjectSummary<D>>, config: RTreeConfig) -> Self {
         let mut tree = RTree::new(config);
         if entries.is_empty() {

@@ -21,6 +21,8 @@
 //!   the RSS candidate collection (Algorithm 4).
 //! * [`RTree::validate`] — structural invariant checker used by tests.
 
+#![warn(missing_docs)]
+
 pub mod bulk;
 pub mod insert;
 pub mod node;

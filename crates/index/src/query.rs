@@ -57,7 +57,7 @@ impl<const D: usize> RTree<D> {
     /// `node_key` must lower-bound `entry_key` for every entry in the
     /// node's subtree (the usual `MinDist` property, Eq. 1); under that
     /// contract the traversal is provably correct and expands the minimum
-    /// number of nodes (Hjaltason & Samet, ref. [11] of the paper).
+    /// number of nodes (Hjaltason & Samet, ref. \[11\] of the paper).
     pub fn knn_by(
         &self,
         k: usize,

@@ -175,8 +175,6 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
         return Err(QueryError::ZeroK);
     }
     let start = Instant::now();
-    let store_before = store.stats();
-    let nodes_before = tree.stats().node_accesses();
     let mut stats = QueryStats::default();
 
     let q_cut = q.cut_mbr(t).ok_or(QueryError::EmptyQueryCut)?;
@@ -209,10 +207,15 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
         }
     };
 
+    // Costs are charged to the query-local `stats` (never read back from
+    // the shared store/tree counters), so concurrent queries over one
+    // engine cannot pollute each other's numbers.
     let mut probe = |e: &ObjectSummary<D>,
                      stats: &mut QueryStats|
      -> Result<(ObjectId, f64, Arc<FuzzyObject<D>>), QueryError> {
-        let obj = store.probe(e.id)?;
+        let probe = store.probe_traced(e.id)?;
+        let obj = probe.object;
+        stats.object_accesses += probe.disk_read as u64;
         stats.distance_evals += 1;
         let d = alpha_distance(&obj, q, t).expect(
             "object cut cannot be empty: kernels are non-empty and the query threshold \
@@ -265,22 +268,25 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
             break;
         };
         match item {
-            Item::Node(id) => match tree.expand(id) {
-                Children::Nodes(kids) => {
-                    for &c in kids {
-                        heap.push(MinKey {
-                            key: tree.node_mbr(c).min_dist(&q_cut),
-                            item: Item::Node(c),
-                        });
+            Item::Node(id) => {
+                stats.node_accesses += 1;
+                match tree.expand(id) {
+                    Children::Nodes(kids) => {
+                        for &c in kids {
+                            heap.push(MinKey {
+                                key: tree.node_mbr(c).min_dist(&q_cut),
+                                item: Item::Node(c),
+                            });
+                        }
+                    }
+                    Children::Entries(entries) => {
+                        for e in entries {
+                            stats.bound_evals += 1;
+                            heap.push(MinKey { key: entry_lower(e), item: Item::Entry(*e) });
+                        }
                     }
                 }
-                Children::Entries(entries) => {
-                    for e in entries {
-                        stats.bound_evals += 1;
-                        heap.push(MinKey { key: entry_lower(e), item: Item::Entry(*e) });
-                    }
-                }
-            },
+            }
             Item::Entry(e) => {
                 if !cfg.lazy_probe {
                     let (id, d, obj) = probe(&e, &mut stats)?;
@@ -332,7 +338,9 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
     if force_exact {
         for n in &mut out {
             if n.object.is_none() {
-                let obj = store.probe(n.id)?;
+                let probe = store.probe_traced(n.id)?;
+                let obj = probe.object;
+                stats.object_accesses += probe.disk_read as u64;
                 stats.distance_evals += 1;
                 let d = alpha_distance(&obj, q, t).expect("non-empty cut for confirmed neighbour");
                 n.dist = DistBound::Exact(d);
@@ -341,8 +349,6 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
         }
     }
 
-    stats.object_accesses = store.stats().since(&store_before).object_reads;
-    stats.node_accesses = tree.stats().node_accesses() - nodes_before;
     stats.wall = start.elapsed();
     Ok(SearchOutcome { neighbors: out, stats })
 }

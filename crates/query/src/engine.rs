@@ -1,4 +1,6 @@
-//! The public query facade.
+//! The public query facade: a borrowed engine for single-owner use and an
+//! `Arc`-based owned engine for sharing one index/store pair across
+//! threads (the [`crate::batch::BatchExecutor`] builds on the latter).
 
 use crate::aknn::{aknn_at, AknnConfig};
 use crate::error::QueryError;
@@ -7,21 +9,40 @@ use crate::rknn::{self, RknnAlgorithm};
 use fuzzy_core::{FuzzyObject, Threshold};
 use fuzzy_index::RTree;
 use fuzzy_store::ObjectStore;
+use std::sync::Arc;
 
-/// A query engine over an R-tree and an object store.
+/// A query engine borrowing an R-tree and an object store.
 ///
-/// ```no_run
-/// # use fuzzy_query::{QueryEngine, AknnConfig, RknnAlgorithm};
-/// # use fuzzy_index::{RTree, RTreeConfig};
-/// # use fuzzy_store::{MemStore, ObjectStore};
-/// # fn demo(store: MemStore<2>, query: fuzzy_core::FuzzyObject<2>) {
+/// ```
+/// use fuzzy_core::{FuzzyObject, ObjectId};
+/// use fuzzy_geom::Point;
+/// use fuzzy_index::{RTree, RTreeConfig};
+/// use fuzzy_query::{AknnConfig, QueryEngine, RknnAlgorithm};
+/// use fuzzy_store::{MemStore, ObjectStore};
+///
+/// // Six fuzzy objects strung along the x axis, two points each.
+/// let store = MemStore::from_objects((0..6).map(|i| {
+///     let x = i as f64 * 2.0;
+///     FuzzyObject::new(
+///         ObjectId(i),
+///         vec![Point::xy(x, 0.0), Point::xy(x + 0.5, 0.5)],
+///         vec![1.0, 0.4],
+///     )
+///     .unwrap()
+/// }))
+/// .unwrap();
 /// let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
 /// let engine = QueryEngine::new(&tree, &store);
-/// let knn = engine.aknn(&query, 10, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+///
+/// let query = store.probe(ObjectId(0)).unwrap();
+/// let knn = engine.aknn(&query, 3, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+/// assert_eq!(knn.neighbors.len(), 3);
+/// assert!(knn.ids().contains(&ObjectId(0))); // the query object itself, at distance 0
+///
 /// let rknn = engine
-///     .rknn(&query, 10, 0.3, 0.7, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
+///     .rknn(&query, 2, 0.3, 0.7, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub())
 ///     .unwrap();
-/// # }
+/// assert!(rknn.range_of(ObjectId(0)).is_some());
 /// ```
 pub struct QueryEngine<'a, S, const D: usize> {
     tree: &'a RTree<D>,
@@ -99,5 +120,149 @@ impl<'a, S: ObjectStore<D>, const D: usize> QueryEngine<'a, S, D> {
             return Err(QueryError::InvalidRange { start: alpha_start, end: alpha_end });
         }
         rknn::run(self.tree, self.store, q, k, alpha_start, alpha_end, algo, cfg)
+    }
+}
+
+/// An owned, cheaply clonable query engine over `Arc`-shared components.
+///
+/// Where [`QueryEngine`] borrows its index and store (ideal for one-shot
+/// use inside a function), `SharedQueryEngine` *owns* `Arc` handles to
+/// them, so it can be cloned into worker threads, stored in long-lived
+/// services, or handed to the [`crate::batch::BatchExecutor`]. All query
+/// state is per-call; the shared components are only ever read, so any
+/// number of clones may query concurrently.
+///
+/// ```
+/// use fuzzy_core::{FuzzyObject, ObjectId};
+/// use fuzzy_geom::Point;
+/// use fuzzy_index::{RTree, RTreeConfig};
+/// use fuzzy_query::{AknnConfig, SharedQueryEngine};
+/// use fuzzy_store::{MemStore, ObjectStore};
+///
+/// let store = MemStore::from_objects((0..4).map(|i| {
+///     FuzzyObject::new(
+///         ObjectId(i),
+///         vec![Point::xy(i as f64, 0.0), Point::xy(i as f64, 1.0)],
+///         vec![1.0, 0.5],
+///     )
+///     .unwrap()
+/// }))
+/// .unwrap();
+/// let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+/// let engine = SharedQueryEngine::from_parts(tree, store);
+///
+/// let query = engine.store().probe(ObjectId(1)).unwrap();
+/// let handle = {
+///     let engine = engine.clone(); // Arc bump, not a copy of the index
+///     std::thread::spawn(move || engine.aknn(&query, 2, 0.5, &AknnConfig::lb_lp_ub()))
+/// };
+/// let knn = handle.join().unwrap().unwrap();
+/// assert_eq!(knn.neighbors.len(), 2);
+/// ```
+pub struct SharedQueryEngine<S, const D: usize> {
+    tree: Arc<RTree<D>>,
+    store: Arc<S>,
+}
+
+impl<S, const D: usize> Clone for SharedQueryEngine<S, D> {
+    fn clone(&self) -> Self {
+        Self { tree: Arc::clone(&self.tree), store: Arc::clone(&self.store) }
+    }
+}
+
+impl<S: ObjectStore<D>, const D: usize> SharedQueryEngine<S, D> {
+    /// Bundle already-shared components.
+    pub fn new(tree: Arc<RTree<D>>, store: Arc<S>) -> Self {
+        Self { tree, store }
+    }
+
+    /// Take ownership of an index and a store, wrapping both in `Arc`s.
+    pub fn from_parts(tree: RTree<D>, store: S) -> Self {
+        Self::new(Arc::new(tree), Arc::new(store))
+    }
+
+    /// The underlying index.
+    pub fn tree(&self) -> &RTree<D> {
+        &self.tree
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// A clone of the shared index handle.
+    pub fn tree_handle(&self) -> Arc<RTree<D>> {
+        Arc::clone(&self.tree)
+    }
+
+    /// A clone of the shared store handle.
+    pub fn store_handle(&self) -> Arc<S> {
+        Arc::clone(&self.store)
+    }
+
+    /// A borrowed view, for APIs that take a [`QueryEngine`].
+    pub fn as_borrowed(&self) -> QueryEngine<'_, S, D> {
+        QueryEngine::new(&self.tree, &self.store)
+    }
+
+    /// Ad-hoc kNN query; see [`QueryEngine::aknn`].
+    pub fn aknn(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        self.as_borrowed().aknn(q, k, alpha, cfg)
+    }
+
+    /// AKNN at an explicit [`Threshold`]; see [`QueryEngine::aknn_at`].
+    pub fn aknn_at(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        self.as_borrowed().aknn_at(q, k, t, cfg)
+    }
+
+    /// Range kNN query; see [`QueryEngine::rknn`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn rknn(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha_start: f64,
+        alpha_end: f64,
+        algo: RknnAlgorithm,
+        cfg: &AknnConfig,
+    ) -> Result<RknnResult, QueryError> {
+        self.as_borrowed().rknn(q, k, alpha_start, alpha_end, algo, cfg)
+    }
+}
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+    use fuzzy_store::{CachedStore, FileStore, MemStore};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    /// The whole read path must be shareable across threads: the tree, the
+    /// stores, and both engines over them. This is a compile-time audit —
+    /// adding interior mutability without synchronization anywhere in
+    /// `index`/`store`/`query` breaks this test.
+    #[test]
+    fn engines_and_components_are_send_sync() {
+        assert_send_sync::<RTree<2>>();
+        assert_send_sync::<MemStore<2>>();
+        assert_send_sync::<FileStore<2>>();
+        assert_send_sync::<QueryEngine<'static, MemStore<2>, 2>>();
+        assert_send_sync::<QueryEngine<'static, FileStore<2>, 2>>();
+        assert_send_sync::<SharedQueryEngine<MemStore<2>, 2>>();
+        assert_send_sync::<SharedQueryEngine<FileStore<2>, 2>>();
+        assert_send_sync::<SharedQueryEngine<CachedStore<FileStore<2>, 2>, 2>>();
     }
 }

@@ -62,9 +62,6 @@ where
     SR: ObjectStore<D>,
 {
     let start = Instant::now();
-    let l_before = left_store.stats();
-    let r_before = right_store.stats();
-    let nodes_before = left_tree.stats().node_accesses() + right_tree.stats().node_accesses();
     let mut stats = QueryStats::default();
     let mut pairs: Vec<JoinPair> = Vec::new();
 
@@ -76,6 +73,7 @@ where
         if left_tree.node_mbr(nl).min_dist(right_tree.node_mbr(nr)) > radius {
             continue;
         }
+        stats.node_accesses += 2; // one expansion on each side
         match (left_tree.expand(nl), right_tree.expand(nr)) {
             (Children::Nodes(ls), Children::Nodes(rs)) => {
                 for &l in ls {
@@ -121,12 +119,15 @@ where
         let lobj = match &current_left {
             Some((id, obj)) if *id == le.id => obj.clone(),
             _ => {
-                let obj = left_store.probe(le.id)?;
-                current_left = Some((le.id, obj.clone()));
-                obj
+                let probe = left_store.probe_traced(le.id)?;
+                stats.object_accesses += probe.disk_read as u64;
+                current_left = Some((le.id, probe.object.clone()));
+                probe.object
             }
         };
-        let robj = right_store.probe(re.id)?;
+        let rprobe = right_store.probe_traced(re.id)?;
+        stats.object_accesses += rprobe.disk_read as u64;
+        let robj = rprobe.object;
         stats.distance_evals += 1;
         // Seed with radius (inclusive): anything farther is pruned inside.
         if let Some(d) =
@@ -139,10 +140,6 @@ where
     }
     pairs.sort_by_key(|p| (p.left, p.right));
 
-    stats.object_accesses = left_store.stats().since(&l_before).object_reads
-        + right_store.stats().since(&r_before).object_reads;
-    stats.node_accesses =
-        left_tree.stats().node_accesses() + right_tree.stats().node_accesses() - nodes_before;
     stats.wall = start.elapsed();
     Ok(JoinResult { pairs, stats })
 }

@@ -16,8 +16,15 @@
 //!   reduction, Algorithm 4 / Lemma 3) and `RssIcr` (candidate refinement
 //!   acceleration, Algorithm 5 / Lemma 4), plus an exact sweep reference
 //!   used as the test oracle.
+//! * **Batched workloads** ([`batch`]): a [`BatchExecutor`] fans mixed
+//!   AKNN/RKNN workloads across scoped worker threads over one shared
+//!   engine ([`SharedQueryEngine`]), with deterministic output ordering
+//!   and lossless per-thread cost accounting.
+
+#![warn(missing_docs)]
 
 pub mod aknn;
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod interval;
@@ -28,7 +35,8 @@ pub mod stats;
 pub mod sweep;
 
 pub use aknn::AknnConfig;
-pub use engine::QueryEngine;
+pub use batch::{BatchExecutor, BatchOutcome, BatchRequest, BatchResponse, ThreadStats};
+pub use engine::{QueryEngine, SharedQueryEngine};
 pub use error::QueryError;
 pub use interval::{Interval, IntervalSet};
 pub use join::{alpha_distance_join, JoinPair, JoinResult};

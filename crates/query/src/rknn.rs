@@ -97,9 +97,6 @@ pub(crate) fn run<S: ObjectStore<D>, const D: usize>(
     cfg: &AknnConfig,
 ) -> Result<RknnResult, QueryError> {
     let start = Instant::now();
-    let store_before = store.stats();
-    let nodes_before = tree.stats().node_accesses();
-
     let mut stats = QueryStats::default();
     let items = match algo {
         RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, &mut stats)?,
@@ -117,8 +114,6 @@ pub(crate) fn run<S: ObjectStore<D>, const D: usize>(
         )?,
     };
 
-    stats.object_accesses = store.stats().since(&store_before).object_reads;
-    stats.node_accesses = tree.stats().node_accesses() - nodes_before;
     stats.wall = start.elapsed();
     Ok(RknnResult { items, stats })
 }
@@ -135,9 +130,10 @@ fn naive<S: ObjectStore<D>, const D: usize>(
     let ids: Vec<ObjectId> = store.summaries().iter().map(|s| s.id).collect();
     let mut profiles: Vec<(ObjectId, DistanceProfile)> = Vec::with_capacity(ids.len());
     for id in ids {
-        let obj = store.probe(id)?;
+        let probe = store.probe_traced(id)?;
+        stats.object_accesses += probe.disk_read as u64;
         stats.profile_computations += 1;
-        profiles.push((id, DistanceProfile::compute(&obj, q)));
+        profiles.push((id, DistanceProfile::compute(&probe.object, q)));
     }
     stats.candidates = profiles.len() as u64;
     let cands: Vec<ProfiledCandidate<'_>> =
@@ -164,6 +160,8 @@ fn basic<S: ObjectStore<D>, const D: usize>(
     loop {
         let out = search(tree, store, q, k, t, cfg, true)?;
         stats.aknn_calls += 1;
+        stats.object_accesses += out.stats.object_accesses;
+        stats.node_accesses += out.stats.node_accesses;
         stats.distance_evals += out.stats.distance_evals;
         stats.bound_evals += out.stats.bound_evals;
         if out.neighbors.is_empty() {
@@ -208,6 +206,8 @@ fn rss<S: ObjectStore<D>, const D: usize>(
     let t_end = Threshold::at(alpha_end);
     let out_end = search(tree, store, q, k, t_end, cfg, true)?;
     stats.aknn_calls += 1;
+    stats.object_accesses += out_end.stats.object_accesses;
+    stats.node_accesses += out_end.stats.node_accesses;
     stats.distance_evals += out_end.stats.distance_evals;
     stats.bound_evals += out_end.stats.bound_evals;
     let r = if out_end.neighbors.len() < k {
@@ -231,14 +231,16 @@ fn rss<S: ObjectStore<D>, const D: usize>(
             }
         },
     );
+    stats.node_accesses += range.node_accesses;
     stats.bound_evals += range.hits.len() as u64;
 
     // Probe every candidate once and build its profile.
     let mut cache: ProfileCache<D> = ProfileCache::new();
     let mut candidate_ids: Vec<ObjectId> = Vec::with_capacity(range.hits.len());
     for hit in &range.hits {
-        let obj = store.probe(hit.entry.id)?;
-        cache.get_or_compute(&obj, q);
+        let probe = store.probe_traced(hit.entry.id)?;
+        stats.object_accesses += probe.disk_read as u64;
+        cache.get_or_compute(&probe.object, q);
         candidate_ids.push(hit.entry.id);
     }
     candidate_ids.sort_unstable();

@@ -1,0 +1,196 @@
+//! Executor determinism: the same workload must produce byte-identical
+//! answers whether it runs on 1, 2 or 8 threads, and the summed cost
+//! accounting of a concurrent run must equal the sequential run exactly.
+
+use fuzzy_core::{FuzzyObject, ObjectId};
+use fuzzy_geom::Point;
+use fuzzy_index::{RTree, RTreeConfig};
+use fuzzy_query::{
+    AknnConfig, BatchExecutor, BatchOutcome, BatchRequest, BatchResponse, DistBound, QueryStats,
+    RknnAlgorithm, SharedQueryEngine,
+};
+use fuzzy_store::{FileStoreWriter, MemStore, ObjectStore};
+
+/// A deterministic pseudo-random fuzzy object (xorshift, no external RNG).
+fn blob(id: u64, cx: f64, cy: f64) -> FuzzyObject<2> {
+    let mut state = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut pts = vec![Point::xy(cx, cy)];
+    let mut mus = vec![1.0];
+    for _ in 1..20 {
+        let r = rnd();
+        let th = rnd() * std::f64::consts::TAU;
+        pts.push(Point::xy(cx + r * th.cos(), cy + r * th.sin()));
+        mus.push((((1.0 - r) * 10.0).round() / 10.0).clamp(0.1, 1.0));
+    }
+    FuzzyObject::new(ObjectId(id), pts, mus).unwrap()
+}
+
+fn objects(n: u64) -> impl Iterator<Item = FuzzyObject<2>> {
+    (0..n).map(|i| blob(i, (i % 12) as f64 * 3.0, (i / 12) as f64 * 3.0))
+}
+
+/// A mixed workload touching every query type, several variants and both
+/// valid and invalid parameters (error slots must be stable too).
+fn workload<S: ObjectStore<2>>(store: &S, n: u64) -> Vec<BatchRequest<2>> {
+    let mut requests = Vec::new();
+    for i in 0..n {
+        let q = store.probe(ObjectId(i)).unwrap().as_ref().clone();
+        match i % 5 {
+            0 => requests.push(BatchRequest::aknn(q, 5, 0.5, AknnConfig::lb_lp_ub())),
+            1 => requests.push(BatchRequest::aknn(q, 3, 0.8, AknnConfig::basic())),
+            2 => requests.push(BatchRequest::rknn(
+                q,
+                3,
+                (0.3, 0.7),
+                RknnAlgorithm::RssIcr,
+                AknnConfig::lb_lp_ub(),
+            )),
+            3 => requests.push(BatchRequest::rknn(
+                q,
+                2,
+                (0.2, 0.9),
+                RknnAlgorithm::Rss,
+                AknnConfig::lb_lp(),
+            )),
+            // Deliberately invalid: α out of range; the error must land in
+            // this exact slot on every run.
+            _ => requests.push(BatchRequest::aknn(q, 4, 1.5, AknnConfig::lb_lp_ub())),
+        }
+    }
+    requests
+}
+
+/// Canonical byte representation of an outcome's answers: ids and the raw
+/// IEEE-754 bits of every distance/endpoint, excluding wall-clock times.
+/// Two outcomes with equal fingerprints are byte-identical result sets.
+fn fingerprint(outcome: &BatchOutcome) -> String {
+    let mut out = String::new();
+    for (i, res) in outcome.responses.iter().enumerate() {
+        out.push_str(&format!("[{i}] "));
+        match res {
+            Err(e) => out.push_str(&format!("err {e}\n")),
+            Ok(BatchResponse::Aknn(r)) => {
+                for n in &r.neighbors {
+                    let bits = match n.dist {
+                        DistBound::Exact(d) => format!("={:016x}", d.to_bits()),
+                        DistBound::Bounded { lo, hi } => {
+                            format!("[{:016x},{:016x}]", lo.to_bits(), hi.to_bits())
+                        }
+                    };
+                    out.push_str(&format!("{}{bits} ", n.id));
+                }
+                out.push('\n');
+            }
+            Ok(BatchResponse::Rknn(r)) => {
+                for item in &r.items {
+                    out.push_str(&format!("{} ", item.id));
+                    for iv in item.range.intervals() {
+                        out.push_str(&format!(
+                            "({}{:016x},{:016x}{}) ",
+                            if iv.lo_closed { "[" } else { "(" },
+                            iv.lo.to_bits(),
+                            iv.hi.to_bits(),
+                            if iv.hi_closed { "]" } else { ")" },
+                        ));
+                    }
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// The count fields of a stats aggregate (everything except wall-clock,
+/// which legitimately differs between runs).
+fn counts(s: &QueryStats) -> [u64; 7] {
+    [
+        s.object_accesses,
+        s.node_accesses,
+        s.distance_evals,
+        s.profile_computations,
+        s.bound_evals,
+        s.aknn_calls,
+        s.candidates,
+    ]
+}
+
+fn assert_deterministic<S: ObjectStore<2> + Sync>(engine: &SharedQueryEngine<S, 2>, n: u64) {
+    let requests = workload(engine.store(), n);
+    let sequential = BatchExecutor::sequential().run_shared(engine, &requests);
+    let seq_print = fingerprint(&sequential);
+    let seq_counts = counts(&sequential.total_stats());
+    assert!(sequential.error_count() > 0, "workload must exercise error slots");
+
+    for threads in [2usize, 8] {
+        let concurrent = BatchExecutor::new(threads).run_shared(engine, &requests);
+        assert_eq!(concurrent.per_thread.len(), threads);
+        assert_eq!(
+            fingerprint(&concurrent),
+            seq_print,
+            "{threads}-thread run diverged from sequential"
+        );
+        assert_eq!(
+            counts(&concurrent.total_stats()),
+            seq_counts,
+            "{threads}-thread stats sum diverged from sequential"
+        );
+        // Per-thread reports are a lossless partition of the batch.
+        let executed: usize = concurrent.per_thread.iter().map(|t| t.executed).sum();
+        assert_eq!(executed, requests.len());
+    }
+}
+
+#[test]
+fn mem_store_batch_is_deterministic_across_thread_counts() {
+    let store = MemStore::from_objects(objects(60)).unwrap();
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    assert_deterministic(&SharedQueryEngine::from_parts(tree, store), 60);
+}
+
+#[test]
+fn file_store_batch_is_deterministic_across_thread_counts() {
+    let path =
+        std::env::temp_dir().join(format!("fuzzy-batch-determinism-{}.fzkn", std::process::id()));
+    let mut writer = FileStoreWriter::<2>::create(&path).unwrap();
+    for obj in objects(45) {
+        writer.append(&obj).unwrap();
+    }
+    let store = writer.finish().unwrap();
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    assert_deterministic(&SharedQueryEngine::from_parts(tree, store), 45);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_stats_match_individual_queries() {
+    // The batch is bookkeeping only: each response's stats must equal the
+    // stats of the same query run alone (modulo wall-clock).
+    let store = MemStore::from_objects(objects(30)).unwrap();
+    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    let engine = SharedQueryEngine::from_parts(tree, store);
+    let requests = workload(engine.store(), 30);
+    let outcome = BatchExecutor::new(4).run_shared(&engine, &requests);
+
+    for (req, res) in requests.iter().zip(&outcome.responses) {
+        let solo = match req {
+            BatchRequest::Aknn { query, k, alpha, cfg } => {
+                engine.aknn(query, *k, *alpha, cfg).map(|r| r.stats)
+            }
+            BatchRequest::Rknn { query, k, alpha_start, alpha_end, algo, cfg } => {
+                engine.rknn(query, *k, *alpha_start, *alpha_end, *algo, cfg).map(|r| r.stats)
+            }
+        };
+        match (solo, res) {
+            (Ok(solo), Ok(batched)) => assert_eq!(counts(&solo), counts(batched.stats())),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("solo/batch disagree on success: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::error::StoreError;
 use crate::stats::IoStatsSnapshot;
-use crate::ObjectStore;
+use crate::{ObjectStore, TracedProbe};
 use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,6 +58,10 @@ impl<S: ObjectStore<D>, const D: usize> CachedStore<S, D> {
 
 impl<S: ObjectStore<D>, const D: usize> ObjectStore<D> for CachedStore<S, D> {
     fn probe(&self, id: ObjectId) -> Result<Arc<FuzzyObject<D>>, StoreError> {
+        Ok(self.probe_traced(id)?.object)
+    }
+
+    fn probe_traced(&self, id: ObjectId) -> Result<TracedProbe<D>, StoreError> {
         {
             let mut c = self.cache.lock().unwrap();
             c.tick += 1;
@@ -69,10 +73,12 @@ impl<S: ObjectStore<D>, const D: usize> ObjectStore<D> for CachedStore<S, D> {
                 // A cache hit is *not* an object access in the paper's
                 // accounting; record it separately.
                 self.record_hit();
-                return Ok(hit);
+                return Ok(TracedProbe { object: hit, disk_read: false });
             }
         }
-        let obj = self.inner.probe(id)?;
+        // Propagate the inner provenance: a miss here that an inner cache
+        // layer serves is still not a disk read.
+        let probe = self.inner.probe_traced(id)?;
         let mut c = self.cache.lock().unwrap();
         c.tick += 1;
         let tick = c.tick;
@@ -82,8 +88,8 @@ impl<S: ObjectStore<D>, const D: usize> ObjectStore<D> for CachedStore<S, D> {
                 c.map.remove(&victim);
             }
         }
-        c.map.insert(id, (obj.clone(), tick));
-        Ok(obj)
+        c.map.insert(id, (probe.object.clone(), tick));
+        Ok(probe)
     }
 
     fn len(&self) -> usize {

@@ -15,6 +15,8 @@
 //!   paper's algorithms are evaluated *without* caching).
 //! * [`ObjectStore`] — the trait the query processor is generic over.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod error;
 pub mod file_store;
@@ -28,14 +30,56 @@ pub use file_store::{FileStore, FileStoreWriter};
 pub use mem_store::MemStore;
 pub use stats::{IoStats, IoStatsSnapshot};
 
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn stores_are_send_sync() {
+        assert_send_sync::<FileStore<2>>();
+        assert_send_sync::<MemStore<2>>();
+        assert_send_sync::<CachedStore<FileStore<2>, 2>>();
+        assert_send_sync::<CachedStore<MemStore<2>, 2>>();
+    }
+}
+
 use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
 use std::sync::Arc;
 
+/// A probe result that records where the object came from.
+///
+/// Query-local cost accounting needs to know whether a probe actually
+/// touched the backing medium (one of the paper's "object accesses") or was
+/// served by a cache layer — per-query counter deltas cannot distinguish
+/// the two once queries run concurrently against a shared store.
+#[derive(Clone, Debug)]
+pub struct TracedProbe<const D: usize> {
+    /// The retrieved object.
+    pub object: Arc<FuzzyObject<D>>,
+    /// True when the probe reached the backing medium (counts as one
+    /// object access); false for cache hits.
+    pub disk_read: bool,
+}
+
 /// Abstract object store: the query processor only ever probes by id and
 /// reads the in-memory summary table.
+///
+/// Implementations must be usable behind a shared reference from many
+/// threads at once — all methods take `&self` and the built-in stores use
+/// atomic counters and positioned reads, so `&FileStore`/`&MemStore` can be
+/// probed concurrently without external locking.
 pub trait ObjectStore<const D: usize> {
     /// Retrieve one object — this is the "object access" the paper counts.
     fn probe(&self, id: ObjectId) -> Result<Arc<FuzzyObject<D>>, StoreError>;
+
+    /// Retrieve one object together with its provenance (backing medium vs
+    /// cache). The default forwards to [`ObjectStore::probe`] and reports a
+    /// disk read; caching layers override it to report hits.
+    fn probe_traced(&self, id: ObjectId) -> Result<TracedProbe<D>, StoreError> {
+        Ok(TracedProbe { object: self.probe(id)?, disk_read: true })
+    }
 
     /// Number of stored objects.
     fn len(&self) -> usize;

@@ -10,6 +10,28 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A `HashMap`-backed store.
+///
+/// ```
+/// use fuzzy_core::{FuzzyObject, ObjectId};
+/// use fuzzy_geom::Point;
+/// use fuzzy_store::{MemStore, ObjectStore};
+///
+/// let store = MemStore::from_objects((0..3).map(|i| {
+///     FuzzyObject::new(
+///         ObjectId(i),
+///         vec![Point::xy(i as f64, 0.0), Point::xy(i as f64, 1.0)],
+///         vec![1.0, 0.5],
+///     )
+///     .unwrap()
+/// }))
+/// .unwrap();
+///
+/// assert_eq!(store.len(), 3);
+/// assert_eq!(store.summaries().len(), 3); // free: no probe charged
+/// let obj = store.probe(ObjectId(1)).unwrap();
+/// assert_eq!(obj.id(), ObjectId(1));
+/// assert_eq!(store.stats().object_reads, 1); // ... but the probe was charged
+/// ```
 #[derive(Debug)]
 pub struct MemStore<const D: usize> {
     objects: HashMap<ObjectId, Arc<FuzzyObject<D>>>,

@@ -62,6 +62,13 @@ pub struct IoStatsSnapshot {
 
 impl IoStatsSnapshot {
     /// Counter difference (`self` after, `before` before).
+    ///
+    /// For whole-store diagnostics only (e.g. bracketing an experiment
+    /// phase on an otherwise idle store). Do **not** use it for per-query
+    /// cost accounting: with concurrent queries the delta includes every
+    /// other query's traffic — that is exactly why the query processor
+    /// charges query-local `QueryStats` via `ObjectStore::probe_traced`
+    /// instead.
     pub fn since(&self, before: &IoStatsSnapshot) -> IoStatsSnapshot {
         IoStatsSnapshot {
             object_reads: self.object_reads - before.object_reads,

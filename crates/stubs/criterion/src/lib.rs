@@ -10,6 +10,8 @@
 //! `--test` on the command line (what `cargo test --benches` passes) runs
 //! every routine exactly once so benches double as smoke tests.
 
+#![warn(missing_docs)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -14,6 +14,8 @@
 //! `any::<f64>()` samples a bounded uniform range rather than the full
 //! bit-pattern space.
 
+#![warn(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -218,7 +220,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Element-count specifications accepted by [`vec`].
+        /// Element-count specifications accepted by [`vec()`].
         pub trait IntoSizeRange {
             /// Inclusive-lower, exclusive-upper bounds.
             fn bounds(&self) -> (usize, usize);
@@ -249,7 +251,7 @@ pub mod prop {
             VecStrategy { elem, lo, hi }
         }
 
-        /// Output of [`vec`].
+        /// Output of [`vec()`].
         pub struct VecStrategy<S> {
             elem: S,
             lo: usize,

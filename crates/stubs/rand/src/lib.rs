@@ -9,6 +9,8 @@
 //! (ChaCha12), which only matters if datasets generated here must be
 //! bit-identical to ones generated with the real crate.
 
+#![warn(missing_docs)]
+
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// Next raw 64-bit word.

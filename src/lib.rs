@@ -57,6 +57,8 @@
 //! | [`datagen`] | §6.1 synthetic workload + cell-like substitute for the real dataset |
 //! | [`analysis`] | §5 cost model (fractal dimensions, Eq. 6–8) |
 
+#![warn(missing_docs)]
+
 pub use fuzzy_analysis as analysis;
 pub use fuzzy_core as core;
 pub use fuzzy_datagen as datagen;
@@ -75,8 +77,9 @@ pub mod prelude {
     pub use fuzzy_geom::{Mbr, Point};
     pub use fuzzy_index::{RTree, RTreeConfig};
     pub use fuzzy_query::{
-        AknnConfig, AknnResult, DistBound, Interval, IntervalSet, Neighbor, QueryEngine,
-        QueryError, QueryStats, RknnAlgorithm, RknnItem, RknnResult,
+        AknnConfig, AknnResult, BatchExecutor, BatchOutcome, BatchRequest, BatchResponse,
+        DistBound, Interval, IntervalSet, Neighbor, QueryEngine, QueryError, QueryStats,
+        RknnAlgorithm, RknnItem, RknnResult, SharedQueryEngine,
     };
     pub use fuzzy_store::{
         CachedStore, FileStore, FileStoreWriter, MemStore, ObjectStore, StoreError,
