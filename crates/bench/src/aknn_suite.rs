@@ -5,17 +5,46 @@
 //! runtime) as one axis varies — k (Fig. 11/12), α (Fig. 13/14), the
 //! pruning variant (§6.2). This harness reruns those sweeps as *batched*
 //! workloads through [`fuzzy_query::BatchExecutor`], adding the thread
-//! count as an axis, and emits a `BENCH_aknn.json` whose schema is stable
-//! across PRs so successive runs are diffable (and CI can smoke-parse it).
+//! count and the **index backend** as axes, and emits a `BENCH_aknn.json`
+//! whose schema is stable across PRs so successive runs are diffable (and
+//! CI can smoke-parse it).
+//!
+//! With the default `paged` backend the index is a real on-disk
+//! [`PagedRTree`] read through its buffer pool, so `node_disk_reads_*`
+//! reports *measured* I/O: the buffer pool is cleared before every
+//! measured batch (every run is cold), and a dedicated `cold_warm` sweep
+//! runs the default workload twice — cold, then again against the warm
+//! pool — to expose the cache's effect directly.
 
 use crate::json::Json;
 use crate::{DatasetSpec, Env};
 use fuzzy_datagen::DatasetKind;
+use fuzzy_index::{NodeAccess, PagedRTree};
 use fuzzy_query::{AknnConfig, BatchExecutor, BatchOutcome, BatchRequest};
+use fuzzy_store::FileStore;
 use std::path::Path;
 
 /// Schema identifier embedded in every report.
-pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v1";
+pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v2";
+
+/// Which index backend a bench run queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexBackend {
+    /// The in-memory `RTree` (node accesses are logical only).
+    Mem,
+    /// The disk-resident `PagedRTree` behind an LRU buffer pool.
+    Paged,
+}
+
+impl IndexBackend {
+    /// Name recorded in the report.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Mem => "mem",
+            Self::Paged => "paged",
+        }
+    }
+}
 
 /// Sweep axes of one bench invocation.
 #[derive(Clone, Debug)]
@@ -34,6 +63,12 @@ pub struct BenchOptions {
     pub alphas: Vec<f64>,
     /// Worker counts of the thread sweep.
     pub thread_counts: Vec<usize>,
+    /// Index backend the sweeps query.
+    pub backend: IndexBackend,
+    /// Page size of the paged index file (ignored for `Mem`).
+    pub page_size: u32,
+    /// Buffer-pool capacity in pages (ignored for `Mem`).
+    pub cache_pages: usize,
     /// True for the CI smoke configuration (recorded in the report).
     pub smoke: bool,
 }
@@ -54,6 +89,9 @@ impl BenchOptions {
             ks: vec![1, 5, 10, 20, 50],
             alphas: vec![0.2, 0.5, 0.8],
             thread_counts: vec![1, 2, 4, 8],
+            backend: IndexBackend::Paged,
+            page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
+            cache_pages: fuzzy_index::DEFAULT_CACHE_PAGES,
             smoke: false,
         }
     }
@@ -74,18 +112,26 @@ impl BenchOptions {
             ks: vec![1, 3],
             alphas: vec![0.5],
             thread_counts: vec![1, 2],
+            backend: IndexBackend::Paged,
+            page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
+            cache_pages: 64,
             smoke: true,
         }
     }
 }
 
 /// One measured cell of a sweep, flattened into the report's `runs` array.
+/// `cache` records the buffer-pool state the batch started from: `cold`
+/// (cleared), `warm` (left over from a previous batch) or `none` (the
+/// in-memory backend has no pool).
+#[allow(clippy::too_many_arguments)]
 fn record(
     sweep: &str,
     cfg: &AknnConfig,
     k: usize,
     alpha: f64,
     threads: usize,
+    cache: &str,
     outcome: &BatchOutcome,
 ) -> Json {
     let total = outcome.total_stats();
@@ -97,6 +143,7 @@ fn record(
         ("k", Json::num(k as f64)),
         ("alpha", Json::num(alpha)),
         ("threads", Json::num(threads as f64)),
+        ("cache", Json::str(cache)),
         ("queries", Json::num(outcome.responses.len() as f64)),
         ("errors", Json::num(outcome.error_count() as f64)),
         ("wall_ms_batch", Json::num(batch_secs * 1e3)),
@@ -106,6 +153,8 @@ fn record(
         ("object_accesses_mean", Json::num(total.object_accesses as f64 / ok)),
         ("node_accesses_total", Json::num(total.node_accesses as f64)),
         ("node_accesses_mean", Json::num(total.node_accesses as f64 / ok)),
+        ("node_disk_reads_total", Json::num(total.node_disk_reads as f64)),
+        ("node_disk_reads_mean", Json::num(total.node_disk_reads as f64 / ok)),
         ("distance_evals_total", Json::num(total.distance_evals as f64)),
         ("bound_evals_total", Json::num(total.bound_evals as f64)),
     ])
@@ -119,6 +168,7 @@ const RUN_FIELDS: &[(&str, bool)] = &[
     ("k", true),
     ("alpha", true),
     ("threads", true),
+    ("cache", false),
     ("queries", true),
     ("errors", true),
     ("wall_ms_batch", true),
@@ -128,24 +178,36 @@ const RUN_FIELDS: &[(&str, bool)] = &[
     ("object_accesses_mean", true),
     ("node_accesses_total", true),
     ("node_accesses_mean", true),
+    ("node_disk_reads_total", true),
+    ("node_disk_reads_mean", true),
     ("distance_evals_total", true),
     ("bound_evals_total", true),
 ];
 
-/// Run every sweep and assemble the report.
-pub fn run(opts: &BenchOptions) -> Json {
-    let env = Env::prepare(&opts.dataset);
-    let queries = opts.dataset.queries(opts.queries);
+/// Run every sweep over one index backend. `clear_cache` resets the
+/// backend's buffer pool (no-op for the in-memory tree); `cache_label` is
+/// what a post-clear batch should record (`cold` for paged, `none` for
+/// mem).
+fn sweeps<A: NodeAccess<2> + Sync>(
+    tree: &A,
+    store: &FileStore<2>,
+    queries: &[fuzzy_core::FuzzyObject<2>],
+    opts: &BenchOptions,
+    clear_cache: &dyn Fn(),
+    cache_label: &str,
+) -> Vec<Json> {
     let mut runs: Vec<Json> = Vec::new();
 
     // Returns the outcome together with the *resolved* worker count, so a
     // `--threads 0` (one per CPU) request is recorded as the count that
-    // actually ran, not as 0.
+    // actually ran, not as 0. Every measured batch starts from a cleared
+    // buffer pool so `node_disk_reads` is reproducible.
     let batch = |cfg: &AknnConfig, k: usize, alpha: f64, threads: usize| -> (BatchOutcome, usize) {
+        clear_cache();
         let requests: Vec<BatchRequest<2>> =
             queries.iter().map(|q| BatchRequest::aknn(q.clone(), k, alpha, *cfg)).collect();
         let executor = BatchExecutor::new(threads);
-        (executor.run(&env.tree, &env.store, &requests), executor.threads())
+        (executor.run(tree, store, &requests), executor.threads())
     };
 
     // Sweep 1 — variant × thread count at the default (k, α): the paper's
@@ -159,6 +221,7 @@ pub fn run(opts: &BenchOptions) -> Json {
                 opts.default_k,
                 opts.default_alpha,
                 resolved,
+                cache_label,
                 &outcome,
             ));
         }
@@ -170,14 +233,80 @@ pub fn run(opts: &BenchOptions) -> Json {
     let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
     for &k in &opts.ks {
         let (outcome, resolved) = batch(&best, k, opts.default_alpha, max_threads);
-        runs.push(record("k", &best, k, opts.default_alpha, resolved, &outcome));
+        runs.push(record("k", &best, k, opts.default_alpha, resolved, cache_label, &outcome));
     }
 
     // Sweep 3 — α (Fig. 13/14) with the best variant.
     for &alpha in &opts.alphas {
         let (outcome, resolved) = batch(&best, opts.default_k, alpha, max_threads);
-        runs.push(record("alpha", &best, opts.default_k, alpha, resolved, &outcome));
+        runs.push(record("alpha", &best, opts.default_k, alpha, resolved, cache_label, &outcome));
     }
+
+    // Sweep 4 — cold vs warm buffer pool on the default workload (§6 cost
+    // accounting made literal: the first run pays the disk, the second is
+    // served by the pool). On the in-memory backend both legs report zero
+    // disk reads, which is exactly the point of the comparison.
+    let (cold, resolved) = batch(&best, opts.default_k, opts.default_alpha, max_threads);
+    runs.push(record(
+        "cold_warm",
+        &best,
+        opts.default_k,
+        opts.default_alpha,
+        resolved,
+        cache_label,
+        &cold,
+    ));
+    let requests: Vec<BatchRequest<2>> = queries
+        .iter()
+        .map(|q| BatchRequest::aknn(q.clone(), opts.default_k, opts.default_alpha, best))
+        .collect();
+    let executor = BatchExecutor::new(max_threads);
+    let warm = executor.run(tree, store, &requests); // pool left warm by `cold`
+    runs.push(record(
+        "cold_warm",
+        &best,
+        opts.default_k,
+        opts.default_alpha,
+        executor.threads(),
+        "warm",
+        &warm,
+    ));
+
+    runs
+}
+
+/// Run every sweep and assemble the report.
+pub fn run(opts: &BenchOptions) -> Json {
+    let env = Env::prepare(&opts.dataset);
+    let queries = opts.dataset.queries(opts.queries);
+
+    let (runs, index_meta) = match opts.backend {
+        IndexBackend::Mem => {
+            let runs = sweeps(&env.tree, &env.store, &queries, opts, &|| {}, "none");
+            let meta = Json::obj(vec![
+                ("backend", Json::str("mem")),
+                ("nodes", Json::num(env.tree.node_count() as f64)),
+                ("height", Json::num(env.tree.height() as f64)),
+            ]);
+            (runs, meta)
+        }
+        IndexBackend::Paged => {
+            let index_path = opts.dataset.index_path();
+            PagedRTree::write_tree(&env.tree, &index_path, opts.page_size)
+                .expect("write index file");
+            let paged: PagedRTree<2> =
+                PagedRTree::open_with_cache(&index_path, opts.cache_pages).expect("open index");
+            let runs = sweeps(&paged, &env.store, &queries, opts, &|| paged.clear_cache(), "cold");
+            let meta = Json::obj(vec![
+                ("backend", Json::str("paged")),
+                ("page_size", Json::num(paged.page_size() as f64)),
+                ("pages", Json::num(paged.page_count() as f64)),
+                ("height", Json::num(NodeAccess::height(&paged) as f64)),
+                ("cache_pages", Json::num(opts.cache_pages as f64)),
+            ]);
+            (runs, meta)
+        }
+    };
 
     let threads_available =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
@@ -187,6 +316,7 @@ pub fn run(opts: &BenchOptions) -> Json {
         // Thread-sweep context: speedups cap at this machine's parallelism
         // (a 1-CPU CI runner legitimately shows a flat thread axis).
         ("machine", Json::obj(vec![("threads_available", Json::num(threads_available as f64))])),
+        ("index", index_meta),
         (
             "dataset",
             Json::obj(vec![
@@ -227,7 +357,7 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
     if report.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return Err(format!("schema field missing or not {SCHEMA:?}"));
     }
-    for key in ["dataset", "workload", "machine"] {
+    for key in ["dataset", "workload", "machine", "index"] {
         match report.get(key) {
             Some(Json::Obj(_)) => {}
             _ => return Err(format!("{key} must be an object")),
@@ -277,9 +407,9 @@ mod tests {
         // The report survives a serialize → parse round trip.
         let reparsed = Json::parse(&report.to_pretty()).unwrap();
         validate_report(&reparsed).unwrap();
-        // All three sweeps are present.
+        // All four sweeps are present.
         let runs = reparsed.get("runs").unwrap().as_arr().unwrap();
-        for sweep in ["variant_threads", "k", "alpha"] {
+        for sweep in ["variant_threads", "k", "alpha", "cold_warm"] {
             assert!(
                 runs.iter().any(|r| r.get("sweep").and_then(Json::as_str) == Some(sweep)),
                 "missing sweep {sweep}"
@@ -289,6 +419,25 @@ mod tests {
         for variant in ["Basic", "LB", "LB-LP", "LB-LP-UB"] {
             assert!(runs.iter().any(|r| r.get("variant").and_then(Json::as_str) == Some(variant)));
         }
+        // The default backend is paged, so I/O is real: cold runs read
+        // pages from disk, the warm leg of the cold_warm sweep does not.
+        assert_eq!(
+            reparsed.get("index").unwrap().get("backend").and_then(Json::as_str),
+            Some("paged")
+        );
+        let leg = |cache: &str| -> f64 {
+            runs.iter()
+                .find(|r| {
+                    r.get("sweep").and_then(Json::as_str) == Some("cold_warm")
+                        && r.get("cache").and_then(Json::as_str) == Some(cache)
+                })
+                .expect("cold_warm leg present")
+                .get("node_disk_reads_total")
+                .and_then(Json::as_num)
+                .unwrap()
+        };
+        assert!(leg("cold") > 0.0, "cold runs must hit the disk");
+        assert_eq!(leg("warm"), 0.0, "warm pool must serve every node");
     }
 
     #[test]

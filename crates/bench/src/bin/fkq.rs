@@ -3,14 +3,19 @@
 //! ```sh
 //! fkq generate --kind cell --n 1000 --ppo 200 --out cells.fzkn
 //! fkq info cells.fzkn
-//! fkq aknn cells.fzkn --k 10 --alpha 0.5 --variant lb-lp-ub
+//! fkq build-index cells.fzkn --out cells.fzpt
+//! fkq aknn cells.fzkn --k 10 --alpha 0.5 --index-file cells.fzpt
 //! fkq rknn cells.fzkn --k 10 --start 0.3 --end 0.7 --algo rss-icr
 //! fkq bench --out BENCH_aknn.json
 //! ```
+//!
+//! Query subcommands bulk-load an in-memory R-tree by default; pass
+//! `--index-file` to run against a persisted paged index built with
+//! `build-index` instead (see `docs/FORMAT.md` for the file layout).
 
 use fuzzy_core::FuzzyObject;
 use fuzzy_datagen::{CellConfig, SyntheticConfig};
-use fuzzy_index::{RTree, RTreeConfig};
+use fuzzy_index::{NodeAccess, PagedRTree, RTree, RTreeConfig};
 use fuzzy_query::{AknnConfig, QueryEngine, RknnAlgorithm};
 use fuzzy_store::{FileStore, ObjectStore};
 use std::collections::HashMap;
@@ -18,13 +23,17 @@ use std::process::exit;
 
 const USAGE: &str = "usage:
   fkq generate --kind <synthetic|cell> --n <count> [--ppo <points>] [--seed <u64>] --out <path>
-  fkq info <path>
-  fkq aknn <path> --k <k> --alpha <a> [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>]
+  fkq info <path> [--index-file <path>]
+  fkq build-index <path> --out <index-path> [--page-size <bytes>] [--max-entries <n>] \
+[--min-fill <f>]
+  fkq aknn <path> --k <k> --alpha <a> [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>] \
+[--index-file <path>] [--cache-pages <n>]
   fkq rknn <path> --k <k> --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] \
-[--query-seed <u64>]
+[--query-seed <u64>] [--index-file <path>] [--cache-pages <n>]
   fkq bench [--out <path=BENCH_aknn.json>] [--smoke <true|false>] [--kind <synthetic|cell>] \
 [--n <count>] [--ppo <points>] [--seed <u64>] [--queries <count>] [--k <k>] [--alpha <a>] \
-[--ks <csv>] [--alphas <csv>] [--threads <csv>]";
+[--ks <csv>] [--alphas <csv>] [--threads <csv>] [--backend <mem|paged>] [--page-size <bytes>] \
+[--cache-pages <n>]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -72,7 +81,8 @@ fn main() {
     let (pos, flags) = parse_flags(&args[1..]);
     match args[0].as_str() {
         "generate" => generate(&flags),
-        "info" => info(pos.first().unwrap_or_else(|| usage())),
+        "info" => info(pos.first().unwrap_or_else(|| usage()), &flags),
+        "build-index" => build_index(pos.first().unwrap_or_else(|| usage()), &flags),
         "aknn" => aknn(pos.first().unwrap_or_else(|| usage()), &flags),
         "rknn" => rknn(pos.first().unwrap_or_else(|| usage()), &flags),
         "bench" => bench(&flags),
@@ -129,12 +139,24 @@ fn csv_list<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) ->
 /// Run the §6-style AKNN sweeps through the batch executor and write a
 /// machine-readable report (see `fuzzy_bench::aknn_suite` for the schema).
 fn bench(flags: &HashMap<String, String>) {
-    use fuzzy_bench::aknn_suite::{self, BenchOptions};
+    use fuzzy_bench::aknn_suite::{self, BenchOptions, IndexBackend};
     use fuzzy_bench::DatasetSpec;
     use fuzzy_datagen::DatasetKind;
 
     let smoke: bool = get(flags, "smoke").unwrap_or(false);
     let mut opts = if smoke { BenchOptions::smoke() } else { BenchOptions::full() };
+    if let Some(backend) = flags.get("backend") {
+        opts.backend = match backend.as_str() {
+            "mem" => IndexBackend::Mem,
+            "paged" => IndexBackend::Paged,
+            other => {
+                eprintln!("unknown backend {other}");
+                usage()
+            }
+        };
+    }
+    opts.page_size = get(flags, "page-size").unwrap_or(opts.page_size);
+    opts.cache_pages = get(flags, "cache-pages").unwrap_or(opts.cache_pages);
     if let Some(kind) = flags.get("kind") {
         opts.dataset.kind = match kind.as_str() {
             "synthetic" => DatasetKind::Synthetic,
@@ -179,8 +201,8 @@ fn bench(flags: &HashMap<String, String>) {
     // Console summary: the variant × threads sweep, qps and mean accesses.
     let runs = report.get("runs").and_then(|r| r.as_arr()).unwrap_or(&[]);
     println!(
-        "{:>10} {:>8} {:>10} {:>12} {:>12}",
-        "variant", "threads", "qps", "obj/query", "node/query"
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "variant", "threads", "qps", "obj/query", "node/query", "disk/query"
     );
     for run in runs {
         if run.get("sweep").and_then(|s| s.as_str()) != Some("variant_threads") {
@@ -188,12 +210,13 @@ fn bench(flags: &HashMap<String, String>) {
         }
         let f = |key: &str| run.get(key).and_then(|v| v.as_num()).unwrap_or(f64::NAN);
         println!(
-            "{:>10} {:>8} {:>10.1} {:>12.1} {:>12.1}",
+            "{:>10} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>12.1}",
             run.get("variant").and_then(|v| v.as_str()).unwrap_or("?"),
             f("threads") as u64,
             f("qps"),
             f("object_accesses_mean"),
             f("node_accesses_mean"),
+            f("node_disk_reads_mean"),
         );
     }
     println!("-> {out}");
@@ -206,7 +229,15 @@ fn open(path: &str) -> FileStore<2> {
     })
 }
 
-fn info(path: &str) {
+fn open_index(path: &str, flags: &HashMap<String, String>) -> PagedRTree<2> {
+    let cache_pages: usize = get(flags, "cache-pages").unwrap_or(fuzzy_index::DEFAULT_CACHE_PAGES);
+    PagedRTree::open_with_cache(path, cache_pages).unwrap_or_else(|e| {
+        eprintln!("cannot open index {path}: {e}");
+        exit(1)
+    })
+}
+
+fn info(path: &str, flags: &HashMap<String, String>) {
     let store = open(path);
     println!("{path}: {} objects", store.len());
     let total_points: u64 = store.summaries().iter().map(|s| s.point_count as u64).sum();
@@ -216,12 +247,48 @@ fn info(path: &str) {
         bbox.expand_mbr(&s.support_mbr);
     }
     println!("  bounding box: {bbox:?}");
-    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+    if let Some(ix) = flags.get("index-file") {
+        let tree = open_index(ix, flags);
+        println!(
+            "  paged index {ix}: height {}, {} pages x {} bytes, C_max {}",
+            NodeAccess::height(&tree),
+            tree.page_count(),
+            tree.page_size(),
+            tree.config().max_entries
+        );
+    } else {
+        let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+        println!(
+            "  R-tree: height {}, {} leaves, avg fill {:.1}",
+            tree.height(),
+            tree.leaf_count(),
+            tree.avg_leaf_fill()
+        );
+    }
+}
+
+/// Build a persistent paged index over a store's summaries.
+fn build_index(path: &str, flags: &HashMap<String, String>) {
+    let store = open(path);
+    let out = flags.get("out").cloned().unwrap_or_else(|| usage());
+    let page_size: u32 = get(flags, "page-size").unwrap_or(fuzzy_index::DEFAULT_PAGE_SIZE);
+    let defaults = RTreeConfig::default();
+    let config = RTreeConfig {
+        max_entries: get(flags, "max-entries").unwrap_or(defaults.max_entries),
+        min_fill: get(flags, "min-fill").unwrap_or(defaults.min_fill),
+    };
+    let started = std::time::Instant::now();
+    let tree = PagedRTree::bulk_write(store.summaries().to_vec(), config, &out, page_size)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot build index: {e}");
+            exit(1)
+        });
     println!(
-        "  R-tree: height {}, {} leaves, avg fill {:.1}",
-        tree.height(),
-        tree.leaf_count(),
-        tree.avg_leaf_fill()
+        "wrote {out}: {} objects in {} pages x {page_size} bytes, height {}, {:?}",
+        tree.len(),
+        tree.page_count(),
+        NodeAccess::height(&tree),
+        started.elapsed()
     );
 }
 
@@ -256,15 +323,17 @@ fn variant(flags: &HashMap<String, String>) -> AknnConfig {
     }
 }
 
-fn aknn(path: &str, flags: &HashMap<String, String>) {
-    let store = open(path);
-    let k: usize = get(flags, "k").unwrap_or(10);
-    let alpha: f64 = get(flags, "alpha").unwrap_or(0.5);
-    let q = query_object(&store, flags);
-    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
-    store.reset_stats();
-    let engine = QueryEngine::new(&tree, &store);
-    let res = engine.aknn(&q, k, alpha, &variant(flags)).unwrap_or_else(|e| {
+/// Run the AKNN against whichever index backend the flags select.
+fn run_aknn<A: NodeAccess<2>>(
+    tree: &A,
+    store: &FileStore<2>,
+    q: &FuzzyObject<2>,
+    k: usize,
+    alpha: f64,
+    cfg: &AknnConfig,
+) {
+    let engine = QueryEngine::new(tree, store);
+    let res = engine.aknn(q, k, alpha, cfg).unwrap_or_else(|e| {
         eprintln!("query failed: {e}");
         exit(1)
     });
@@ -273,8 +342,52 @@ fn aknn(path: &str, flags: &HashMap<String, String>) {
         println!("  {n}");
     }
     println!(
-        "cost: {} object accesses, {} node accesses, {:?}",
-        res.stats.object_accesses, res.stats.node_accesses, res.stats.wall
+        "cost: {} object accesses, {} node accesses ({} from disk), {:?}",
+        res.stats.object_accesses,
+        res.stats.node_accesses,
+        res.stats.node_disk_reads,
+        res.stats.wall
+    );
+}
+
+fn aknn(path: &str, flags: &HashMap<String, String>) {
+    let store = open(path);
+    let k: usize = get(flags, "k").unwrap_or(10);
+    let alpha: f64 = get(flags, "alpha").unwrap_or(0.5);
+    let q = query_object(&store, flags);
+    store.reset_stats();
+    match flags.get("index-file") {
+        Some(ix) => run_aknn(&open_index(ix, flags), &store, &q, k, alpha, &variant(flags)),
+        None => {
+            let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+            run_aknn(&tree, &store, &q, k, alpha, &variant(flags));
+        }
+    }
+}
+
+/// Run the RKNN against whichever index backend the flags select.
+#[allow(clippy::too_many_arguments)]
+fn run_rknn<A: NodeAccess<2>>(
+    tree: &A,
+    store: &FileStore<2>,
+    q: &FuzzyObject<2>,
+    k: usize,
+    start: f64,
+    end: f64,
+    algo: RknnAlgorithm,
+) {
+    let engine = QueryEngine::new(tree, store);
+    let res = engine.rknn(q, k, start, end, algo, &AknnConfig::lb_lp_ub()).unwrap_or_else(|e| {
+        eprintln!("query failed: {e}");
+        exit(1)
+    });
+    println!("range {k}NN of {} over [{start}, {end}] ({}):", q.id(), algo.name());
+    for item in &res.items {
+        println!("  {item}");
+    }
+    println!(
+        "cost: {} object accesses, {} candidates, {:?}",
+        res.stats.object_accesses, res.stats.candidates, res.stats.wall
     );
 }
 
@@ -294,19 +407,12 @@ fn rknn(path: &str, flags: &HashMap<String, String>) {
         }
     };
     let q = query_object(&store, flags);
-    let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
     store.reset_stats();
-    let engine = QueryEngine::new(&tree, &store);
-    let res = engine.rknn(&q, k, start, end, algo, &AknnConfig::lb_lp_ub()).unwrap_or_else(|e| {
-        eprintln!("query failed: {e}");
-        exit(1)
-    });
-    println!("range {k}NN of {} over [{start}, {end}] ({}):", q.id(), algo.name());
-    for item in &res.items {
-        println!("  {item}");
+    match flags.get("index-file") {
+        Some(ix) => run_rknn(&open_index(ix, flags), &store, &q, k, start, end, algo),
+        None => {
+            let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+            run_rknn(&tree, &store, &q, k, start, end, algo);
+        }
     }
-    println!(
-        "cost: {} object accesses, {} candidates, {:?}",
-        res.stats.object_accesses, res.stats.candidates, res.stats.wall
-    );
 }

@@ -52,6 +52,12 @@ impl DatasetSpec {
         ))
     }
 
+    /// Path of the paged index file derived from this spec (sibling of
+    /// the dataset file, `.fzpt` extension).
+    pub fn index_path(&self) -> PathBuf {
+        self.path().with_extension("fzpt")
+    }
+
     /// Open the cached store, generating it on first use.
     pub fn open(&self) -> FileStore<2> {
         let path = self.path();
@@ -122,7 +128,7 @@ impl Env {
     }
 
     /// Query engine over this environment.
-    pub fn engine(&self) -> QueryEngine<'_, FileStore<2>, 2> {
+    pub fn engine(&self) -> QueryEngine<'_, RTree<2>, FileStore<2>, 2> {
         QueryEngine::new(&self.tree, &self.store)
     }
 

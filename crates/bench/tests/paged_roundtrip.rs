@@ -1,0 +1,79 @@
+//! End-to-end check of the persisted index path: build an index file with
+//! `fkq build-index`, reopen it in a *fresh process* via `fkq
+//! aknn/rknn --index-file`, and diff the answers against the in-memory
+//! tree the same binary bulk-loads by default. This is the test the CI
+//! `paged-roundtrip` job runs.
+
+use std::path::Path;
+use std::process::Command;
+
+fn fkq(args: &[&str], dir: &Path) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fkq"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn fkq");
+    assert!(
+        out.status.success(),
+        "fkq {args:?} failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// Strip the cost line: wall-clock and the disk/cache split legitimately
+/// differ between backends; the *answers* may not.
+fn answers_only(output: &str) -> String {
+    output.lines().filter(|l| !l.starts_with("cost:")).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn persisted_index_answers_match_in_memory_tree_across_processes() {
+    let dir = std::env::temp_dir().join(format!("fzpt-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    fkq(
+        &["generate", "--kind", "synthetic", "--n", "300", "--ppo", "40", "--out", "data.fzkn"],
+        &dir,
+    );
+    let built =
+        fkq(&["build-index", "data.fzkn", "--out", "data.fzpt", "--page-size", "16384"], &dir);
+    assert!(built.contains("300 objects"), "unexpected build-index output: {built}");
+
+    // Several query shapes, each answered by both backends in separate
+    // process invocations.
+    for seed in ["1", "7", "23"] {
+        let aknn_args = ["aknn", "data.fzkn", "--k", "8", "--alpha", "0.6", "--query-seed", seed];
+        let mem = fkq(&aknn_args, &dir);
+        let paged = fkq(&[&aknn_args[..], &["--index-file", "data.fzpt"]].concat(), &dir);
+        assert_eq!(answers_only(&mem), answers_only(&paged), "AKNN answers diverged (seed {seed})");
+        // The paged run performed real node I/O.
+        let cost = paged.lines().find(|l| l.starts_with("cost:")).expect("cost line");
+        assert!(!cost.contains("(0 from disk)"), "paged run read no pages: {cost}");
+
+        let rknn_args = [
+            "rknn",
+            "data.fzkn",
+            "--k",
+            "4",
+            "--start",
+            "0.3",
+            "--end",
+            "0.8",
+            "--algo",
+            "rss-icr",
+            "--query-seed",
+            seed,
+        ];
+        let mem = fkq(&rknn_args, &dir);
+        let paged = fkq(&[&rknn_args[..], &["--index-file", "data.fzpt"]].concat(), &dir);
+        assert_eq!(answers_only(&mem), answers_only(&paged), "RKNN answers diverged (seed {seed})");
+    }
+
+    // `fkq info` reports the paged geometry.
+    let info = fkq(&["info", "data.fzkn", "--index-file", "data.fzpt"], &dir);
+    assert!(info.contains("paged index"), "{info}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,306 @@
+//! The [`NodeAccess`] abstraction: one navigation interface over both the
+//! in-memory [`RTree`] and the disk-resident [`crate::PagedRTree`].
+//!
+//! The paper's cost model (§6) charges queries by *node accesses* because
+//! the index is assumed to live on secondary storage. `NodeAccess` makes
+//! that assumption explicit: a single `read_node` primitive hands back a
+//! node's children — child rectangles for internal nodes, object summaries
+//! for leaves — together with the read's provenance (backing medium vs
+//! buffer pool), so query processors can charge exact per-query I/O
+//! regardless of which backend they run on. The query crate
+//! (`fuzzy-query`) is generic over this trait; the determinism suite
+//! proves both backends return byte-identical answers.
+//!
+//! ```
+//! use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+//! use fuzzy_geom::Point;
+//! use fuzzy_index::{knn_by, NodeAccess, RTree, RTreeConfig};
+//!
+//! // A generic nearest-entry helper that works on *any* index backend.
+//! fn nearest_id<A: NodeAccess<2>>(index: &A, q: Point<2>) -> Option<ObjectId> {
+//!     let hits = knn_by(
+//!         index,
+//!         1,
+//!         |mbr| mbr.min_dist_point(&q),
+//!         |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+//!     )
+//!     .unwrap();
+//!     hits.first().map(|h| h.entry.id)
+//! }
+//!
+//! let summaries: Vec<ObjectSummary<2>> = (0..32)
+//!     .map(|i| {
+//!         let obj = FuzzyObject::new(
+//!             ObjectId(i),
+//!             vec![Point::xy(i as f64, 0.0), Point::xy(i as f64 + 0.2, 0.2)],
+//!             vec![1.0, 0.5],
+//!         )
+//!         .unwrap();
+//!         ObjectSummary::from_object(&obj)
+//!     })
+//!     .collect();
+//! let tree = RTree::bulk_load(summaries, RTreeConfig::default());
+//! assert_eq!(nearest_id(&tree, Point::xy(10.1, 0.0)), Some(ObjectId(10)));
+//! ```
+
+use crate::node::{Children, NodeId, RTree};
+use crate::query::{EntryHit, RangeResult};
+use fuzzy_core::ObjectSummary;
+use fuzzy_geom::Mbr;
+use fuzzy_store::StoreError;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A child pointer as stored inside its parent node: the paper's I/O model
+/// keeps every child's rectangle *in the parent page*, so scoring a child
+/// never costs a node access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChildRef<const D: usize> {
+    /// The child node.
+    pub id: NodeId,
+    /// The child's minimum bounding rectangle.
+    pub mbr: Mbr<D>,
+}
+
+/// What a node holds, borrowed from whichever backing the read came from.
+#[derive(Clone, Copy, Debug)]
+pub enum NodeView<'a, const D: usize> {
+    /// Internal node: child pointers with their rectangles.
+    Nodes(&'a [ChildRef<D>]),
+    /// Leaf node: the object summaries it stores.
+    Entries(&'a [ObjectSummary<D>]),
+}
+
+/// A fully decoded node, as cached by the paged backend's buffer pool.
+#[derive(Clone, Debug)]
+pub enum DecodedNode<const D: usize> {
+    /// Internal node payload.
+    Internal(Vec<ChildRef<D>>),
+    /// Leaf node payload.
+    Leaf(Vec<ObjectSummary<D>>),
+}
+
+impl<const D: usize> DecodedNode<D> {
+    /// Borrow the node contents.
+    pub fn view(&self) -> NodeView<'_, D> {
+        match self {
+            Self::Internal(children) => NodeView::Nodes(children),
+            Self::Leaf(entries) => NodeView::Entries(entries),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ReadKind<'t, const D: usize> {
+    /// Internal node of the in-memory tree (child MBRs gathered from the
+    /// arena into an owned buffer).
+    MemInternal(Vec<ChildRef<D>>),
+    /// Leaf of the in-memory tree, borrowed straight from the arena.
+    MemLeaf(&'t [ObjectSummary<D>]),
+    /// A buffer-pool page; the `Arc` keeps it alive while borrowed.
+    Paged(Arc<DecodedNode<D>>),
+}
+
+/// One node read: the children plus the read's provenance. Holding the
+/// guard keeps the underlying page resident; drop it when done.
+#[derive(Debug)]
+pub struct NodeRead<'t, const D: usize> {
+    kind: ReadKind<'t, D>,
+    /// True when serving this node touched the backing medium; false for
+    /// in-memory arenas and buffer-pool hits. This is the node-level
+    /// analogue of `fuzzy_store::TracedProbe::disk_read`.
+    pub disk_read: bool,
+}
+
+impl<'t, const D: usize> NodeRead<'t, D> {
+    /// A read served from the in-memory arena.
+    pub fn from_memory(children: Children<'t, D>, child_mbrs: impl Fn(NodeId) -> Mbr<D>) -> Self {
+        let kind = match children {
+            Children::Nodes(ids) => ReadKind::MemInternal(
+                ids.iter().map(|&id| ChildRef { id, mbr: child_mbrs(id) }).collect(),
+            ),
+            Children::Entries(entries) => ReadKind::MemLeaf(entries),
+        };
+        Self { kind, disk_read: false }
+    }
+
+    /// A read served by a buffer pool.
+    pub fn from_page(page: Arc<DecodedNode<D>>, disk_read: bool) -> Self {
+        Self { kind: ReadKind::Paged(page), disk_read }
+    }
+
+    /// Borrow the node contents.
+    pub fn view(&self) -> NodeView<'_, D> {
+        match &self.kind {
+            ReadKind::MemInternal(children) => NodeView::Nodes(children),
+            ReadKind::MemLeaf(entries) => NodeView::Entries(entries),
+            ReadKind::Paged(node) => node.view(),
+        }
+    }
+}
+
+/// Uniform navigation over an R-tree, independent of where its nodes live.
+///
+/// Implementors: [`RTree`] (arena in memory, reads never fail and never
+/// touch a backing medium) and [`crate::PagedRTree`] (fixed-size pages in
+/// an index file behind an LRU buffer pool). Query processors that only
+/// use this trait — all of `fuzzy-query` — run unmodified against either.
+pub trait NodeAccess<const D: usize> {
+    /// Root node id.
+    fn root_id(&self) -> NodeId;
+
+    /// Root rectangle (available without a node access: parents store
+    /// child rectangles, and the root's is kept in the tree header).
+    fn root_mbr(&self) -> Mbr<D>;
+
+    /// Read one node. This is **the** node access of the paper's cost
+    /// model: every call counts one logical access, and the returned
+    /// [`NodeRead::disk_read`] flag reports whether it reached the
+    /// backing medium.
+    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, D>, StoreError>;
+
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+
+    /// True when no objects are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tree height (1 = the root is a leaf).
+    fn height(&self) -> usize;
+}
+
+impl<const D: usize> NodeAccess<D> for RTree<D> {
+    fn root_id(&self) -> NodeId {
+        RTree::root_id(self)
+    }
+
+    fn root_mbr(&self) -> Mbr<D> {
+        *self.node_mbr(RTree::root_id(self))
+    }
+
+    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, D>, StoreError> {
+        Ok(NodeRead::from_memory(self.expand(id), |child| *self.node_mbr(child)))
+    }
+
+    fn len(&self) -> usize {
+        RTree::len(self)
+    }
+
+    fn height(&self) -> usize {
+        RTree::height(self)
+    }
+}
+
+/// Max-heap adapter turning [`BinaryHeap`] into a min-heap on `f64` keys
+/// (ordered by `total_cmp`, reversed). Shared by every best-first
+/// traversal in the workspace — the generic searches here and the AKNN
+/// engine in `fuzzy-query` — so tie-breaking and NaN policy cannot
+/// silently diverge between backends.
+pub struct MinKey<T> {
+    /// The ordering key (smaller pops first).
+    pub key: f64,
+    /// The carried payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for MinKey<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for MinKey<T> {}
+impl<T> PartialOrd for MinKey<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MinKey<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.total_cmp(&self.key) // reversed: BinaryHeap is a max-heap
+    }
+}
+
+/// Generic best-first k-nearest-entries search over any [`NodeAccess`]
+/// backend.
+///
+/// `node_key` must lower-bound `entry_key` for every entry in a node's
+/// subtree (the usual `MinDist` property, Eq. 1); under that contract the
+/// traversal is provably correct and expands the minimum number of nodes
+/// (Hjaltason & Samet, ref. \[11\] of the paper).
+pub fn knn_by<A: NodeAccess<D> + ?Sized, const D: usize>(
+    tree: &A,
+    k: usize,
+    node_key: impl Fn(&Mbr<D>) -> f64,
+    entry_key: impl Fn(&ObjectSummary<D>) -> f64,
+) -> Result<Vec<EntryHit<D>>, StoreError> {
+    enum Item<const D: usize> {
+        Node(NodeId),
+        Entry(ObjectSummary<D>),
+    }
+    let mut heap: BinaryHeap<MinKey<Item<D>>> = BinaryHeap::new();
+    heap.push(MinKey { key: node_key(&tree.root_mbr()), item: Item::Node(tree.root_id()) });
+    let mut out = Vec::with_capacity(k);
+    while let Some(MinKey { item, key }) = heap.pop() {
+        match item {
+            Item::Entry(e) => {
+                out.push(EntryHit { entry: e, score: key });
+                if out.len() == k {
+                    break;
+                }
+            }
+            Item::Node(id) => {
+                let read = tree.read_node(id)?;
+                match read.view() {
+                    NodeView::Nodes(kids) => {
+                        for c in kids {
+                            heap.push(MinKey { key: node_key(&c.mbr), item: Item::Node(c.id) });
+                        }
+                    }
+                    NodeView::Entries(entries) => {
+                        for e in entries {
+                            heap.push(MinKey { key: entry_key(e), item: Item::Entry(*e) });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Generic range search over any [`NodeAccess`] backend: collect every
+/// entry whose `entry_key` is at most `radius`, pruning subtrees whose
+/// `node_key` exceeds it. With `node_key = MinDist` this is the search of
+/// Algorithm 4 (RSS candidate collection).
+pub fn range_search<A: NodeAccess<D> + ?Sized, const D: usize>(
+    tree: &A,
+    radius: f64,
+    node_key: impl Fn(&Mbr<D>) -> f64,
+    entry_key: impl Fn(&ObjectSummary<D>) -> f64,
+) -> Result<RangeResult<D>, StoreError> {
+    let mut result = RangeResult::default();
+    let mut stack = vec![(tree.root_id(), tree.root_mbr())];
+    while let Some((id, mbr)) = stack.pop() {
+        if node_key(&mbr) > radius {
+            continue;
+        }
+        let read = tree.read_node(id)?;
+        result.node_accesses += 1;
+        result.node_disk_reads += read.disk_read as u64;
+        match read.view() {
+            NodeView::Nodes(kids) => stack.extend(kids.iter().map(|c| (c.id, c.mbr))),
+            NodeView::Entries(entries) => {
+                for e in entries {
+                    let score = entry_key(e);
+                    if score <= radius {
+                        result.hits.push(EntryHit { entry: *e, score });
+                    }
+                }
+            }
+        }
+    }
+    Ok(result)
+}

@@ -1,35 +1,54 @@
-//! An instrumented R-tree over fuzzy object summaries.
+//! R-tree indexes over fuzzy object summaries, in-memory and on-disk.
 //!
 //! The paper (Section 3.1) indexes fuzzy objects by the MBR of their
 //! support; leaf entries additionally carry the kernel MBR, the optimal
 //! conservative lines and the representative point (Sections 3.2/3.4), all
-//! bundled in [`fuzzy_core::ObjectSummary`]. Objects themselves stay on
-//! disk; the tree is memory-resident.
+//! bundled in [`fuzzy_core::ObjectSummary`]. Objects themselves stay in
+//! the object store; the index comes in two backends behind one
+//! navigation interface:
+//!
+//! * [`RTree`] — the arena-based in-memory tree (fast, bounded by RAM,
+//!   node accesses are counted but simulated);
+//! * [`PagedRTree`] — the same tree serialized into fixed-size pages of a
+//!   single index file, read back through an LRU buffer pool, so node
+//!   accesses are real positioned reads with a measured disk/cache split
+//!   (the paper's §6 cost model made literal);
+//! * [`NodeAccess`] — the trait both implement; the query processor in
+//!   `fuzzy-query` is generic over it and returns byte-identical answers
+//!   on either backend.
 //!
 //! We could not reuse an off-the-shelf R-tree because the evaluation needs
 //! (a) fuzzy summaries as leaf payloads and (b) node-access accounting —
 //! both of which this implementation provides:
 //!
 //! * [`RTree::bulk_load`] — Sort-Tile-Recursive packing (the default way
-//!   datasets are indexed in the experiments).
+//!   datasets are indexed in the experiments); [`PagedRTree::bulk_write`]
+//!   reuses it to build index files.
 //! * [`RTree::insert`] — R*-style ChooseSubtree + topological split for
 //!   incremental maintenance (exercised by the `abl-bulk` ablation).
-//! * [`RTree::expand`] — the navigation primitive used by the query
-//!   processor's best-first search; every expansion counts one node access.
-//! * [`RTree::knn_by`] / [`RTree::range_search`] — self-contained queries
+//! * [`RTree::expand`] / [`NodeAccess::read_node`] — the navigation
+//!   primitives used by the query processor's best-first search; every
+//!   call counts one node access.
+//! * [`knn_by`] / [`range_search`] — backend-generic queries
 //!   parameterised by arbitrary node/entry scoring, used by tests and by
 //!   the RSS candidate collection (Algorithm 4).
 //! * [`RTree::validate`] — structural invariant checker used by tests.
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod bulk;
 pub mod insert;
 pub mod node;
+pub mod paged;
 pub mod query;
 pub mod validate;
 
+pub use access::{
+    knn_by, range_search, ChildRef, DecodedNode, MinKey, NodeAccess, NodeRead, NodeView,
+};
 pub use node::{Children, NodeId, RTree, RTreeConfig};
+pub use paged::{PagedRTree, DEFAULT_CACHE_PAGES, DEFAULT_PAGE_SIZE};
 pub use query::{EntryHit, RangeResult};
 pub use validate::ValidationError;
 

@@ -135,6 +135,12 @@ impl<const D: usize> RTree<D> {
         &self.stats
     }
 
+    /// Number of allocated nodes (internal + leaf) — also the page count
+    /// of a [`crate::PagedRTree`] serialization of this tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Number of leaf nodes (diagnostics and the §5 cost model's `C_avg`).
     pub fn leaf_count(&self) -> usize {
         self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()

@@ -1,0 +1,762 @@
+//! A disk-resident, paged R-tree: `PagedRTree`.
+//!
+//! The in-memory [`RTree`] caps datasets by RAM and only *simulates* I/O
+//! through its node-access counter. `PagedRTree` stores the same tree in a
+//! single index file of fixed-size pages — one node per page, each
+//! checksummed — and reads it back through an LRU buffer pool
+//! ([`fuzzy_store::PageCache`]), so node accesses are real positioned
+//! reads and the per-query disk/cache split is measured, not simulated.
+//!
+//! The byte-level layout (normative spec: `docs/FORMAT.md`):
+//!
+//! ```text
+//! [ header     ] magic "FZPT" | version | dims | page size | tree shape
+//!                | root MBR | FNV-1a checksum
+//! [ node pages ] page i = node i: kind u8, count u32, payload
+//!                (internal: child id + child MBR per entry; leaf: object
+//!                summaries in the FileStore encoding), zero padding,
+//!                trailing FNV-1a checksum
+//! [ page table ] count + one u64 byte offset per page + FNV-1a checksum
+//! [ trailer    ] page-table offset | page count | magic "FZPT"
+//! ```
+//!
+//! Writing goes through [`PagedRTree::bulk_write`], which reuses the STR
+//! packing of [`RTree::bulk_load`] (`crates/index/src/bulk.rs`) and dumps
+//! the arena page by page: node ids equal page numbers, so the two
+//! backends share tree *structure* exactly — the foundation of the
+//! byte-identical-answers guarantee tested in
+//! `crates/query/tests/batch_determinism.rs`.
+
+use crate::access::{ChildRef, DecodedNode, NodeAccess, NodeRead};
+use crate::node::{Node, NodeId, RTree, RTreeConfig};
+use fuzzy_core::ObjectSummary;
+use fuzzy_geom::Mbr;
+use fuzzy_store::format::{decode_summary, encode_summary, fnv1a, summary_len, Decoder, Encoder};
+use fuzzy_store::pagecache::{PageCache, PageCacheStats};
+use fuzzy_store::StoreError;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Index-file magic ("FuZzy Paged Tree").
+pub const PAGED_MAGIC: [u8; 4] = *b"FZPT";
+/// Index-file format version understood by this build.
+pub const PAGED_VERSION: u16 = 1;
+/// Trailer length in bytes: page-table offset, page count, reserved, magic.
+pub const PAGED_TRAILER_LEN: usize = 8 + 8 + 4 + 4;
+/// Per-page overhead: kind byte, 3 reserved bytes, entry count, checksum.
+pub const PAGE_OVERHEAD: usize = 8 + 8;
+/// Default page size (holds a 64-entry 2-D leaf with room to spare).
+pub const DEFAULT_PAGE_SIZE: u32 = 16 * 1024;
+/// Smallest accepted page size.
+pub const MIN_PAGE_SIZE: u32 = 256;
+/// Default buffer-pool capacity in pages.
+pub const DEFAULT_CACHE_PAGES: usize = 1024;
+
+/// Fixed-size part of the header, before the root MBR.
+const HEADER_FIXED_LEN: usize = 4 + 2 + 2 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+
+/// Total header length for dimensionality `d` (fixed fields, `2·d` f64
+/// root-MBR bounds, FNV-1a checksum).
+pub const fn paged_header_len(d: usize) -> usize {
+    HEADER_FIXED_LEN + 16 * d + 8
+}
+
+fn corrupt(reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt { reason: reason.into() }
+}
+
+/// Largest payload any node of this tree can need, in bytes.
+fn max_node_payload<const D: usize>(max_entries: usize) -> usize {
+    let internal = max_entries * (8 + 16 * D);
+    let leaf = max_entries * summary_len(D);
+    internal.max(leaf)
+}
+
+/// Encode an MBR as `D × (lo, hi)` f64 pairs.
+fn encode_mbr<const D: usize>(e: &mut Encoder, mbr: &Mbr<D>) {
+    for i in 0..D {
+        e.f64(mbr.lo(i));
+        e.f64(mbr.hi(i));
+    }
+}
+
+/// Decode an MBR; the all-inverted sentinel decodes as [`Mbr::empty`]
+/// (only the root of an empty tree legitimately stores it).
+fn decode_mbr<const D: usize>(d: &mut Decoder<'_>) -> Result<Mbr<D>, StoreError> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for i in 0..D {
+        lo[i] = d.f64()?;
+        hi[i] = d.f64()?;
+    }
+    if (0..D).all(|i| lo[i] <= hi[i]) {
+        Ok(Mbr::new(lo, hi))
+    } else if (0..D).all(|i| lo[i] == f64::INFINITY && hi[i] == f64::NEG_INFINITY) {
+        Ok(Mbr::empty())
+    } else {
+        Err(corrupt("inverted MBR in node page"))
+    }
+}
+
+/// The disk-resident R-tree. All read paths are `&self` and thread-safe:
+/// pages are fetched with positioned reads and shared through the buffer
+/// pool, exactly like [`fuzzy_store::FileStore`] probes objects.
+///
+/// ```
+/// use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+/// use fuzzy_geom::Point;
+/// use fuzzy_index::{NodeAccess, PagedRTree, RTreeConfig};
+///
+/// let summaries: Vec<ObjectSummary<2>> = (0..100)
+///     .map(|i| {
+///         let (x, y) = ((i % 10) as f64, (i / 10) as f64);
+///         let obj = FuzzyObject::new(
+///             ObjectId(i),
+///             vec![Point::xy(x, y), Point::xy(x + 0.4, y + 0.4)],
+///             vec![1.0, 0.5],
+///         )
+///         .unwrap();
+///         ObjectSummary::from_object(&obj)
+///     })
+///     .collect();
+///
+/// let path = std::env::temp_dir().join(format!("fzpt-doc-{}.fzpt", std::process::id()));
+/// // Build with STR packing and persist; returns the opened tree.
+/// let cfg = RTreeConfig { max_entries: 16, min_fill: 0.4 };
+/// let tree = PagedRTree::bulk_write(summaries, cfg, &path, 4096).unwrap();
+/// assert_eq!(tree.len(), 100);
+/// assert!(tree.height() >= 2);
+///
+/// // Every node read goes through the buffer pool and reports provenance.
+/// let root = tree.read_node(tree.root_id()).unwrap();
+/// assert!(root.disk_read); // cold pool: first read hits the file
+/// assert!(!tree.read_node(tree.root_id()).unwrap().disk_read); // now cached
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct PagedRTree<const D: usize> {
+    file: File,
+    path: PathBuf,
+    page_size: u32,
+    page_offsets: Vec<u64>,
+    root: NodeId,
+    root_mbr: Mbr<D>,
+    height: usize,
+    len: usize,
+    config: RTreeConfig,
+    cache: PageCache<DecodedNode<D>>,
+}
+
+impl<const D: usize> PagedRTree<D> {
+    /// Bulk-load `entries` with STR packing ([`RTree::bulk_load`]), write
+    /// the result to `path` and open it. `page_size` must fit the largest
+    /// node implied by `config.max_entries` ([`StoreError::PageOverflow`]
+    /// otherwise).
+    pub fn bulk_write(
+        entries: Vec<ObjectSummary<D>>,
+        config: RTreeConfig,
+        path: impl AsRef<Path>,
+        page_size: u32,
+    ) -> Result<Self, StoreError> {
+        let tree = RTree::bulk_load(entries, config);
+        Self::write_tree(&tree, &path, page_size)?;
+        Self::open(path)
+    }
+
+    /// Serialize an existing in-memory tree to `path` (any tree works,
+    /// including insert-built ones). Node ids become page numbers.
+    pub fn write_tree(
+        tree: &RTree<D>,
+        path: impl AsRef<Path>,
+        page_size: u32,
+    ) -> Result<(), StoreError> {
+        if page_size < MIN_PAGE_SIZE {
+            return Err(corrupt(format!("page size {page_size} below minimum {MIN_PAGE_SIZE}")));
+        }
+        let needed = (max_node_payload::<D>(tree.config().max_entries) + PAGE_OVERHEAD) as u64;
+        if needed > page_size as u64 {
+            return Err(StoreError::PageOverflow { needed, page_size });
+        }
+
+        let file = File::create(path.as_ref())?;
+        let mut out = BufWriter::new(file);
+
+        // Header.
+        let mut header = Encoder::with_capacity(paged_header_len(D));
+        header.bytes(&PAGED_MAGIC);
+        header.u16(PAGED_VERSION);
+        header.u16(D as u16);
+        header.u32(page_size);
+        header.u32(tree.config().max_entries as u32);
+        header.u64(tree.node_count() as u64);
+        header.u64(tree.root_id().0 as u64);
+        header.u64(tree.height() as u64);
+        header.u64(tree.len() as u64);
+        header.f64(tree.config().min_fill);
+        encode_mbr(&mut header, tree.node_mbr(tree.root_id()));
+        let sum = fnv1a(header.as_bytes());
+        header.u64(sum);
+        debug_assert_eq!(header.len(), paged_header_len(D));
+        out.write_all(header.as_bytes())?;
+
+        // Node pages, arena order (node id == page number).
+        let mut offsets = Vec::with_capacity(tree.node_count());
+        let mut offset = paged_header_len(D) as u64;
+        for node in &tree.nodes {
+            let mut page = Encoder::with_capacity(page_size as usize);
+            match node {
+                Node::Internal { children, .. } => {
+                    page.bytes(&[1, 0, 0, 0]);
+                    page.u32(children.len() as u32);
+                    for &child in children {
+                        page.u64(child.0 as u64);
+                        encode_mbr(&mut page, tree.node_mbr(child));
+                    }
+                }
+                Node::Leaf { entries, .. } => {
+                    page.bytes(&[0, 0, 0, 0]);
+                    page.u32(entries.len() as u32);
+                    for entry in entries {
+                        encode_summary(&mut page, entry);
+                    }
+                }
+            }
+            if page.len() + 8 > page_size as usize {
+                return Err(StoreError::PageOverflow {
+                    needed: (page.len() + 8) as u64,
+                    page_size,
+                });
+            }
+            page.bytes(&vec![0u8; page_size as usize - 8 - page.len()]);
+            let sum = fnv1a(page.as_bytes());
+            page.u64(sum);
+            out.write_all(page.as_bytes())?;
+            offsets.push(offset);
+            offset += page_size as u64;
+        }
+
+        // Page table + trailer.
+        let table_off = offset;
+        let mut tail = Encoder::with_capacity(8 + offsets.len() * 8 + 8 + PAGED_TRAILER_LEN);
+        tail.u64(offsets.len() as u64);
+        for &o in &offsets {
+            tail.u64(o);
+        }
+        let sum = fnv1a(tail.as_bytes());
+        tail.u64(sum);
+        tail.u64(table_off);
+        tail.u64(offsets.len() as u64);
+        tail.u32(0); // reserved
+        tail.bytes(&PAGED_MAGIC);
+        out.write_all(tail.as_bytes())?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Open an index file with the default buffer-pool capacity
+    /// ([`DEFAULT_CACHE_PAGES`]).
+    ///
+    /// ```no_run
+    /// use fuzzy_index::{NodeAccess, PagedRTree};
+    ///
+    /// let tree: PagedRTree<2> = PagedRTree::open("dataset.fzpt").unwrap();
+    /// println!("{} objects, height {}", tree.len(), tree.height());
+    /// ```
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with_cache(path, DEFAULT_CACHE_PAGES)
+    }
+
+    /// Open an index file with an explicit buffer-pool capacity in pages
+    /// (minimum 1 — capacity 1 still answers every query, it just reads
+    /// every node from disk).
+    pub fn open_with_cache(path: impl AsRef<Path>, cache_pages: usize) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let total = file.metadata()?.len();
+        let header_len = paged_header_len(D);
+        if total < (header_len + PAGED_TRAILER_LEN) as u64 {
+            return Err(corrupt("file shorter than header + trailer"));
+        }
+
+        // Header.
+        let mut head = vec![0u8; header_len];
+        file.read_exact_at(&mut head, 0)?;
+        if head[..4] != PAGED_MAGIC {
+            return Err(corrupt("bad magic in index header"));
+        }
+        let (payload, sum_bytes) = head.split_at(header_len - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        let mut d = Decoder::new(&payload[4..]);
+        let version = d.u16()?;
+        if version != PAGED_VERSION {
+            return Err(StoreError::VersionMismatch { found: version, expected: PAGED_VERSION });
+        }
+        let dims = d.u16()?;
+        if dims as usize != D {
+            return Err(StoreError::DimensionMismatch { found: dims, expected: D as u16 });
+        }
+        if stored != fnv1a(payload) {
+            return Err(corrupt("index header checksum mismatch"));
+        }
+        let page_size = d.u32()?;
+        let max_entries = d.u32()? as usize;
+        let page_count = d.u64()?;
+        let root_page = d.u64()?;
+        let height = d.u64()? as usize;
+        let len = d.u64()? as usize;
+        let min_fill = d.f64()?;
+        let root_mbr = decode_mbr::<D>(&mut d)?;
+        if page_size < MIN_PAGE_SIZE || page_count == 0 || page_count > u32::MAX as u64 {
+            return Err(corrupt(format!(
+                "implausible geometry: page size {page_size}, {page_count} pages"
+            )));
+        }
+        if root_page >= page_count || height == 0 || max_entries == 0 {
+            return Err(corrupt(format!(
+                "implausible tree shape: root page {root_page} of {page_count}, height {height}"
+            )));
+        }
+
+        // Trailer.
+        let mut tail = [0u8; PAGED_TRAILER_LEN];
+        file.read_exact_at(&mut tail, total - PAGED_TRAILER_LEN as u64)?;
+        if tail[PAGED_TRAILER_LEN - 4..] != PAGED_MAGIC {
+            return Err(corrupt("bad magic in index trailer"));
+        }
+        let mut t = Decoder::new(&tail);
+        let table_off = t.u64()?;
+        let trailer_count = t.u64()?;
+        if trailer_count != page_count {
+            return Err(corrupt(format!(
+                "trailer says {trailer_count} pages, header says {page_count}"
+            )));
+        }
+        let table_len = 8 + page_count as usize * 8 + 8;
+        // Checked arithmetic: a bit-rotted table_off near u64::MAX must
+        // surface as Corrupt, not as a debug-build overflow panic.
+        let table_end = table_off
+            .checked_add(table_len as u64)
+            .and_then(|v| v.checked_add(PAGED_TRAILER_LEN as u64));
+        if table_off < header_len as u64 || table_end != Some(total) {
+            return Err(corrupt("page table offset inconsistent with file size"));
+        }
+
+        // Page table.
+        let mut table = vec![0u8; table_len];
+        file.read_exact_at(&mut table, table_off)?;
+        let (payload, sum_bytes) = table.split_at(table_len - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        if stored != fnv1a(payload) {
+            return Err(corrupt("page table checksum mismatch"));
+        }
+        let mut pt = Decoder::new(payload);
+        let count = pt.u64()?;
+        if count != page_count {
+            return Err(corrupt(format!("page table lists {count} pages, expected {page_count}")));
+        }
+        let mut page_offsets = Vec::with_capacity(page_count as usize);
+        for i in 0..page_count {
+            let off = pt.u64()?;
+            let in_bounds = off >= header_len as u64
+                && off.checked_add(page_size as u64).is_some_and(|end| end <= table_off);
+            if !in_bounds {
+                return Err(corrupt(format!("page {i} offset {off} outside the page region")));
+            }
+            page_offsets.push(off);
+        }
+
+        Ok(Self {
+            file,
+            path,
+            page_size,
+            page_offsets,
+            root: NodeId(root_page as u32),
+            root_mbr,
+            height,
+            len,
+            config: RTreeConfig { max_entries, min_fill },
+            cache: PageCache::new(cache_pages),
+        })
+    }
+
+    /// Read and decode one page from disk (bypasses the buffer pool).
+    fn load_page(&self, id: NodeId) -> Result<DecodedNode<D>, StoreError> {
+        let offset = self.page_offsets[id.0 as usize];
+        let mut buf = vec![0u8; self.page_size as usize];
+        self.file.read_exact_at(&mut buf, offset)?;
+        let (payload, sum_bytes) = buf.split_at(self.page_size as usize - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        if stored != fnv1a(payload) {
+            return Err(corrupt(format!("page {} checksum mismatch", id.0)));
+        }
+        let mut d = Decoder::new(payload);
+        let kind = d.bytes(4)?[0];
+        let count = d.u32()? as usize;
+        if count > self.config.max_entries {
+            return Err(corrupt(format!(
+                "page {} declares {count} entries, node capacity is {}",
+                id.0, self.config.max_entries
+            )));
+        }
+        match kind {
+            1 => {
+                let mut children = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = d.u64()?;
+                    if child >= self.page_offsets.len() as u64 {
+                        return Err(corrupt(format!(
+                            "page {} references child page {child} of {}",
+                            id.0,
+                            self.page_offsets.len()
+                        )));
+                    }
+                    let mbr = decode_mbr::<D>(&mut d)?;
+                    children.push(ChildRef { id: NodeId(child as u32), mbr });
+                }
+                Ok(DecodedNode::Internal(children))
+            }
+            0 => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(decode_summary::<D>(&mut d)?);
+                }
+                Ok(DecodedNode::Leaf(entries))
+            }
+            other => Err(corrupt(format!("page {} has unknown node kind {other}", id.0))),
+        }
+    }
+
+    /// Path of the backing index file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Number of node pages in the file.
+    pub fn page_count(&self) -> usize {
+        self.page_offsets.len()
+    }
+
+    /// The tree configuration recorded at write time.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// Buffer-pool hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> PageCacheStats {
+        self.cache.stats()
+    }
+
+    /// Zero the buffer-pool counters (resident pages stay).
+    pub fn reset_cache_stats(&self) {
+        self.cache.reset_stats();
+    }
+
+    /// Drop every resident page, forcing subsequent reads cold.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+impl<const D: usize> NodeAccess<D> for PagedRTree<D> {
+    fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    fn root_mbr(&self) -> Mbr<D> {
+        self.root_mbr
+    }
+
+    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, D>, StoreError> {
+        if id.0 as usize >= self.page_offsets.len() {
+            return Err(corrupt(format!(
+                "node {} out of range ({} pages)",
+                id.0,
+                self.page_offsets.len()
+            )));
+        }
+        let page = self.cache.get_or_load(id.0 as u64, || self.load_page(id))?;
+        Ok(NodeRead::from_page(page.value, page.disk_read))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access;
+    use fuzzy_core::{FuzzyObject, ObjectId};
+    use fuzzy_geom::Point;
+
+    fn grid_summaries(n: usize) -> Vec<ObjectSummary<2>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 40) as f64 * 1.5;
+                let y = (i / 40) as f64 * 1.5;
+                let obj = FuzzyObject::new(
+                    ObjectId(i as u64),
+                    vec![Point::xy(x, y), Point::xy(x + 0.5, y + 0.5)],
+                    vec![1.0, 0.5],
+                )
+                .unwrap();
+                ObjectSummary::from_object(&obj)
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fzpt-test-{}-{name}.fzpt", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape_and_entries() {
+        let path = tmp("roundtrip");
+        let cfg = RTreeConfig { max_entries: 16, min_fill: 0.4 };
+        let mem = RTree::bulk_load(grid_summaries(500), cfg);
+        let paged = PagedRTree::bulk_write(grid_summaries(500), cfg, &path, 4096).unwrap();
+        assert_eq!(NodeAccess::len(&paged), 500);
+        assert_eq!(NodeAccess::height(&paged), mem.height());
+        assert_eq!(paged.page_count(), mem.node_count());
+        assert_eq!(NodeAccess::root_id(&paged), mem.root_id());
+        assert_eq!(paged.root_mbr(), *mem.node_mbr(mem.root_id()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn generic_searches_agree_across_backends() {
+        let path = tmp("agree");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        let mem = RTree::bulk_load(grid_summaries(300), cfg);
+        let paged = PagedRTree::bulk_write(grid_summaries(300), cfg, &path, 4096).unwrap();
+        let q = Point::xy(17.0, 4.0);
+        for k in [1usize, 7, 40] {
+            let a = access::knn_by(
+                &mem,
+                k,
+                |m| m.min_dist_point(&q),
+                |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+            )
+            .unwrap();
+            let b = access::knn_by(
+                &paged,
+                k,
+                |m| m.min_dist_point(&q),
+                |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+            )
+            .unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.entry.id, y.entry.id, "k={k}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "k={k}");
+            }
+        }
+        for radius in [0.0, 5.0, 100.0] {
+            let a = access::range_search(
+                &mem,
+                radius,
+                |m| m.min_dist_point(&q),
+                |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+            )
+            .unwrap();
+            let b = access::range_search(
+                &paged,
+                radius,
+                |m| m.min_dist_point(&q),
+                |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+            )
+            .unwrap();
+            assert_eq!(a.hits.len(), b.hits.len(), "radius {radius}");
+            assert_eq!(a.node_accesses, b.node_accesses, "same logical I/O");
+            assert_eq!(a.node_disk_reads, 0, "arena never reads disk");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn buffer_pool_accounting_cold_then_warm() {
+        let path = tmp("coldwarm");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        let paged = PagedRTree::bulk_write(grid_summaries(300), cfg, &path, 4096).unwrap();
+        let q = Point::xy(3.0, 3.0);
+        let search = || {
+            access::range_search(
+                &paged,
+                8.0,
+                |m| m.min_dist_point(&q),
+                |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+            )
+            .unwrap()
+        };
+        let cold = search();
+        assert!(cold.node_disk_reads > 0, "cold pool must read pages");
+        assert_eq!(cold.node_disk_reads, cold.node_accesses, "everything cold");
+        let warm = search();
+        assert_eq!(warm.node_accesses, cold.node_accesses);
+        assert_eq!(warm.node_disk_reads, 0, "warm pool serves everything");
+        paged.clear_cache();
+        let recold = search();
+        assert_eq!(recold.node_disk_reads, cold.node_disk_reads);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn capacity_one_pool_answers_correctly() {
+        let path = tmp("cap1");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        {
+            let tree = RTree::bulk_load(grid_summaries(300), cfg);
+            PagedRTree::write_tree(&tree, &path, 4096).unwrap();
+        }
+        let paged: PagedRTree<2> = PagedRTree::open_with_cache(&path, 1).unwrap();
+        let q = Point::xy(11.0, 7.0);
+        let hits = access::knn_by(
+            &paged,
+            10,
+            |m| m.min_dist_point(&q),
+            |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 10);
+        // Oracle: same query on the in-memory tree.
+        let mem = RTree::bulk_load(grid_summaries(300), cfg);
+        let want = mem.knn_by(10, |m| m.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
+        for (a, b) in hits.iter().zip(&want) {
+            assert_eq!(a.entry.id, b.entry.id);
+        }
+        let stats = paged.cache_stats();
+        assert!(stats.evictions > 0, "capacity 1 must evict");
+        assert!(stats.misses > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let path = tmp("empty");
+        let paged =
+            PagedRTree::bulk_write(Vec::new(), RTreeConfig::default(), &path, 16 * 1024).unwrap();
+        assert!(NodeAccess::is_empty(&paged));
+        assert_eq!(NodeAccess::height(&paged), 1);
+        assert!(paged.root_mbr().is_empty());
+        let hits = access::knn_by(
+            &paged,
+            3,
+            |m| m.min_dist_point(&Point::xy(0.0, 0.0)),
+            |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&Point::xy(0.0, 0.0)),
+        )
+        .unwrap();
+        assert!(hits.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn page_overflow_is_a_typed_error() {
+        let path = tmp("overflow");
+        let cfg = RTreeConfig { max_entries: 64, min_fill: 0.4 };
+        let err = PagedRTree::bulk_write(grid_summaries(100), cfg, &path, 4096).unwrap_err();
+        assert!(matches!(err, StoreError::PageOverflow { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicking() {
+        let path = tmp("corrupt");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        PagedRTree::bulk_write(grid_summaries(200), cfg, &path, 4096).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut bytes = pristine.clone();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(PagedRTree::<2>::open(&path).unwrap_err(), StoreError::Corrupt { .. }));
+
+        // Version mismatch (fix the header checksum so the version check
+        // is what fires).
+        let mut bytes = pristine.clone();
+        bytes[4] = 0xFE;
+        let sum = fnv1a(&bytes[..paged_header_len(2) - 8]);
+        bytes[paged_header_len(2) - 8..paged_header_len(2)].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            PagedRTree::<2>::open(&path).unwrap_err(),
+            StoreError::VersionMismatch { found: 0xFE, expected: PAGED_VERSION }
+        ));
+
+        // Wrong dimensionality.
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(matches!(
+            PagedRTree::<3>::open(&path).unwrap_err(),
+            // The 3-D header is longer, so either check may fire first.
+            StoreError::DimensionMismatch { .. } | StoreError::Corrupt { .. }
+        ));
+
+        // Truncation (short page region / missing trailer).
+        let mut bytes = pristine.clone();
+        bytes.truncate(bytes.len() - 100);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(PagedRTree::<2>::open(&path).unwrap_err(), StoreError::Corrupt { .. }));
+
+        // Bit flip inside a node page: open succeeds (pages are lazy) but
+        // reading the damaged node returns a checksum error.
+        let mut bytes = pristine.clone();
+        let flip_at = paged_header_len(2) + 4096 / 2;
+        bytes[flip_at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let tree = PagedRTree::<2>::open(&path).unwrap();
+        let err = tree.read_node(NodeId(0)).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+
+        // table_off bit-rotted to near u64::MAX: must be Corrupt, not an
+        // arithmetic-overflow panic.
+        let mut bytes = pristine.clone();
+        let off_pos = bytes.len() - PAGED_TRAILER_LEN;
+        bytes[off_pos..off_pos + 8].copy_from_slice(&0xFFFF_FFFF_FFFF_FF00u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(PagedRTree::<2>::open(&path).unwrap_err(), StoreError::Corrupt { .. }));
+
+        // Garbage file.
+        std::fs::write(&path, b"not an index at all").unwrap();
+        assert!(PagedRTree::<2>::open(&path).is_err());
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn insert_built_trees_serialize_too() {
+        let path = tmp("insert");
+        let mut tree: RTree<2> = RTree::new(RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        for s in grid_summaries(150) {
+            tree.insert(s);
+        }
+        tree.validate().unwrap();
+        PagedRTree::write_tree(&tree, &path, 4096).unwrap();
+        let paged: PagedRTree<2> = PagedRTree::open(&path).unwrap();
+        assert_eq!(NodeAccess::len(&paged), 150);
+        let q = Point::xy(20.0, 2.0);
+        let a = tree.knn_by(5, |m| m.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
+        let b = access::knn_by(
+            &paged,
+            5,
+            |m| m.min_dist_point(&q),
+            |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+        )
+        .unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.entry.id, y.entry.id);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

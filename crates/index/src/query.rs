@@ -1,14 +1,17 @@
-//! Self-contained queries over the tree: generic best-first kNN and range
-//! search. The AKNN/RKNN processors in `fuzzy-query` drive the tree through
-//! [`RTree::expand`] directly (they interleave object probes with index
-//! descent); the methods here serve the RSS candidate collection, tests,
-//! and standalone use of the index.
+//! Self-contained queries over the tree: best-first kNN and range search.
+//!
+//! The traversals themselves are implemented once, generically over any
+//! [`crate::NodeAccess`] backend, in [`crate::access`] — the AKNN/RKNN
+//! processors in `fuzzy-query` call those generic versions so they run
+//! unmodified against the in-memory [`RTree`] and the disk-resident
+//! [`crate::PagedRTree`]. The inherent methods here are infallible
+//! conveniences over the in-memory tree, kept for tests and standalone
+//! use of the index.
 
-use crate::node::{Children, NodeId, RTree};
+use crate::access;
+use crate::node::RTree;
 use fuzzy_core::ObjectSummary;
 use fuzzy_geom::Mbr;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A matched entry together with the score that admitted it.
 #[derive(Clone, Debug)]
@@ -26,29 +29,9 @@ pub struct RangeResult<const D: usize> {
     pub hits: Vec<EntryHit<D>>,
     /// Nodes expanded while answering (subset of the tree counter).
     pub node_accesses: u64,
-}
-
-/// Max-heap adapter turning `BinaryHeap` into a min-heap on f64 keys.
-struct MinKey<T> {
-    key: f64,
-    item: T,
-}
-
-impl<T> PartialEq for MinKey<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<T> Eq for MinKey<T> {}
-impl<T> PartialOrd for MinKey<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for MinKey<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.key.total_cmp(&self.key) // reversed: BinaryHeap is a max-heap
-    }
+    /// Node reads that touched the backing medium (always 0 for the
+    /// in-memory tree; for a paged tree, the buffer-pool misses).
+    pub node_disk_reads: u64,
 }
 
 impl<const D: usize> RTree<D> {
@@ -64,39 +47,7 @@ impl<const D: usize> RTree<D> {
         node_key: impl Fn(&Mbr<D>) -> f64,
         entry_key: impl Fn(&ObjectSummary<D>) -> f64,
     ) -> Vec<EntryHit<D>> {
-        enum Item<'a, const D: usize> {
-            Node(NodeId),
-            Entry(&'a ObjectSummary<D>),
-        }
-        let mut heap: BinaryHeap<MinKey<Item<'_, D>>> = BinaryHeap::new();
-        heap.push(MinKey { key: node_key(self.node_mbr(self.root)), item: Item::Node(self.root) });
-        let mut out = Vec::with_capacity(k);
-        while let Some(MinKey { item, key }) = heap.pop() {
-            match item {
-                Item::Entry(e) => {
-                    out.push(EntryHit { entry: *e, score: key });
-                    if out.len() == k {
-                        break;
-                    }
-                }
-                Item::Node(id) => match self.expand(id) {
-                    Children::Nodes(kids) => {
-                        for &c in kids {
-                            heap.push(MinKey {
-                                key: node_key(self.node_mbr(c)),
-                                item: Item::Node(c),
-                            });
-                        }
-                    }
-                    Children::Entries(entries) => {
-                        for e in entries {
-                            heap.push(MinKey { key: entry_key(e), item: Item::Entry(e) });
-                        }
-                    }
-                },
-            }
-        }
-        out
+        access::knn_by(self, k, node_key, entry_key).expect("in-memory node reads cannot fail")
     }
 
     /// Collect every entry whose `entry_key` is at most `radius`, pruning
@@ -108,33 +59,15 @@ impl<const D: usize> RTree<D> {
         node_key: impl Fn(&Mbr<D>) -> f64,
         entry_key: impl Fn(&ObjectSummary<D>) -> f64,
     ) -> RangeResult<D> {
-        let mut result = RangeResult::default();
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            if node_key(self.node_mbr(id)) > radius {
-                continue;
-            }
-            result.node_accesses += 1;
-            match self.expand(id) {
-                Children::Nodes(kids) => stack.extend_from_slice(kids),
-                Children::Entries(entries) => {
-                    for e in entries {
-                        let score = entry_key(e);
-                        if score <= radius {
-                            result.hits.push(EntryHit { entry: *e, score });
-                        }
-                    }
-                }
-            }
-        }
-        result
+        access::range_search(self, radius, node_key, entry_key)
+            .expect("in-memory node reads cannot fail")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::RTreeConfig;
+    use crate::node::{Children, RTreeConfig};
     use fuzzy_core::{FuzzyObject, ObjectId};
     use fuzzy_geom::Point;
 
@@ -206,6 +139,8 @@ mod tests {
                 tree.iter_entries().filter(|e| e.support_mbr.min_dist_point(&q) <= radius).count();
             assert_eq!(res.hits.len(), want, "radius {radius}");
             assert_eq!(res.node_accesses, tree.stats().node_accesses());
+            // The arena never touches a backing medium.
+            assert_eq!(res.node_disk_reads, 0);
         }
     }
 
@@ -216,7 +151,7 @@ mod tests {
         tree.stats().reset();
         let _ = tree.knn_by(5, |mbr| mbr.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
         let expanded = tree.stats().node_accesses();
-        let total_nodes = tree.nodes.len() as u64;
+        let total_nodes = tree.node_count() as u64;
         assert!(
             expanded * 4 < total_nodes,
             "best-first expanded {expanded} of {total_nodes} nodes"
@@ -233,5 +168,24 @@ mod tests {
         let res =
             tree.range_search(10.0, |m| m.min_dist_point(&q), |e| e.support_mbr.min_dist_point(&q));
         assert!(res.hits.is_empty());
+    }
+
+    #[test]
+    fn trait_view_agrees_with_inherent_expand() {
+        use crate::access::{NodeAccess, NodeView};
+        let tree = build(200, 8);
+        let read = tree.read_node(NodeAccess::root_id(&tree)).unwrap();
+        assert!(!read.disk_read);
+        match (read.view(), tree.expand(tree.root_id())) {
+            (NodeView::Nodes(refs), Children::Nodes(ids)) => {
+                assert_eq!(refs.len(), ids.len());
+                for (r, &id) in refs.iter().zip(ids) {
+                    assert_eq!(r.id, id);
+                    assert_eq!(r.mbr, *tree.node_mbr(id));
+                }
+            }
+            (NodeView::Entries(a), Children::Entries(b)) => assert_eq!(a.len(), b.len()),
+            _ => panic!("trait and inherent views disagree on node kind"),
+        }
     }
 }

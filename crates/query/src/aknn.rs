@@ -29,9 +29,8 @@ use crate::result::{AknnResult, DistBound, Neighbor};
 use crate::stats::QueryStats;
 use fuzzy_core::distance::alpha_distance;
 use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary, Threshold};
-use fuzzy_index::{Children, NodeId, RTree};
+use fuzzy_index::{MinKey, NodeAccess, NodeId, NodeView};
 use fuzzy_store::ObjectStore;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -116,28 +115,6 @@ pub(crate) struct SearchOutcome<const D: usize> {
     pub stats: QueryStats,
 }
 
-/// Min-heap wrapper (BinaryHeap is a max-heap).
-struct MinKey<T> {
-    key: f64,
-    item: T,
-}
-impl<T> PartialEq for MinKey<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<T> Eq for MinKey<T> {}
-impl<T> PartialOrd for MinKey<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for MinKey<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.key.total_cmp(&self.key)
-    }
-}
-
 enum Item<const D: usize> {
     Node(NodeId),
     Entry(ObjectSummary<D>),
@@ -159,11 +136,12 @@ struct Deferred<const D: usize> {
     hi: f64,
 }
 
-/// Core best-first search. `force_exact` probes any bound-confirmed
-/// neighbour at the end so every returned distance is exact (the RKNN
-/// algorithms need exact distances and the objects themselves).
-pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
-    tree: &RTree<D>,
+/// Core best-first search, generic over the index backend. `force_exact`
+/// probes any bound-confirmed neighbour at the end so every returned
+/// distance is exact (the RKNN algorithms need exact distances and the
+/// objects themselves).
+pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    tree: &A,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -225,10 +203,7 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
     };
 
     let mut heap: BinaryHeap<MinKey<Item<D>>> = BinaryHeap::new();
-    heap.push(MinKey {
-        key: tree.node_mbr(tree.root_id()).min_dist(&q_cut),
-        item: Item::Node(tree.root_id()),
-    });
+    heap.push(MinKey { key: tree.root_mbr().min_dist(&q_cut), item: Item::Node(tree.root_id()) });
     let mut buffer: Vec<Deferred<D>> = Vec::new(); // the paper's G
     let mut out: Vec<FoundNeighbor<D>> = Vec::with_capacity(k);
 
@@ -269,17 +244,19 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
         };
         match item {
             Item::Node(id) => {
+                let read = tree.read_node(id)?;
                 stats.node_accesses += 1;
-                match tree.expand(id) {
-                    Children::Nodes(kids) => {
-                        for &c in kids {
+                stats.node_disk_reads += read.disk_read as u64;
+                match read.view() {
+                    NodeView::Nodes(kids) => {
+                        for c in kids {
                             heap.push(MinKey {
-                                key: tree.node_mbr(c).min_dist(&q_cut),
-                                item: Item::Node(c),
+                                key: c.mbr.min_dist(&q_cut),
+                                item: Item::Node(c.id),
                             });
                         }
                     }
-                    Children::Entries(entries) => {
+                    NodeView::Entries(entries) => {
                         for e in entries {
                             stats.bound_evals += 1;
                             heap.push(MinKey { key: entry_lower(e), item: Item::Entry(*e) });
@@ -354,8 +331,8 @@ pub(crate) fn search<S: ObjectStore<D>, const D: usize>(
 }
 
 /// Public AKNN entry point used by [`crate::QueryEngine`].
-pub(crate) fn aknn_at<S: ObjectStore<D>, const D: usize>(
-    tree: &RTree<D>,
+pub(crate) fn aknn_at<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    tree: &A,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,

@@ -30,7 +30,7 @@ use crate::result::{AknnResult, RknnResult};
 use crate::rknn::RknnAlgorithm;
 use crate::stats::QueryStats;
 use fuzzy_core::FuzzyObject;
-use fuzzy_index::RTree;
+use fuzzy_index::NodeAccess;
 use fuzzy_store::ObjectStore;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -251,14 +251,16 @@ impl BatchExecutor {
         self.threads
     }
 
-    /// Run a workload against a borrowed index and store.
-    pub fn run<S, const D: usize>(
+    /// Run a workload against a borrowed index and store (any
+    /// [`NodeAccess`] backend — in-memory or paged).
+    pub fn run<A, S, const D: usize>(
         &self,
-        tree: &RTree<D>,
+        tree: &A,
         store: &S,
         requests: &[BatchRequest<D>],
     ) -> BatchOutcome
     where
+        A: NodeAccess<D> + Sync,
         S: ObjectStore<D> + Sync,
     {
         let started = Instant::now();
@@ -313,12 +315,13 @@ impl BatchExecutor {
     }
 
     /// Run a workload against a [`SharedQueryEngine`].
-    pub fn run_shared<S, const D: usize>(
+    pub fn run_shared<A, S, const D: usize>(
         &self,
-        engine: &SharedQueryEngine<S, D>,
+        engine: &SharedQueryEngine<A, S, D>,
         requests: &[BatchRequest<D>],
     ) -> BatchOutcome
     where
+        A: NodeAccess<D> + Sync,
         S: ObjectStore<D> + Sync,
     {
         self.run(engine.tree(), engine.store(), requests)
@@ -326,8 +329,8 @@ impl BatchExecutor {
 }
 
 /// Dispatch one request on the calling thread.
-fn execute<S: ObjectStore<D>, const D: usize>(
-    engine: &QueryEngine<'_, S, D>,
+fn execute<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    engine: &QueryEngine<'_, A, S, D>,
     request: &BatchRequest<D>,
 ) -> Result<BatchResponse, QueryError> {
     match request {
@@ -345,10 +348,10 @@ mod tests {
     use super::*;
     use fuzzy_core::ObjectId;
     use fuzzy_geom::Point;
-    use fuzzy_index::RTreeConfig;
+    use fuzzy_index::{RTree, RTreeConfig};
     use fuzzy_store::MemStore;
 
-    fn fixture(n: u64) -> SharedQueryEngine<MemStore<2>, 2> {
+    fn fixture(n: u64) -> SharedQueryEngine<RTree<2>, MemStore<2>, 2> {
         let store = MemStore::from_objects((0..n).map(|i| {
             let x = (i % 10) as f64;
             let y = (i / 10) as f64;
@@ -364,7 +367,10 @@ mod tests {
         SharedQueryEngine::from_parts(tree, store)
     }
 
-    fn workload(engine: &SharedQueryEngine<MemStore<2>, 2>, n: u64) -> Vec<BatchRequest<2>> {
+    fn workload(
+        engine: &SharedQueryEngine<RTree<2>, MemStore<2>, 2>,
+        n: u64,
+    ) -> Vec<BatchRequest<2>> {
         (0..n)
             .map(|i| {
                 let q = engine.store().probe(ObjectId(i)).unwrap().as_ref().clone();

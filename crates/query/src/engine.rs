@@ -1,17 +1,23 @@
 //! The public query facade: a borrowed engine for single-owner use and an
 //! `Arc`-based owned engine for sharing one index/store pair across
 //! threads (the [`crate::batch::BatchExecutor`] builds on the latter).
+//!
+//! Both engines are generic over the **index backend** `A` (anything
+//! implementing [`NodeAccess`]: the in-memory `RTree` or the
+//! disk-resident `PagedRTree`) and the **object store** `S` (anything
+//! implementing [`ObjectStore`]), so the same query code serves a fully
+//! in-memory setup, a disk-resident one, or any mix.
 
 use crate::aknn::{aknn_at, AknnConfig};
 use crate::error::QueryError;
 use crate::result::{AknnResult, RknnResult};
 use crate::rknn::{self, RknnAlgorithm};
 use fuzzy_core::{FuzzyObject, Threshold};
-use fuzzy_index::RTree;
+use fuzzy_index::NodeAccess;
 use fuzzy_store::ObjectStore;
 use std::sync::Arc;
 
-/// A query engine borrowing an R-tree and an object store.
+/// A query engine borrowing an index and an object store.
 ///
 /// ```
 /// use fuzzy_core::{FuzzyObject, ObjectId};
@@ -44,19 +50,19 @@ use std::sync::Arc;
 ///     .unwrap();
 /// assert!(rknn.range_of(ObjectId(0)).is_some());
 /// ```
-pub struct QueryEngine<'a, S, const D: usize> {
-    tree: &'a RTree<D>,
+pub struct QueryEngine<'a, A, S, const D: usize> {
+    tree: &'a A,
     store: &'a S,
 }
 
-impl<'a, S: ObjectStore<D>, const D: usize> QueryEngine<'a, S, D> {
+impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A, S, D> {
     /// Bundle an index and a store.
-    pub fn new(tree: &'a RTree<D>, store: &'a S) -> Self {
+    pub fn new(tree: &'a A, store: &'a S) -> Self {
         Self { tree, store }
     }
 
     /// The underlying index.
-    pub fn tree(&self) -> &RTree<D> {
+    pub fn tree(&self) -> &A {
         self.tree
     }
 
@@ -159,30 +165,30 @@ impl<'a, S: ObjectStore<D>, const D: usize> QueryEngine<'a, S, D> {
 /// let knn = handle.join().unwrap().unwrap();
 /// assert_eq!(knn.neighbors.len(), 2);
 /// ```
-pub struct SharedQueryEngine<S, const D: usize> {
-    tree: Arc<RTree<D>>,
+pub struct SharedQueryEngine<A, S, const D: usize> {
+    tree: Arc<A>,
     store: Arc<S>,
 }
 
-impl<S, const D: usize> Clone for SharedQueryEngine<S, D> {
+impl<A, S, const D: usize> Clone for SharedQueryEngine<A, S, D> {
     fn clone(&self) -> Self {
         Self { tree: Arc::clone(&self.tree), store: Arc::clone(&self.store) }
     }
 }
 
-impl<S: ObjectStore<D>, const D: usize> SharedQueryEngine<S, D> {
+impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SharedQueryEngine<A, S, D> {
     /// Bundle already-shared components.
-    pub fn new(tree: Arc<RTree<D>>, store: Arc<S>) -> Self {
+    pub fn new(tree: Arc<A>, store: Arc<S>) -> Self {
         Self { tree, store }
     }
 
     /// Take ownership of an index and a store, wrapping both in `Arc`s.
-    pub fn from_parts(tree: RTree<D>, store: S) -> Self {
+    pub fn from_parts(tree: A, store: S) -> Self {
         Self::new(Arc::new(tree), Arc::new(store))
     }
 
     /// The underlying index.
-    pub fn tree(&self) -> &RTree<D> {
+    pub fn tree(&self) -> &A {
         &self.tree
     }
 
@@ -192,7 +198,7 @@ impl<S: ObjectStore<D>, const D: usize> SharedQueryEngine<S, D> {
     }
 
     /// A clone of the shared index handle.
-    pub fn tree_handle(&self) -> Arc<RTree<D>> {
+    pub fn tree_handle(&self) -> Arc<A> {
         Arc::clone(&self.tree)
     }
 
@@ -202,7 +208,7 @@ impl<S: ObjectStore<D>, const D: usize> SharedQueryEngine<S, D> {
     }
 
     /// A borrowed view, for APIs that take a [`QueryEngine`].
-    pub fn as_borrowed(&self) -> QueryEngine<'_, S, D> {
+    pub fn as_borrowed(&self) -> QueryEngine<'_, A, S, D> {
         QueryEngine::new(&self.tree, &self.store)
     }
 
@@ -246,23 +252,28 @@ impl<S: ObjectStore<D>, const D: usize> SharedQueryEngine<S, D> {
 #[cfg(test)]
 mod send_sync_tests {
     use super::*;
+    use fuzzy_index::{PagedRTree, RTree};
     use fuzzy_store::{CachedStore, FileStore, MemStore};
 
     fn assert_send_sync<T: Send + Sync>() {}
 
-    /// The whole read path must be shareable across threads: the tree, the
-    /// stores, and both engines over them. This is a compile-time audit —
-    /// adding interior mutability without synchronization anywhere in
+    /// The whole read path must be shareable across threads: the trees,
+    /// the stores, and both engines over them — for every backend
+    /// combination. This is a compile-time audit — adding interior
+    /// mutability without synchronization anywhere in
     /// `index`/`store`/`query` breaks this test.
     #[test]
     fn engines_and_components_are_send_sync() {
         assert_send_sync::<RTree<2>>();
+        assert_send_sync::<PagedRTree<2>>();
         assert_send_sync::<MemStore<2>>();
         assert_send_sync::<FileStore<2>>();
-        assert_send_sync::<QueryEngine<'static, MemStore<2>, 2>>();
-        assert_send_sync::<QueryEngine<'static, FileStore<2>, 2>>();
-        assert_send_sync::<SharedQueryEngine<MemStore<2>, 2>>();
-        assert_send_sync::<SharedQueryEngine<FileStore<2>, 2>>();
-        assert_send_sync::<SharedQueryEngine<CachedStore<FileStore<2>, 2>, 2>>();
+        assert_send_sync::<QueryEngine<'static, RTree<2>, MemStore<2>, 2>>();
+        assert_send_sync::<QueryEngine<'static, RTree<2>, FileStore<2>, 2>>();
+        assert_send_sync::<QueryEngine<'static, PagedRTree<2>, FileStore<2>, 2>>();
+        assert_send_sync::<SharedQueryEngine<RTree<2>, MemStore<2>, 2>>();
+        assert_send_sync::<SharedQueryEngine<RTree<2>, FileStore<2>, 2>>();
+        assert_send_sync::<SharedQueryEngine<PagedRTree<2>, FileStore<2>, 2>>();
+        assert_send_sync::<SharedQueryEngine<PagedRTree<2>, CachedStore<FileStore<2>, 2>, 2>>();
     }
 }

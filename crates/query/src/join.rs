@@ -19,7 +19,8 @@ use crate::error::QueryError;
 use crate::stats::QueryStats;
 use fuzzy_core::distance::alpha_distance_bounded;
 use fuzzy_core::{ObjectId, Threshold};
-use fuzzy_index::{Children, NodeId, RTree};
+use fuzzy_geom::Mbr;
+use fuzzy_index::{NodeAccess, NodeId, NodeView};
 use fuzzy_store::ObjectStore;
 use std::time::Instant;
 
@@ -48,16 +49,18 @@ pub struct JoinResult {
 ///
 /// `cfg.improved_lower_bound` toggles the Eq. 2 entry-level pruning (the
 /// support-MBR `MinDist` is always applied).
-pub fn alpha_distance_join<SL, SR, const D: usize>(
-    left_tree: &RTree<D>,
+pub fn alpha_distance_join<AL, AR, SL, SR, const D: usize>(
+    left_tree: &AL,
     left_store: &SL,
-    right_tree: &RTree<D>,
+    right_tree: &AR,
     right_store: &SR,
     t: Threshold,
     radius: f64,
     cfg: &AknnConfig,
 ) -> Result<JoinResult, QueryError>
 where
+    AL: NodeAccess<D>,
+    AR: NodeAccess<D>,
     SL: ObjectStore<D>,
     SR: ObjectStore<D>,
 {
@@ -65,34 +68,43 @@ where
     let mut stats = QueryStats::default();
     let mut pairs: Vec<JoinPair> = Vec::new();
 
-    // Candidate object pairs from the synchronized descent.
+    // Candidate object pairs from the synchronized descent. Each stack
+    // item carries the node rectangles (read from the parent pages), so
+    // pruning a pair costs no node access.
+    type NodeBox<const D: usize> = (NodeId, Mbr<D>);
     let mut candidates: Vec<(fuzzy_core::ObjectSummary<D>, fuzzy_core::ObjectSummary<D>)> =
         Vec::new();
-    let mut stack: Vec<(NodeId, NodeId)> = vec![(left_tree.root_id(), right_tree.root_id())];
-    while let Some((nl, nr)) = stack.pop() {
-        if left_tree.node_mbr(nl).min_dist(right_tree.node_mbr(nr)) > radius {
+    let mut stack: Vec<(NodeBox<D>, NodeBox<D>)> = vec![(
+        (left_tree.root_id(), left_tree.root_mbr()),
+        (right_tree.root_id(), right_tree.root_mbr()),
+    )];
+    while let Some(((nl, ml), (nr, mr))) = stack.pop() {
+        if ml.min_dist(&mr) > radius {
             continue;
         }
+        let left = left_tree.read_node(nl)?;
+        let right = right_tree.read_node(nr)?;
         stats.node_accesses += 2; // one expansion on each side
-        match (left_tree.expand(nl), right_tree.expand(nr)) {
-            (Children::Nodes(ls), Children::Nodes(rs)) => {
-                for &l in ls {
-                    for &r in rs {
-                        stack.push((l, r));
+        stats.node_disk_reads += left.disk_read as u64 + right.disk_read as u64;
+        match (left.view(), right.view()) {
+            (NodeView::Nodes(ls), NodeView::Nodes(rs)) => {
+                for l in ls {
+                    for r in rs {
+                        stack.push(((l.id, l.mbr), (r.id, r.mbr)));
                     }
                 }
             }
-            (Children::Nodes(ls), Children::Entries(_)) => {
-                for &l in ls {
-                    stack.push((l, nr));
+            (NodeView::Nodes(ls), NodeView::Entries(_)) => {
+                for l in ls {
+                    stack.push(((l.id, l.mbr), (nr, mr)));
                 }
             }
-            (Children::Entries(_), Children::Nodes(rs)) => {
-                for &r in rs {
-                    stack.push((nl, r));
+            (NodeView::Entries(_), NodeView::Nodes(rs)) => {
+                for r in rs {
+                    stack.push(((nl, ml), (r.id, r.mbr)));
                 }
             }
-            (Children::Entries(les), Children::Entries(res)) => {
+            (NodeView::Entries(les), NodeView::Entries(res)) => {
                 for le in les {
                     for re in res {
                         stats.bound_evals += 1;
@@ -150,7 +162,7 @@ mod tests {
     use fuzzy_core::distance::alpha_distance_brute;
     use fuzzy_core::{FuzzyObject, ObjectId};
     use fuzzy_geom::Point;
-    use fuzzy_index::RTreeConfig;
+    use fuzzy_index::{RTree, RTreeConfig};
     use fuzzy_store::MemStore;
 
     fn blob(id: u64, cx: f64, cy: f64, seed: u64) -> FuzzyObject<2> {

@@ -24,7 +24,7 @@ use crate::result::{RknnItem, RknnResult};
 use crate::stats::QueryStats;
 use crate::sweep::{exact_sweep, ProfiledCandidate};
 use fuzzy_core::{DistanceProfile, FuzzyObject, ObjectId, Threshold};
-use fuzzy_index::RTree;
+use fuzzy_index::NodeAccess;
 use fuzzy_store::ObjectStore;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -86,8 +86,8 @@ impl<const D: usize> ProfileCache<D> {
 }
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run<S: ObjectStore<D>, const D: usize>(
-    tree: &RTree<D>,
+pub(crate) fn run<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    tree: &A,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -143,8 +143,8 @@ fn naive<S: ObjectStore<D>, const D: usize>(
 
 /// Algorithm 3: step through critical probabilities with one AKNN each.
 #[allow(clippy::too_many_arguments)]
-fn basic<S: ObjectStore<D>, const D: usize>(
-    tree: &RTree<D>,
+fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    tree: &A,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -162,6 +162,7 @@ fn basic<S: ObjectStore<D>, const D: usize>(
         stats.aknn_calls += 1;
         stats.object_accesses += out.stats.object_accesses;
         stats.node_accesses += out.stats.node_accesses;
+        stats.node_disk_reads += out.stats.node_disk_reads;
         stats.distance_evals += out.stats.distance_evals;
         stats.bound_evals += out.stats.bound_evals;
         if out.neighbors.is_empty() {
@@ -191,8 +192,8 @@ fn basic<S: ObjectStore<D>, const D: usize>(
 
 /// Algorithms 4/5: reduce the search space, refine candidates in memory.
 #[allow(clippy::too_many_arguments)]
-fn rss<S: ObjectStore<D>, const D: usize>(
-    tree: &RTree<D>,
+fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    tree: &A,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -208,6 +209,7 @@ fn rss<S: ObjectStore<D>, const D: usize>(
     stats.aknn_calls += 1;
     stats.object_accesses += out_end.stats.object_accesses;
     stats.node_accesses += out_end.stats.node_accesses;
+    stats.node_disk_reads += out_end.stats.node_disk_reads;
     stats.distance_evals += out_end.stats.distance_evals;
     stats.bound_evals += out_end.stats.bound_evals;
     let r = if out_end.neighbors.len() < k {
@@ -220,7 +222,8 @@ fn rss<S: ObjectStore<D>, const D: usize>(
     // a lower bound beyond r can ever qualify).
     let t_start = Threshold::at(alpha_start);
     let q_cut = q.cut_mbr(t_start).ok_or(QueryError::EmptyQueryCut)?;
-    let range = tree.range_search(
+    let range = fuzzy_index::range_search(
+        tree,
         r,
         |mbr| mbr.min_dist(&q_cut),
         |e| {
@@ -230,8 +233,9 @@ fn rss<S: ObjectStore<D>, const D: usize>(
                 e.support_mbr.min_dist(&q_cut)
             }
         },
-    );
+    )?;
     stats.node_accesses += range.node_accesses;
+    stats.node_disk_reads += range.node_disk_reads;
     stats.bound_evals += range.hits.len() as u64;
 
     // Probe every candidate once and build its profile.

@@ -9,8 +9,14 @@ use std::time::Duration;
 pub struct QueryStats {
     /// Objects retrieved from the store (Figures 11/13/15a).
     pub object_accesses: u64,
-    /// R-tree nodes expanded.
+    /// R-tree nodes expanded (logical node accesses — identical across
+    /// index backends and thread counts).
     pub node_accesses: u64,
+    /// Node expansions that touched the backing medium: buffer-pool
+    /// misses of a `PagedRTree`, always 0 for the in-memory tree. Like a
+    /// shared `CachedStore`'s hit/miss split, this depends on how
+    /// concurrent queries interleave on the shared pool.
+    pub node_disk_reads: u64,
     /// Exact α-distance evaluations (dual-tree closest pair runs).
     pub distance_evals: u64,
     /// Distance-profile computations (RKNN refinement).
@@ -29,6 +35,7 @@ impl AddAssign for QueryStats {
     fn add_assign(&mut self, rhs: Self) {
         self.object_accesses += rhs.object_accesses;
         self.node_accesses += rhs.node_accesses;
+        self.node_disk_reads += rhs.node_disk_reads;
         self.distance_evals += rhs.distance_evals;
         self.profile_computations += rhs.profile_computations;
         self.bound_evals += rhs.bound_evals;
@@ -52,6 +59,7 @@ impl QueryStats {
         QueryStats {
             object_accesses: total.object_accesses / n,
             node_accesses: total.node_accesses / n,
+            node_disk_reads: total.node_disk_reads / n,
             distance_evals: total.distance_evals / n,
             profile_computations: total.profile_computations / n,
             bound_evals: total.bound_evals / n,

@@ -35,6 +35,13 @@ pub enum StoreError {
     Model(ModelError),
     /// An object with this id was already written.
     DuplicateObject(ObjectId),
+    /// An encoded node does not fit in one page of a paged file.
+    PageOverflow {
+        /// Bytes the node needs.
+        needed: u64,
+        /// Configured page size.
+        page_size: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -51,6 +58,9 @@ impl fmt::Display for StoreError {
             Self::UnknownObject(id) => write!(f, "unknown object {id}"),
             Self::Model(e) => write!(f, "invalid stored object: {e}"),
             Self::DuplicateObject(id) => write!(f, "duplicate object {id}"),
+            Self::PageOverflow { needed, page_size } => {
+                write!(f, "node needs {needed} bytes but pages hold {page_size}")
+            }
         }
     }
 }

@@ -1,5 +1,8 @@
 //! On-disk binary format (hand-rolled, little-endian, versioned).
 //!
+//! Normative byte-level spec — including the paged R-tree index format
+//! that reuses this module's encoder/decoder — in `docs/FORMAT.md`.
+//!
 //! ```text
 //! [ header   ] magic "FZKN" | version u16 | dims u16 | reserved u64
 //! [ records  ] one per object: id u64 | n u32 | n × (D×f64 coords, f64 µ) | fnv u64

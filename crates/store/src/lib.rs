@@ -13,6 +13,8 @@
 //!   tests and small workloads.
 //! * [`CachedStore`] — an LRU wrapper used by the `abl-cache` ablation (the
 //!   paper's algorithms are evaluated *without* caching).
+//! * [`PageCache`] — a generic bounded LRU buffer pool for page-structured
+//!   files (the paged R-tree index reads through one).
 //! * [`ObjectStore`] — the trait the query processor is generic over.
 
 #![warn(missing_docs)]
@@ -22,12 +24,14 @@ pub mod error;
 pub mod file_store;
 pub mod format;
 pub mod mem_store;
+pub mod pagecache;
 pub mod stats;
 
 pub use cache::CachedStore;
 pub use error::StoreError;
 pub use file_store::{FileStore, FileStoreWriter};
 pub use mem_store::MemStore;
+pub use pagecache::{CachedPage, PageCache, PageCacheStats};
 pub use stats::{IoStats, IoStatsSnapshot};
 
 #[cfg(test)]

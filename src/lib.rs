@@ -51,8 +51,8 @@
 //! |---|---|
 //! | [`geom`] | points, MBRs, MinDist/MaxDist, hulls, conservative lines, kd-trees, closest pair |
 //! | [`core`] | fuzzy object model, α-cuts, summaries, α-distance, profiles, critical sets |
-//! | [`store`] | disk/memory object stores with the paper's object-access accounting |
-//! | [`index`] | instrumented R-tree (STR bulk load + R* insert) |
+//! | [`store`] | disk/memory object stores with the paper's object-access accounting, plus the page-cache buffer pool |
+//! | [`index`] | R-trees behind the `NodeAccess` trait: in-memory `RTree` (STR bulk load + R* insert) and the disk-resident `PagedRTree` |
 //! | [`query`] | AKNN (Basic/LB/LB-LP/LB-LP-UB) and RKNN (Naive/Basic/RSS/RSS-ICR) |
 //! | [`datagen`] | §6.1 synthetic workload + cell-like substitute for the real dataset |
 //! | [`analysis`] | §5 cost model (fractal dimensions, Eq. 6–8) |
@@ -75,13 +75,13 @@ pub mod prelude {
     };
     pub use fuzzy_datagen::{CellConfig, DatasetKind, SyntheticConfig};
     pub use fuzzy_geom::{Mbr, Point};
-    pub use fuzzy_index::{RTree, RTreeConfig};
+    pub use fuzzy_index::{NodeAccess, PagedRTree, RTree, RTreeConfig};
     pub use fuzzy_query::{
         AknnConfig, AknnResult, BatchExecutor, BatchOutcome, BatchRequest, BatchResponse,
         DistBound, Interval, IntervalSet, Neighbor, QueryEngine, QueryError, QueryStats,
         RknnAlgorithm, RknnItem, RknnResult, SharedQueryEngine,
     };
     pub use fuzzy_store::{
-        CachedStore, FileStore, FileStoreWriter, MemStore, ObjectStore, StoreError,
+        CachedStore, FileStore, FileStoreWriter, MemStore, ObjectStore, PageCache, StoreError,
     };
 }
