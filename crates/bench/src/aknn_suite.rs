@@ -21,7 +21,7 @@ use crate::{DatasetSpec, Env};
 use fuzzy_datagen::DatasetKind;
 use fuzzy_index::{NodeAccess, PagedRTree};
 use fuzzy_query::{AknnConfig, BatchExecutor, BatchOutcome, BatchRequest};
-use fuzzy_store::FileStore;
+use fuzzy_store::{FileStore, ObjectStore};
 use std::path::Path;
 
 /// Schema identifier embedded in every report.
@@ -69,6 +69,13 @@ pub struct BenchOptions {
     pub page_size: u32,
     /// Buffer-pool capacity in pages (ignored for `Mem`).
     pub cache_pages: usize,
+    /// Fraction of the dataset cycled through the dynamic-update path
+    /// (delete + reinsert) before an extra `mutation` sweep measures the
+    /// default workload against the mutated index. `0.0` skips the sweep.
+    /// The live set is unchanged, so the numbers are directly comparable
+    /// to the pristine-index runs — the delta is the cost of querying
+    /// through overlay/condensed structures.
+    pub mutation_rate: f64,
     /// True for the CI smoke configuration (recorded in the report).
     pub smoke: bool,
 }
@@ -92,6 +99,7 @@ impl BenchOptions {
             backend: IndexBackend::Paged,
             page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
             cache_pages: fuzzy_index::DEFAULT_CACHE_PAGES,
+            mutation_rate: 0.0,
             smoke: false,
         }
     }
@@ -115,6 +123,7 @@ impl BenchOptions {
             backend: IndexBackend::Paged,
             page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
             cache_pages: 64,
+            mutation_rate: 0.25,
             smoke: true,
         }
     }
@@ -275,6 +284,47 @@ fn sweeps<A: NodeAccess<2> + Sync>(
     runs
 }
 
+/// The extra `mutation` sweep: cycle `rate · n` objects through the
+/// dynamic-update path (delete, then reinsert — the live set is
+/// unchanged), then measure the default workload against the mutated
+/// index. `tree` is the post-mutation index.
+fn mutation_sweep<A: NodeAccess<2> + Sync>(
+    tree: &A,
+    store: &FileStore<2>,
+    queries: &[fuzzy_core::FuzzyObject<2>],
+    opts: &BenchOptions,
+    clear_cache: &dyn Fn(),
+    cache_label: &str,
+) -> Json {
+    let best = AknnConfig::lb_lp_ub();
+    let threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    clear_cache();
+    let requests: Vec<BatchRequest<2>> = queries
+        .iter()
+        .map(|q| BatchRequest::aknn(q.clone(), opts.default_k, opts.default_alpha, best))
+        .collect();
+    let executor = BatchExecutor::new(threads);
+    let outcome = executor.run(tree, store, &requests);
+    let mut run = record(
+        "mutation",
+        &best,
+        opts.default_k,
+        opts.default_alpha,
+        executor.threads(),
+        cache_label,
+        &outcome,
+    );
+    if let Json::Obj(fields) = &mut run {
+        fields.push(("mutation_rate".to_string(), Json::num(opts.mutation_rate)));
+    }
+    run
+}
+
+/// Number of objects the `mutation` sweep cycles.
+fn mutation_count(opts: &BenchOptions, available: usize) -> usize {
+    ((available as f64 * opts.mutation_rate).ceil() as usize).min(available)
+}
+
 /// Run every sweep and assemble the report.
 pub fn run(opts: &BenchOptions) -> Json {
     let env = Env::prepare(&opts.dataset);
@@ -282,7 +332,20 @@ pub fn run(opts: &BenchOptions) -> Json {
 
     let (runs, index_meta) = match opts.backend {
         IndexBackend::Mem => {
-            let runs = sweeps(&env.tree, &env.store, &queries, opts, &|| {}, "none");
+            let mut runs = sweeps(&env.tree, &env.store, &queries, opts, &|| {}, "none");
+            if opts.mutation_rate > 0.0 {
+                let m = mutation_count(opts, env.store.len());
+                let victims = env.store.summaries()[..m].to_vec();
+                let mut mutated = env.tree.clone();
+                for s in &victims {
+                    assert!(mutated.delete(s.id), "benchmark dataset ids are indexed");
+                }
+                for s in victims {
+                    mutated.insert(s);
+                }
+                mutated.validate().expect("mutated tree invariants");
+                runs.push(mutation_sweep(&mutated, &env.store, &queries, opts, &|| {}, "none"));
+            }
             let meta = Json::obj(vec![
                 ("backend", Json::str("mem")),
                 ("nodes", Json::num(env.tree.node_count() as f64)),
@@ -296,7 +359,30 @@ pub fn run(opts: &BenchOptions) -> Json {
                 .expect("write index file");
             let paged: PagedRTree<2> =
                 PagedRTree::open_with_cache(&index_path, opts.cache_pages).expect("open index");
-            let runs = sweeps(&paged, &env.store, &queries, opts, &|| paged.clear_cache(), "cold");
+            let mut runs =
+                sweeps(&paged, &env.store, &queries, opts, &|| paged.clear_cache(), "cold");
+            if opts.mutation_rate > 0.0 {
+                let m = mutation_count(opts, env.store.len());
+                let base = std::sync::Arc::new(
+                    PagedRTree::open_with_cache(&index_path, opts.cache_pages)
+                        .expect("reopen index"),
+                );
+                let mut overlay =
+                    fuzzy_index::OverlayRTree::new(base).expect("wrap index in overlay");
+                let victims = env.store.summaries()[..m].to_vec();
+                for s in victims {
+                    assert!(overlay.delete(s.id), "benchmark dataset ids are indexed");
+                    assert!(overlay.insert(s), "reinsert after delete cannot collide");
+                }
+                runs.push(mutation_sweep(
+                    &overlay,
+                    &env.store,
+                    &queries,
+                    opts,
+                    &|| overlay.base().clear_cache(),
+                    "cold",
+                ));
+            }
             let meta = Json::obj(vec![
                 ("backend", Json::str("paged")),
                 ("page_size", Json::num(paged.page_size() as f64)),
@@ -338,6 +424,7 @@ pub fn run(opts: &BenchOptions) -> Json {
                 ("queries", Json::num(opts.queries as f64)),
                 ("default_k", Json::num(opts.default_k as f64)),
                 ("default_alpha", Json::num(opts.default_alpha)),
+                ("mutation_rate", Json::num(opts.mutation_rate)),
                 ("ks", Json::Arr(opts.ks.iter().map(|&k| Json::num(k as f64)).collect())),
                 ("alphas", Json::Arr(opts.alphas.iter().map(|&a| Json::num(a)).collect())),
                 (
@@ -407,9 +494,10 @@ mod tests {
         // The report survives a serialize → parse round trip.
         let reparsed = Json::parse(&report.to_pretty()).unwrap();
         validate_report(&reparsed).unwrap();
-        // All four sweeps are present.
+        // All five sweeps are present (smoke sets a nonzero mutation
+        // rate precisely so the dynamic-update path cannot rot unnoticed).
         let runs = reparsed.get("runs").unwrap().as_arr().unwrap();
-        for sweep in ["variant_threads", "k", "alpha", "cold_warm"] {
+        for sweep in ["variant_threads", "k", "alpha", "cold_warm", "mutation"] {
             assert!(
                 runs.iter().any(|r| r.get("sweep").and_then(Json::as_str) == Some(sweep)),
                 "missing sweep {sweep}"

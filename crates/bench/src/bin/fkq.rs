@@ -6,18 +6,27 @@
 //! fkq build-index cells.fzkn --out cells.fzpt
 //! fkq aknn cells.fzkn --k 10 --alpha 0.5 --index-file cells.fzpt
 //! fkq rknn cells.fzkn --k 10 --start 0.3 --end 0.7 --algo rss-icr
+//! fkq insert cells.fzkn --index-file cells.fzpt --ids 7,8,9
+//! fkq delete --index-file cells.fzpt --ids 3,4
+//! fkq compact --index-file cells.fzpt
 //! fkq bench --out BENCH_aknn.json
 //! ```
 //!
 //! Query subcommands bulk-load an in-memory R-tree by default; pass
 //! `--index-file` to run against a persisted paged index built with
 //! `build-index` instead (see `docs/FORMAT.md` for the file layout).
+//! The index file is immutable until compaction: `insert`/`delete`
+//! accumulate changes in a checksummed sidecar delta log
+//! (`<index>.fzdl`) which every query subcommand replays automatically;
+//! `compact` folds base + delta into a freshly bulk-loaded file.
 
 use fuzzy_core::FuzzyObject;
 use fuzzy_datagen::{CellConfig, SyntheticConfig};
-use fuzzy_index::{NodeAccess, PagedRTree, RTree, RTreeConfig};
+use fuzzy_index::{
+    delta_path_for, NodeAccess, NodeId, NodeRead, OverlayRTree, PagedRTree, RTree, RTreeConfig,
+};
 use fuzzy_query::{AknnConfig, QueryEngine, RknnAlgorithm};
-use fuzzy_store::{FileStore, ObjectStore};
+use fuzzy_store::{FileStore, ObjectStore, StoreError};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -30,10 +39,13 @@ const USAGE: &str = "usage:
 [--index-file <path>] [--cache-pages <n>]
   fkq rknn <path> --k <k> --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] \
 [--query-seed <u64>] [--index-file <path>] [--cache-pages <n>]
+  fkq insert <path> --index-file <index> --ids <csv> [--cache-pages <n>]
+  fkq delete --index-file <index> --ids <csv> [--cache-pages <n>]
+  fkq compact --index-file <index> [--page-size <bytes>] [--cache-pages <n>]
   fkq bench [--out <path=BENCH_aknn.json>] [--smoke <true|false>] [--kind <synthetic|cell>] \
 [--n <count>] [--ppo <points>] [--seed <u64>] [--queries <count>] [--k <k>] [--alpha <a>] \
 [--ks <csv>] [--alphas <csv>] [--threads <csv>] [--backend <mem|paged>] [--page-size <bytes>] \
-[--cache-pages <n>]";
+[--cache-pages <n>] [--mutation-rate <f>]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -85,6 +97,9 @@ fn main() {
         "build-index" => build_index(pos.first().unwrap_or_else(|| usage()), &flags),
         "aknn" => aknn(pos.first().unwrap_or_else(|| usage()), &flags),
         "rknn" => rknn(pos.first().unwrap_or_else(|| usage()), &flags),
+        "insert" => insert_cmd(pos.first().unwrap_or_else(|| usage()), &flags),
+        "delete" => delete_cmd(&flags),
+        "compact" => compact_cmd(&flags),
         "bench" => bench(&flags),
         _ => usage(),
     }
@@ -177,6 +192,7 @@ fn bench(flags: &HashMap<String, String>) {
     opts.queries = get(flags, "queries").unwrap_or(opts.queries);
     opts.default_k = get(flags, "k").unwrap_or(opts.default_k);
     opts.default_alpha = get(flags, "alpha").unwrap_or(opts.default_alpha);
+    opts.mutation_rate = get(flags, "mutation-rate").unwrap_or(opts.mutation_rate);
     if let Some(ks) = csv_list(flags, "ks") {
         opts.ks = ks;
     }
@@ -229,12 +245,155 @@ fn open(path: &str) -> FileStore<2> {
     })
 }
 
-fn open_index(path: &str, flags: &HashMap<String, String>) -> PagedRTree<2> {
-    let cache_pages: usize = get(flags, "cache-pages").unwrap_or(fuzzy_index::DEFAULT_CACHE_PAGES);
-    PagedRTree::open_with_cache(path, cache_pages).unwrap_or_else(|e| {
+/// A persisted index as the CLI sees it: the bare paged tree when no
+/// sidecar delta log exists, or the tree with its overlay replayed.
+enum CliIndex {
+    Paged(PagedRTree<2>),
+    Overlay(OverlayRTree<2>),
+}
+
+impl NodeAccess<2> for CliIndex {
+    fn root_id(&self) -> NodeId {
+        match self {
+            Self::Paged(t) => NodeAccess::root_id(t),
+            Self::Overlay(t) => NodeAccess::root_id(t),
+        }
+    }
+
+    fn root_mbr(&self) -> fuzzy_geom::Mbr<2> {
+        match self {
+            Self::Paged(t) => t.root_mbr(),
+            Self::Overlay(t) => t.root_mbr(),
+        }
+    }
+
+    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, 2>, StoreError> {
+        match self {
+            Self::Paged(t) => t.read_node(id),
+            Self::Overlay(t) => t.read_node(id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Paged(t) => NodeAccess::len(t),
+            Self::Overlay(t) => NodeAccess::len(t),
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Self::Paged(t) => NodeAccess::height(t),
+            Self::Overlay(t) => NodeAccess::height(t),
+        }
+    }
+}
+
+fn cache_pages(flags: &HashMap<String, String>) -> usize {
+    get(flags, "cache-pages").unwrap_or(fuzzy_index::DEFAULT_CACHE_PAGES)
+}
+
+/// Open an index for querying, replaying its sidecar delta log if one
+/// exists so fresh processes see pending inserts/deletes.
+fn open_index(path: &str, flags: &HashMap<String, String>) -> CliIndex {
+    let fail = |e: StoreError| -> ! {
+        eprintln!("cannot open index {path}: {e}");
+        exit(1)
+    };
+    if delta_path_for(path).exists() {
+        CliIndex::Overlay(
+            OverlayRTree::open_with_cache(path, cache_pages(flags)).unwrap_or_else(|e| fail(e)),
+        )
+    } else {
+        CliIndex::Paged(
+            PagedRTree::open_with_cache(path, cache_pages(flags)).unwrap_or_else(|e| fail(e)),
+        )
+    }
+}
+
+/// Open an index for mutation (always through the overlay).
+fn open_overlay(path: &str, flags: &HashMap<String, String>) -> OverlayRTree<2> {
+    OverlayRTree::open_with_cache(path, cache_pages(flags)).unwrap_or_else(|e| {
         eprintln!("cannot open index {path}: {e}");
         exit(1)
     })
+}
+
+/// Insert summaries of store objects (by id) into a persisted index's
+/// overlay.
+fn insert_cmd(path: &str, flags: &HashMap<String, String>) {
+    let store = open(path);
+    let ix = flags.get("index-file").cloned().unwrap_or_else(|| usage());
+    let ids: Vec<u64> = csv_list(flags, "ids").unwrap_or_else(|| usage());
+    let mut overlay = open_overlay(&ix, flags);
+    let mut inserted = 0usize;
+    for id in ids {
+        let Some(summary) = store.summaries().iter().find(|s| s.id.0 == id) else {
+            eprintln!("{path} stores no object {id}");
+            exit(1)
+        };
+        match overlay.insert(*summary) {
+            true => inserted += 1,
+            false => eprintln!("id {id} is already indexed; skipped"),
+        }
+    }
+    overlay.save_delta().unwrap_or_else(|e| {
+        eprintln!("cannot write delta log: {e}");
+        exit(1)
+    });
+    println!(
+        "inserted {inserted} into {ix}: {} live objects (pending +{} -{})",
+        NodeAccess::len(&overlay),
+        overlay.pending_inserts(),
+        overlay.pending_tombstones(),
+    );
+}
+
+/// Tombstone ids out of a persisted index's overlay.
+fn delete_cmd(flags: &HashMap<String, String>) {
+    let ix = flags.get("index-file").cloned().unwrap_or_else(|| usage());
+    let ids: Vec<u64> = csv_list(flags, "ids").unwrap_or_else(|| usage());
+    let mut overlay = open_overlay(&ix, flags);
+    let mut deleted = 0usize;
+    for id in ids {
+        match overlay.delete(fuzzy_core::ObjectId(id)) {
+            true => deleted += 1,
+            false => eprintln!("id {id} is not indexed; skipped"),
+        }
+    }
+    overlay.save_delta().unwrap_or_else(|e| {
+        eprintln!("cannot write delta log: {e}");
+        exit(1)
+    });
+    println!(
+        "deleted {deleted} from {ix}: {} live objects (pending +{} -{})",
+        NodeAccess::len(&overlay),
+        overlay.pending_inserts(),
+        overlay.pending_tombstones(),
+    );
+}
+
+/// Fold a persisted index's overlay back into the file (STR bulk reload).
+fn compact_cmd(flags: &HashMap<String, String>) {
+    let ix = flags.get("index-file").cloned().unwrap_or_else(|| usage());
+    let overlay = open_overlay(&ix, flags);
+    let page_size: u32 = get(flags, "page-size").unwrap_or(overlay.base().page_size());
+    let pending = (overlay.pending_inserts(), overlay.pending_tombstones());
+    let started = std::time::Instant::now();
+    let tree = overlay.compact(page_size).unwrap_or_else(|e| {
+        eprintln!("compaction failed: {e}");
+        exit(1)
+    });
+    println!(
+        "compacted {ix}: folded +{} -{} into {} pages x {page_size} bytes, {} objects, \
+         height {}, {:?}",
+        pending.0,
+        pending.1,
+        tree.page_count(),
+        tree.len(),
+        NodeAccess::height(&tree),
+        started.elapsed()
+    );
 }
 
 fn info(path: &str, flags: &HashMap<String, String>) {
@@ -248,14 +407,26 @@ fn info(path: &str, flags: &HashMap<String, String>) {
     }
     println!("  bounding box: {bbox:?}");
     if let Some(ix) = flags.get("index-file") {
-        let tree = open_index(ix, flags);
-        println!(
-            "  paged index {ix}: height {}, {} pages x {} bytes, C_max {}",
-            NodeAccess::height(&tree),
-            tree.page_count(),
-            tree.page_size(),
-            tree.config().max_entries
-        );
+        match open_index(ix, flags) {
+            CliIndex::Paged(tree) => println!(
+                "  paged index {ix}: height {}, {} pages x {} bytes, C_max {}",
+                NodeAccess::height(&tree),
+                tree.page_count(),
+                tree.page_size(),
+                tree.config().max_entries
+            ),
+            CliIndex::Overlay(tree) => println!(
+                "  paged index {ix}: height {}, {} pages x {} bytes, C_max {}, \
+                 overlay +{} -{} ({} live)",
+                NodeAccess::height(tree.base()),
+                tree.base().page_count(),
+                tree.base().page_size(),
+                tree.config().max_entries,
+                tree.pending_inserts(),
+                tree.pending_tombstones(),
+                NodeAccess::len(&tree),
+            ),
+        }
     } else {
         let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
         println!(

@@ -1,0 +1,125 @@
+//! End-to-end check of the dynamic-update path across *fresh processes*:
+//! `fkq delete`/`insert` accumulate changes in the sidecar delta log,
+//! every later `fkq` invocation replays them, and `fkq compact` folds
+//! them into the index file. After a delete + reinsert round trip the
+//! answers must be identical to the pristine index — before *and* after
+//! compaction. This is part of the CI `mutation-determinism` job.
+
+use std::path::Path;
+use std::process::Command;
+
+fn fkq(args: &[&str], dir: &Path) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fkq"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn fkq");
+    assert!(
+        out.status.success(),
+        "fkq {args:?} failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// Strip the cost line: wall-clock and the disk/cache split legitimately
+/// differ between runs; the *answers* may not.
+fn answers_only(output: &str) -> String {
+    output.lines().filter(|l| !l.starts_with("cost:")).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn insert_delete_compact_round_trip_across_processes() {
+    let dir = std::env::temp_dir().join(format!("fz-mutation-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    fkq(
+        &["generate", "--kind", "synthetic", "--n", "250", "--ppo", "40", "--out", "data.fzkn"],
+        &dir,
+    );
+    fkq(&["build-index", "data.fzkn", "--out", "data.fzpt", "--page-size", "16384"], &dir);
+
+    // Baseline answers over the pristine index. The `basic` variant
+    // reports every distance exactly, so outputs are comparable across
+    // differently shaped trees (overlay vs compacted vs pristine).
+    let aknn = |extra: &[&str]| {
+        let base = [
+            "aknn",
+            "data.fzkn",
+            "--k",
+            "6",
+            "--alpha",
+            "0.6",
+            "--variant",
+            "basic",
+            "--query-id",
+            "42",
+            "--index-file",
+            "data.fzpt",
+        ];
+        answers_only(&fkq(&[&base[..], extra].concat(), &dir))
+    };
+    let rknn = |extra: &[&str]| {
+        let base = [
+            "rknn",
+            "data.fzkn",
+            "--k",
+            "4",
+            "--start",
+            "0.3",
+            "--end",
+            "0.8",
+            "--query-id",
+            "42",
+            "--index-file",
+            "data.fzpt",
+        ];
+        answers_only(&fkq(&[&base[..], extra].concat(), &dir))
+    };
+    let baseline_aknn = aknn(&[]);
+    let baseline_rknn = rknn(&[]);
+    // Object 42 is its own nearest neighbour at distance 0.
+    assert!(baseline_aknn.contains("42"), "{baseline_aknn}");
+
+    // Delete a batch (one process) — the sidecar appears and later
+    // processes see the shrunken live set.
+    let deleted = fkq(&["delete", "--index-file", "data.fzpt", "--ids", "42,43,44,45"], &dir);
+    assert!(deleted.contains("deleted 4"), "{deleted}");
+    assert!(deleted.contains("246 live objects"), "{deleted}");
+    assert!(dir.join("data.fzpt.fzdl").exists(), "delta sidecar must exist");
+    // Double delete is reported, not fatal.
+    let again = fkq(&["delete", "--index-file", "data.fzpt", "--ids", "42"], &dir);
+    assert!(again.contains("deleted 0"), "{again}");
+
+    let without = aknn(&[]);
+    assert_ne!(without, baseline_aknn, "deleting the query's own id must change the answer");
+    assert!(
+        !without.lines().any(|l| l.trim_start().starts_with("42 ")),
+        "deleted object still answered: {without}"
+    );
+    let info = fkq(&["info", "data.fzkn", "--index-file", "data.fzpt"], &dir);
+    assert!(info.contains("overlay +0 -4"), "{info}");
+
+    // Reinsert the same ids from the store (fresh process): the live set
+    // is restored, so answers return to baseline while the delta log
+    // still routes them through overlay leaves.
+    let inserted =
+        fkq(&["insert", "data.fzkn", "--index-file", "data.fzpt", "--ids", "42,43,44,45"], &dir);
+    assert!(inserted.contains("inserted 4"), "{inserted}");
+    assert!(inserted.contains("250 live objects"), "{inserted}");
+    assert_eq!(aknn(&[]), baseline_aknn, "restored live set must restore AKNN answers");
+    assert_eq!(rknn(&[]), baseline_rknn, "restored live set must restore RKNN answers");
+
+    // Compact (fresh process): sidecar folded into the file and removed;
+    // answers unchanged once more.
+    let compacted = fkq(&["compact", "--index-file", "data.fzpt"], &dir);
+    assert!(compacted.contains("folded +4 -4"), "{compacted}");
+    assert!(!dir.join("data.fzpt.fzdl").exists(), "compaction must clear the sidecar");
+    assert_eq!(aknn(&[]), baseline_aknn, "compacted index must answer like the pristine one");
+    assert_eq!(rknn(&[]), baseline_rknn, "compacted index must answer like the pristine one");
+    let info = fkq(&["info", "data.fzkn", "--index-file", "data.fzpt"], &dir);
+    assert!(info.contains("paged index") && !info.contains("overlay"), "{info}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,292 @@
+//! Dynamic deletion and update: R\*-style condense-and-reinsert.
+//!
+//! `delete` removes one entry by object id, re-tightens every MBR on the
+//! path, dissolves nodes that fall below the minimum fill (their surviving
+//! entries are reinserted through the ordinary insert machinery, so the
+//! balance and fill invariants of [`crate::validate`] hold after every
+//! mutation), and shrinks the root when it degenerates to a single child.
+//! `update` is delete + insert in one call.
+//!
+//! The tree keeps no id→leaf directory, so locating an entry is a
+//! depth-first sweep (O(n) worst case). That matches the paper's setting —
+//! its experiments never mutate — and keeps pages byte-identical to the
+//! bulk-loaded layout; a directory is a straightforward future addition if
+//! point deletes ever dominate a workload.
+
+use crate::node::{Node, NodeId, RTree};
+use fuzzy_core::{ObjectId, ObjectSummary};
+
+impl<const D: usize> RTree<D> {
+    /// Remove the entry with object id `id`. Returns `true` when the entry
+    /// existed. All structural invariants hold on return.
+    ///
+    /// ```
+    /// use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+    /// use fuzzy_geom::Point;
+    /// use fuzzy_index::{RTree, RTreeConfig};
+    ///
+    /// let summaries: Vec<ObjectSummary<2>> = (0..50)
+    ///     .map(|i| {
+    ///         let obj = FuzzyObject::new(
+    ///             ObjectId(i),
+    ///             vec![Point::xy(i as f64, 0.0), Point::xy(i as f64 + 0.4, 0.4)],
+    ///             vec![1.0, 0.5],
+    ///         )
+    ///         .unwrap();
+    ///         ObjectSummary::from_object(&obj)
+    ///     })
+    ///     .collect();
+    /// let mut tree = RTree::bulk_load(summaries, RTreeConfig { max_entries: 8, min_fill: 0.4 });
+    /// assert!(tree.delete(ObjectId(17)));
+    /// assert!(!tree.delete(ObjectId(17))); // already gone
+    /// assert_eq!(tree.len(), 49);
+    /// tree.validate().unwrap();
+    /// ```
+    pub fn delete(&mut self, id: ObjectId) -> bool {
+        let root = self.root;
+        let mut orphans: Vec<ObjectSummary<D>> = Vec::new();
+        if !self.delete_rec(root, id, &mut orphans) {
+            return false;
+        }
+        self.len -= 1;
+        // Condense may have dissolved whole subtrees; their surviving
+        // entries re-enter through the ordinary insert path (no length
+        // change — they never left the logical object set).
+        for entry in orphans {
+            self.insert_entry(&entry);
+        }
+        self.shrink_root();
+        true
+    }
+
+    /// Replace the summary of `entry.id` (delete + insert). Returns `true`
+    /// when an old entry was replaced, `false` when this was a plain
+    /// insert of a previously unknown id.
+    pub fn update(&mut self, entry: ObjectSummary<D>) -> bool {
+        let existed = self.delete(entry.id);
+        self.insert(entry);
+        existed
+    }
+
+    /// Recursive delete; `true` once the entry was found and removed.
+    /// On the found path every node re-tightens its MBR and dissolves
+    /// underfull children into `orphans`.
+    fn delete_rec(
+        &mut self,
+        node: NodeId,
+        id: ObjectId,
+        orphans: &mut Vec<ObjectSummary<D>>,
+    ) -> bool {
+        let idx = node.0 as usize;
+        match &mut self.nodes[idx] {
+            Node::Leaf { entries, .. } => {
+                let Some(pos) = entries.iter().position(|e| e.id == id) else {
+                    return false;
+                };
+                entries.remove(pos);
+                self.recompute_mbr(node);
+                true
+            }
+            Node::Internal { children, .. } => {
+                let children_snapshot = children.clone();
+                for (i, &child) in children_snapshot.iter().enumerate() {
+                    if !self.delete_rec(child, id, orphans) {
+                        continue;
+                    }
+                    // The child may now be underfull: dissolve it and queue
+                    // its remaining entries for reinsertion.
+                    if self.nodes[child.0 as usize].fanout() < self.config.min_entries() {
+                        self.collect_entries(child, orphans);
+                        self.dealloc_subtree(child);
+                        if let Node::Internal { children, .. } = &mut self.nodes[idx] {
+                            children.remove(i);
+                        }
+                    }
+                    self.recompute_mbr(node);
+                    return true;
+                }
+                false
+            }
+            Node::Free => unreachable!("delete descended into a freed node {}", node.0),
+        }
+    }
+
+    /// Collapse a degenerate root: an internal root with a single child
+    /// hands the root role to that child (repeatedly — reinsertion after a
+    /// massive condense can leave a chain), and an internal root with no
+    /// children at all becomes the canonical empty leaf.
+    fn shrink_root(&mut self) {
+        loop {
+            match &self.nodes[self.root.0 as usize] {
+                Node::Internal { children, .. } if children.len() == 1 => {
+                    let child = children[0];
+                    let old = self.root;
+                    self.root = child;
+                    self.height -= 1;
+                    self.dealloc(old);
+                }
+                Node::Internal { children, .. } if children.is_empty() => {
+                    debug_assert_eq!(self.len, 0, "childless root with live entries");
+                    self.nodes[self.root.0 as usize] =
+                        Node::Leaf { mbr: fuzzy_geom::Mbr::empty(), entries: Vec::new() };
+                    self.height = 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Gather every entry stored beneath `node` (inclusive).
+    fn collect_entries(&self, node: NodeId, out: &mut Vec<ObjectSummary<D>>) {
+        match &self.nodes[node.0 as usize] {
+            Node::Leaf { entries, .. } => out.extend(entries.iter().copied()),
+            Node::Internal { children, .. } => {
+                for &c in children {
+                    self.collect_entries(c, out);
+                }
+            }
+            Node::Free => unreachable!("collect_entries on a freed node"),
+        }
+    }
+
+    /// Return `node` and every descendant to the free list.
+    fn dealloc_subtree(&mut self, node: NodeId) {
+        if let Node::Internal { children, .. } = &self.nodes[node.0 as usize] {
+            for c in children.clone() {
+                self.dealloc_subtree(c);
+            }
+        }
+        self.dealloc(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::node::{RTree, RTreeConfig};
+    use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+    use fuzzy_geom::Point;
+
+    fn summary(id: u64, x: f64, y: f64) -> ObjectSummary<2> {
+        let obj = FuzzyObject::new(
+            ObjectId(id),
+            vec![Point::xy(x, y), Point::xy(x + 0.3, y + 0.3)],
+            vec![1.0, 0.5],
+        )
+        .unwrap();
+        ObjectSummary::from_object(&obj)
+    }
+
+    fn grid(n: u64) -> Vec<ObjectSummary<2>> {
+        (0..n).map(|i| summary(i, (i % 25) as f64 * 2.0, (i / 25) as f64 * 2.0)).collect()
+    }
+
+    #[test]
+    fn delete_every_entry_one_by_one() {
+        let mut tree = RTree::bulk_load(grid(300), RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        // Mixed order: front, back, middle.
+        let mut ids: Vec<u64> = (0..300).collect();
+        ids.sort_by_key(|i| (i % 7, *i));
+        for (step, id) in ids.into_iter().enumerate() {
+            assert!(tree.delete(ObjectId(id)), "id {id} must be present");
+            tree.validate().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        // The empty tree is fully reusable.
+        tree.insert(summary(999, 1.0, 1.0));
+        assert_eq!(tree.len(), 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_missing_id_is_a_noop() {
+        let mut tree = RTree::bulk_load(grid(50), RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        assert!(!tree.delete(ObjectId(12345)));
+        assert_eq!(tree.len(), 50);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_tightens_mbrs() {
+        let mut tree = RTree::bulk_load(grid(200), RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        // Remove the spatial extremes; validate()'s LooseMbr check proves
+        // every ancestor rectangle shrank to the survivors.
+        for id in [0u64, 24, 175, 199] {
+            assert!(tree.delete(ObjectId(id)));
+            tree.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn underflow_reinserts_preserve_the_live_set() {
+        // Small fanout with min_entries = 3 makes underflow constant;
+        // interleave inserts and deletes and compare the surviving id set
+        // to an oracle.
+        let mut tree: RTree<2> = RTree::new(RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        let mut live = std::collections::BTreeSet::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut next_id = 0u64;
+        for step in 0..600 {
+            if live.is_empty() || rnd() % 3 != 0 {
+                let id = next_id;
+                next_id += 1;
+                tree.insert(summary(id, (rnd() % 97) as f64, (rnd() % 89) as f64));
+                live.insert(id);
+            } else {
+                let victim = *live.iter().nth(rnd() as usize % live.len()).unwrap();
+                assert!(tree.delete(ObjectId(victim)));
+                live.remove(&victim);
+            }
+            if step % 23 == 0 {
+                tree.validate().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        tree.validate().unwrap();
+        let mut got: Vec<u64> = tree.iter_entries().map(|e| e.id.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, live.iter().copied().collect::<Vec<_>>());
+        assert_eq!(tree.len(), live.len());
+    }
+
+    #[test]
+    fn update_replaces_in_place() {
+        let mut tree = RTree::bulk_load(grid(100), RTreeConfig { max_entries: 8, min_fill: 0.4 });
+        assert!(tree.update(summary(42, 500.0, 500.0)));
+        assert_eq!(tree.len(), 100);
+        tree.validate().unwrap();
+        let moved = tree.iter_entries().find(|e| e.id.0 == 42).unwrap();
+        assert!(moved.support_mbr.lo(0) >= 500.0);
+        // Updating an unknown id degrades to insert.
+        assert!(!tree.update(summary(7777, 1.0, 1.0)));
+        assert_eq!(tree.len(), 101);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn freed_slots_are_reused_by_later_splits() {
+        let mut tree = RTree::bulk_load(grid(200), RTreeConfig { max_entries: 4, min_fill: 0.4 });
+        for id in 0..80u64 {
+            assert!(tree.delete(ObjectId(id)));
+        }
+        let freed = tree.free.len();
+        assert!(freed > 0, "dissolved leaves must land on the free list");
+        let before = tree.node_count();
+        for id in 1000..1080u64 {
+            tree.insert(summary(id, (id % 31) as f64, (id % 17) as f64));
+        }
+        tree.validate().unwrap();
+        // `alloc` only grows the arena once the free list is drained.
+        if tree.node_count() > before {
+            assert!(tree.free.is_empty(), "arena grew while free slots remained");
+        } else {
+            assert!(tree.free.len() < freed, "splits must have reused freed slots");
+        }
+    }
+}

@@ -7,18 +7,45 @@ use crate::node::{Node, NodeId, RTree};
 use fuzzy_core::ObjectSummary;
 use fuzzy_geom::Mbr;
 
+/// Lexicographic `total_cmp` over a ChooseSubtree key. `PartialOrd` on an
+/// `(f64, f64, f64)` tuple silently mis-compares once a component is NaN
+/// (degenerate zero-area MBRs can produce `∞ − ∞` in the growth terms);
+/// `total_cmp` gives every key a deterministic rank, with NaN ordered
+/// after `+∞` so a poisoned candidate never wins.
+fn key_lt(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    for i in 0..3 {
+        match a[i].total_cmp(&b[i]) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    false
+}
+
 impl<const D: usize> RTree<D> {
     /// Insert one object summary.
+    ///
+    /// The caller is responsible for id uniqueness ([`RTree::validate`]
+    /// rejects duplicate ids); use [`RTree::update`] to replace an
+    /// existing object's summary in one step.
     pub fn insert(&mut self, entry: ObjectSummary<D>) {
+        self.insert_entry(&entry);
+        self.len += 1;
+    }
+
+    /// The tree surgery of [`RTree::insert`] without the length
+    /// bookkeeping — `delete`'s condense step reinserts orphaned entries
+    /// through this (they never left the logical object set).
+    pub(crate) fn insert_entry(&mut self, entry: &ObjectSummary<D>) {
         let root = self.root;
-        if let Some((left, right)) = self.insert_rec(root, &entry, self.height) {
+        if let Some((left, right)) = self.insert_rec(root, entry, self.height) {
             // Root split: grow the tree.
             let mbr = self.node_mbr(left).union(self.node_mbr(right));
             let new_root = self.alloc(Node::Internal { mbr, children: vec![left, right] });
             self.root = new_root;
             self.height += 1;
         }
-        self.len += 1;
     }
 
     /// Recursive insert; returns the pair of node ids when `node` split.
@@ -42,35 +69,53 @@ impl<const D: usize> RTree<D> {
                 }
                 None
             }
-            Node::Internal { mbr, children } => {
-                *mbr = mbr.union(&entry.support_mbr);
+            Node::Internal { children, .. } => {
                 let children_snapshot = children.clone();
                 let child = self.choose_subtree(&children_snapshot, &entry.support_mbr, level - 1);
                 let split = self.insert_rec(child, entry, level - 1);
+                let mut grown = None;
                 if let Some((l, r)) = split {
-                    // Replace the split child with its two halves.
+                    debug_assert_eq!(l, child, "a split keeps the original id as its left half");
+                    // Replace the split child with its two halves *in
+                    // place*. `retain` + two `push`es would move the pair
+                    // to the back of the child list, perturbing the
+                    // deterministic sibling order of untouched nodes.
                     if let Node::Internal { children, .. } = &mut self.nodes[idx] {
-                        children.retain(|&c| c != child);
-                        children.push(l);
-                        children.push(r);
+                        let pos = children
+                            .iter()
+                            .position(|&c| c == child)
+                            .expect("chosen subtree is a child of this node");
+                        children[pos] = l;
+                        children.insert(pos + 1, r);
                         if children.len() > self.config.max_entries {
-                            return Some(self.split_internal(node));
+                            grown = Some(self.split_internal(node));
                         }
                     }
                 }
-                None
+                // Recompute this node's MBR tight from its actual children
+                // instead of keeping the pre-descent union: after a split
+                // both halves carry freshly tightened rectangles, and after
+                // deletes descendants may be tighter than the stale bound.
+                // (When this node itself split, `split_internal` already
+                // computed tight MBRs for both halves.)
+                if grown.is_none() {
+                    self.recompute_mbr(node);
+                }
+                grown
             }
+            Node::Free => unreachable!("insert descended into a freed node {}", node.0),
         }
     }
 
     /// R* ChooseSubtree: at the level just above leaves minimise overlap
     /// enlargement; higher up minimise area enlargement (ties: smaller
-    /// area).
+    /// area). Keys are ranked by `total_cmp`, so NaN growth terms from
+    /// degenerate geometry cannot poison the comparison.
     fn choose_subtree(&self, children: &[NodeId], new: &Mbr<D>, child_level: usize) -> NodeId {
         debug_assert!(!children.is_empty());
         let leaf_level = child_level == 1;
         let mut best = children[0];
-        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut best_key = [f64::INFINITY, f64::INFINITY, f64::INFINITY];
         for &c in children {
             let mbr = self.node_mbr(c);
             let enlarged = mbr.union(new);
@@ -92,8 +137,8 @@ impl<const D: usize> RTree<D> {
             } else {
                 0.0
             };
-            let key = (overlap_growth, area_growth, mbr.area());
-            if key < best_key {
+            let key = [overlap_growth, area_growth, mbr.area()];
+            if key_lt(&key, &best_key) {
                 best_key = key;
                 best = c;
             }
@@ -105,7 +150,7 @@ impl<const D: usize> RTree<D> {
         let idx = node.0 as usize;
         let entries = match &mut self.nodes[idx] {
             Node::Leaf { entries, .. } => std::mem::take(entries),
-            Node::Internal { .. } => unreachable!("split_leaf on internal node"),
+            Node::Internal { .. } | Node::Free => unreachable!("split_leaf on non-leaf node"),
         };
         let (a, b) =
             split_groups(entries, |e: &ObjectSummary<D>| e.support_mbr, self.config.min_entries());
@@ -120,7 +165,7 @@ impl<const D: usize> RTree<D> {
         let idx = node.0 as usize;
         let children = match &mut self.nodes[idx] {
             Node::Internal { children, .. } => std::mem::take(children),
-            Node::Leaf { .. } => unreachable!("split_internal on leaf"),
+            Node::Leaf { .. } | Node::Free => unreachable!("split_internal on non-internal node"),
         };
         let mbrs: Vec<(NodeId, Mbr<D>)> =
             children.into_iter().map(|c| (c, *self.node_mbr(c))).collect();
@@ -270,6 +315,101 @@ mod tests {
         let (a, b) = split_groups(items, |e| e.support_mbr, 4);
         assert!(a.len() >= 4 && b.len() >= 4);
         assert_eq!(a.len() + b.len(), 10);
+    }
+
+    /// `a` must appear within `b` in order (splits may *insert* a new
+    /// sibling next to the split child, but never reorder survivors).
+    fn is_subsequence(a: &[crate::NodeId], b: &[crate::NodeId]) -> bool {
+        let mut it = b.iter();
+        a.iter().all(|x| it.any(|y| y == x))
+    }
+
+    #[test]
+    fn split_preserves_sibling_order() {
+        // Regression: the split path used `retain` + two `push`es, which
+        // moved the split child (and its new sibling) to the back of the
+        // parent's child list, perturbing the deterministic order of
+        // untouched siblings.
+        let mut tree: RTree<2> = RTree::new(RTreeConfig { max_entries: 4, min_fill: 0.4 });
+        let mut next = 0u64;
+        for i in 0..30 {
+            tree.insert(summary(next, (i % 10) as f64 * 8.0, (i / 10) as f64 * 8.0));
+            next += 1;
+        }
+        assert!(tree.height() >= 2);
+        // Hammer one cluster so its subtree splits repeatedly; after every
+        // insert the previous sibling order of every surviving internal
+        // node must be a subsequence of its new order.
+        for round in 0..60u64 {
+            let before: Vec<(crate::NodeId, Vec<crate::NodeId>)> = tree
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| match n {
+                    Node::Internal { children, .. } => {
+                        Some((crate::NodeId(i as u32), children.clone()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            tree.insert(summary(next, 4.0 + (round % 3) as f64 * 0.1, 4.0));
+            next += 1;
+            for (id, old_children) in &before {
+                if let Node::Internal { children, .. } = &tree.nodes[id.0 as usize] {
+                    // When the node *itself* split, its children were
+                    // re-partitioned spatially (some moved to the new
+                    // sibling) — skip those. A node that kept every child
+                    // must keep them in order, with at most one new
+                    // sibling inserted next to its split child; the old
+                    // `retain` + `push` code moved the split pair to the
+                    // back instead.
+                    if old_children.iter().all(|c| children.contains(c)) {
+                        assert!(
+                            is_subsequence(old_children, children),
+                            "round {round}: node {} reordered {old_children:?} -> {children:?}",
+                            id.0
+                        );
+                        if children.len() == old_children.len() + 1 {
+                            let added =
+                                children.iter().find(|c| !old_children.contains(c)).unwrap();
+                            let pos = children.iter().position(|c| c == added).unwrap();
+                            assert!(pos > 0, "new sibling sits right of its split child");
+                        }
+                    }
+                }
+            }
+            tree.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn degenerate_geometry_stays_valid() {
+        // Zero-area summaries at one position plus huge-coordinate
+        // outliers: `enlarged.area() - mbr.area()` degenerates to
+        // `inf - inf = NaN` once a node's MBR area overflows. The
+        // total_cmp key keeps ChooseSubtree deterministic (NaN ranks after
+        // +inf, so a poisoned candidate never wins) and the tree valid.
+        fn point_summary(id: u64, x: f64, y: f64) -> ObjectSummary<2> {
+            let obj = FuzzyObject::new(ObjectId(id), vec![Point::xy(x, y)], vec![1.0]).unwrap();
+            ObjectSummary::from_object(&obj)
+        }
+        let mut tree: RTree<2> = RTree::new(RTreeConfig { max_entries: 4, min_fill: 0.4 });
+        for i in 0..30u64 {
+            tree.insert(point_summary(i, 0.0, 0.0));
+        }
+        // Spread outliers so node areas overflow f64 (1e160^2 = inf).
+        for (j, i) in (30u64..50).enumerate() {
+            let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+            tree.insert(point_summary(i, sign * 1e160, sign * 1e160));
+        }
+        for i in 50u64..80 {
+            tree.insert(point_summary(i, (i - 50) as f64, 0.0));
+        }
+        assert_eq!(tree.len(), 80);
+        tree.validate().unwrap();
+        let mut ids: Vec<u64> = tree.iter_entries().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..80u64).collect::<Vec<_>>());
     }
 
     #[test]

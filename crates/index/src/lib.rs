@@ -24,8 +24,16 @@
 //! * [`RTree::bulk_load`] — Sort-Tile-Recursive packing (the default way
 //!   datasets are indexed in the experiments); [`PagedRTree::bulk_write`]
 //!   reuses it to build index files.
-//! * [`RTree::insert`] — R*-style ChooseSubtree + topological split for
-//!   incremental maintenance (exercised by the `abl-bulk` ablation).
+//! * [`RTree::insert`] / [`RTree::delete`] / [`RTree::update`] — R*-style
+//!   incremental maintenance: ChooseSubtree + topological split on the way
+//!   in, condense-and-reinsert with MBR tightening on the way out.
+//! * [`OverlayRTree`] — the write story for the immutable index file: an
+//!   in-memory delta overlay (inserted/tombstoned summaries consulted by
+//!   every `NodeAccess` read) over a [`PagedRTree`], persisted as a
+//!   sidecar delta log and folded back into the file by
+//!   [`OverlayRTree::compact`].
+//! * [`MutableIndex`] — the mutation trait both dynamic backends
+//!   implement; `fuzzy_query`'s epoch engine is generic over it.
 //! * [`RTree::expand`] / [`NodeAccess::read_node`] — the navigation
 //!   primitives used by the query processor's best-first search; every
 //!   call counts one node access.
@@ -38,8 +46,11 @@
 
 pub mod access;
 pub mod bulk;
+pub mod delete;
 pub mod insert;
+pub mod mutate;
 pub mod node;
+pub mod overlay;
 pub mod paged;
 pub mod query;
 pub mod validate;
@@ -47,7 +58,9 @@ pub mod validate;
 pub use access::{
     knn_by, range_search, ChildRef, DecodedNode, MinKey, NodeAccess, NodeRead, NodeView,
 };
+pub use mutate::MutableIndex;
 pub use node::{Children, NodeId, RTree, RTreeConfig};
+pub use overlay::{delta_path_for, OverlayRTree};
 pub use paged::{PagedRTree, DEFAULT_CACHE_PAGES, DEFAULT_PAGE_SIZE};
 pub use query::{EntryHit, RangeResult};
 pub use validate::ValidationError;

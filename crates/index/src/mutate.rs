@@ -1,0 +1,53 @@
+//! The [`MutableIndex`] abstraction: one mutation interface over every
+//! backend that supports dynamic maintenance.
+//!
+//! [`crate::NodeAccess`] unifies the *read* side of the in-memory
+//! [`RTree`] and the disk-resident [`crate::PagedRTree`]; `MutableIndex`
+//! does the same for the *write* side — implemented by [`RTree`] (direct
+//! tree surgery) and by [`crate::OverlayRTree`] (a delta overlay over an
+//! immutable index file). `fuzzy_query`'s epoch engine is generic over
+//! this trait, so one writer API serves both deployments.
+//!
+//! All three operations are **id-safe**: inserting an id that is already
+//! live reports `Ok(false)` instead of corrupting the index with a
+//! duplicate, and deleting an unknown id reports `Ok(false)` instead of
+//! failing. The `Result` is for backends whose duplicate check reads a
+//! backing medium (the overlay consults the base file's id set).
+
+use crate::access::NodeAccess;
+use crate::node::RTree;
+use fuzzy_core::{ObjectId, ObjectSummary};
+use fuzzy_store::StoreError;
+
+/// Uniform dynamic-maintenance interface over mutable index backends.
+pub trait MutableIndex<const D: usize>: NodeAccess<D> {
+    /// Insert `entry` unless its id is already live. Returns `Ok(true)`
+    /// when the entry was inserted, `Ok(false)` on a duplicate id.
+    fn insert_summary(&mut self, entry: ObjectSummary<D>) -> Result<bool, StoreError>;
+
+    /// Delete the entry with `id`. Returns `Ok(true)` when it existed.
+    fn delete_id(&mut self, id: ObjectId) -> Result<bool, StoreError>;
+
+    /// Replace the summary of `entry.id` (or plain-insert an unknown id).
+    /// Returns `Ok(true)` when an existing entry was replaced.
+    fn update_summary(&mut self, entry: ObjectSummary<D>) -> Result<bool, StoreError> {
+        let existed = self.delete_id(entry.id)?;
+        let inserted = self.insert_summary(entry)?;
+        debug_assert!(inserted, "id was just deleted, insert cannot collide");
+        Ok(existed)
+    }
+}
+
+impl<const D: usize> MutableIndex<D> for RTree<D> {
+    fn insert_summary(&mut self, entry: ObjectSummary<D>) -> Result<bool, StoreError> {
+        if self.contains_id(entry.id) {
+            return Ok(false);
+        }
+        self.insert(entry);
+        Ok(true)
+    }
+
+    fn delete_id(&mut self, id: ObjectId) -> Result<bool, StoreError> {
+        Ok(self.delete(id))
+    }
+}

@@ -32,22 +32,37 @@ impl RTreeConfig {
 
 #[derive(Clone, Debug)]
 pub(crate) enum Node<const D: usize> {
-    Internal { mbr: Mbr<D>, children: Vec<NodeId> },
-    Leaf { mbr: Mbr<D>, entries: Vec<ObjectSummary<D>> },
+    Internal {
+        mbr: Mbr<D>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        mbr: Mbr<D>,
+        entries: Vec<ObjectSummary<D>>,
+    },
+    /// An arena slot released by [`RTree::delete`]'s condense step, waiting
+    /// on the free list for reuse by a later split. Never reachable from
+    /// the root ([`RTree::validate`] enforces this).
+    Free,
 }
+
+/// The MBR of a [`Node::Free`] slot — queried only by diagnostics that
+/// sweep the whole arena, never by traversals.
+static FREE_MBR_PANIC: &str = "free arena slot has no MBR";
 
 impl<const D: usize> Node<D> {
     pub(crate) fn mbr(&self) -> &Mbr<D> {
         match self {
             Node::Internal { mbr, .. } | Node::Leaf { mbr, .. } => mbr,
+            Node::Free => panic!("{FREE_MBR_PANIC}"),
         }
     }
 
-    #[allow(dead_code)] // diagnostic helper kept for parity with mbr()
     pub(crate) fn fanout(&self) -> usize {
         match self {
             Node::Internal { children, .. } => children.len(),
             Node::Leaf { entries, .. } => entries.len(),
+            Node::Free => 0,
         }
     }
 }
@@ -63,15 +78,38 @@ pub enum Children<'a, const D: usize> {
 }
 
 /// The R-tree proper. Nodes live in an arena; the root is re-assigned on
-/// growth. All read paths are `&self` and thread-safe.
+/// growth and shrink. All read paths are `&self` and thread-safe; mutation
+/// (`insert`/`delete`/`update`) takes `&mut self` — share mutable trees
+/// across threads through `fuzzy_query`'s epoch/snapshot scheme.
 #[derive(Debug)]
 pub struct RTree<const D: usize> {
     pub(crate) nodes: Vec<Node<D>>,
+    /// Arena slots released by `delete`, reused by the next `alloc`.
+    pub(crate) free: Vec<NodeId>,
     pub(crate) root: NodeId,
     pub(crate) height: usize,
     pub(crate) len: usize,
     pub(crate) config: RTreeConfig,
     pub(crate) stats: IndexStats,
+}
+
+/// Cloning snapshots the tree *structure*; the node-access counters start
+/// fresh in the clone (they instrument reads of one tree instance, not the
+/// lineage). This is what the epoch/snapshot publisher in `fuzzy_query`
+/// relies on: a writer clones the master tree and hands the frozen copy to
+/// readers.
+impl<const D: usize> Clone for RTree<D> {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            config: self.config,
+            stats: IndexStats::default(),
+        }
+    }
 }
 
 impl<const D: usize> RTree<D> {
@@ -80,6 +118,7 @@ impl<const D: usize> RTree<D> {
         let root = Node::Leaf { mbr: Mbr::empty(), entries: Vec::new() };
         Self {
             nodes: vec![root],
+            free: Vec::new(),
             root: NodeId(0),
             height: 1,
             len: 0,
@@ -127,6 +166,7 @@ impl<const D: usize> RTree<D> {
         match &self.nodes[id.0 as usize] {
             Node::Internal { children, .. } => Children::Nodes(children),
             Node::Leaf { entries, .. } => Children::Entries(entries),
+            Node::Free => unreachable!("expand of a freed node {}", id.0),
         }
     }
 
@@ -135,13 +175,16 @@ impl<const D: usize> RTree<D> {
         &self.stats
     }
 
-    /// Number of allocated nodes (internal + leaf) — also the page count
-    /// of a [`crate::PagedRTree`] serialization of this tree.
+    /// Number of arena slots (live internal + leaf nodes plus freed slots
+    /// awaiting reuse) — also the page count of a [`crate::PagedRTree`]
+    /// serialization of this tree, which writes freed slots as empty,
+    /// unreferenced pages to keep node ids equal to page numbers.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Number of leaf nodes (diagnostics and the §5 cost model's `C_avg`).
+    /// Number of live leaf nodes (diagnostics and the §5 cost model's
+    /// `C_avg`).
     pub fn leaf_count(&self) -> usize {
         self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
     }
@@ -161,14 +204,54 @@ impl<const D: usize> RTree<D> {
     pub fn iter_entries(&self) -> impl Iterator<Item = &ObjectSummary<D>> + '_ {
         self.nodes.iter().flat_map(|n| match n {
             Node::Leaf { entries, .. } => entries.as_slice().iter(),
-            Node::Internal { .. } => [].iter(),
+            Node::Internal { .. } | Node::Free => [].iter(),
         })
     }
 
+    /// Is `id` stored in some leaf? Linear in the number of leaves (the
+    /// tree has no id directory); used by the id-safe mutation API.
+    pub fn contains_id(&self, id: fuzzy_core::ObjectId) -> bool {
+        self.iter_entries().any(|e| e.id == id)
+    }
+
     pub(crate) fn alloc(&mut self, node: Node<D>) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            debug_assert!(matches!(self.nodes[id.0 as usize], Node::Free));
+            self.nodes[id.0 as usize] = node;
+            return id;
+        }
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(node);
         id
+    }
+
+    /// Release one arena slot onto the free list. The caller must have
+    /// already unlinked it from its parent.
+    pub(crate) fn dealloc(&mut self, id: NodeId) {
+        debug_assert!(!matches!(self.nodes[id.0 as usize], Node::Free), "double free");
+        self.nodes[id.0 as usize] = Node::Free;
+        self.free.push(id);
+    }
+
+    /// Recompute `node`'s MBR as the tight union of what it actually holds
+    /// (child rectangles or entry support MBRs). Mutation paths call this
+    /// bottom-up so the [`crate::validate`] tight-MBR invariant holds after
+    /// every insert/delete.
+    pub(crate) fn recompute_mbr(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        let tight = match &self.nodes[idx] {
+            Node::Internal { children, .. } => children
+                .iter()
+                .fold(Mbr::empty(), |acc, &c| acc.union(self.nodes[c.0 as usize].mbr())),
+            Node::Leaf { entries, .. } => {
+                entries.iter().fold(Mbr::empty(), |acc, e| acc.union(&e.support_mbr))
+            }
+            Node::Free => return,
+        };
+        match &mut self.nodes[idx] {
+            Node::Internal { mbr, .. } | Node::Leaf { mbr, .. } => *mbr = tight,
+            Node::Free => {}
+        }
     }
 }
 

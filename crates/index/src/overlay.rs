@@ -1,0 +1,673 @@
+//! A write overlay over the immutable paged index file: `OverlayRTree`.
+//!
+//! [`crate::PagedRTree`] is a read-only structure — its `.fzpt` file is
+//! immutable until compaction (every page is checksummed and node ids are
+//! page numbers, so in-place surgery would invalidate the layout).
+//! `OverlayRTree` gives that file a write story:
+//!
+//! * **Inserts** accumulate in memory and are exposed to every
+//!   [`NodeAccess`] read as *delta leaves* hanging off a virtual root
+//!   (ids from the top of the `u32` range, so they can never collide with
+//!   base page numbers).
+//! * **Deletes** tombstone base ids; leaf reads filter tombstoned entries
+//!   out before the query processor sees them. Base node MBRs may become
+//!   loose — harmless for correctness, since traversals only use them as
+//!   lower bounds — until compaction re-tightens everything.
+//! * **Persistence**: the pending state round-trips through a checksummed
+//!   sidecar delta log ([`fuzzy_store::DeltaLog`], `<index>.fzdl`), so a
+//!   fresh process opening the same index file sees the same live set.
+//! * **[`OverlayRTree::compact`]** folds base + overlay into a freshly
+//!   STR-bulk-loaded index file (written to a temp path and atomically
+//!   renamed over the original) and clears the sidecar.
+//!
+//! The query stack is generic over `NodeAccess`, so AKNN/RKNN/join/batch
+//! run unmodified over an overlay; `fuzzy_query`'s epoch engine makes the
+//! mutation path safe to share with concurrent readers.
+
+use crate::access::{ChildRef, DecodedNode, NodeAccess, NodeRead, NodeView};
+use crate::mutate::MutableIndex;
+use crate::node::{NodeId, RTree, RTreeConfig};
+use crate::paged::PagedRTree;
+use fuzzy_core::{ObjectId, ObjectSummary};
+use fuzzy_geom::Mbr;
+use fuzzy_store::overlay::DeltaLog;
+use fuzzy_store::StoreError;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Virtual node id of the overlay's root.
+const VIRTUAL_ROOT: NodeId = NodeId(u32::MAX);
+/// Delta leaf `i` lives at `DELTA_TOP - i`.
+const DELTA_TOP: u32 = u32::MAX - 1;
+
+/// Sidecar path of an index file's delta log: the index path with `.fzdl`
+/// appended (`data.fzpt` → `data.fzpt.fzdl`).
+pub fn delta_path_for(index: impl AsRef<Path>) -> PathBuf {
+    let mut os = index.as_ref().as_os_str().to_owned();
+    os.push(".fzdl");
+    PathBuf::from(os)
+}
+
+fn corrupt(reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt { reason: reason.into() }
+}
+
+/// A dynamic view over an immutable [`PagedRTree`]: base pages plus an
+/// in-memory delta of inserted summaries and tombstoned ids.
+///
+/// Reads (`&self`, via [`NodeAccess`]) are thread-safe exactly like the
+/// base tree's; mutation takes `&mut self`. Clones share the base file
+/// handle (`Arc`) but copy the delta — which is what `fuzzy_query`'s
+/// epoch publisher relies on to hand frozen snapshots to readers.
+#[derive(Clone, Debug)]
+pub struct OverlayRTree<const D: usize> {
+    base: Arc<PagedRTree<D>>,
+    /// Every object id stored in the base file (one leaf sweep at open).
+    base_ids: HashSet<u64>,
+    /// Summaries inserted since the last compaction, insertion order.
+    inserted: Vec<ObjectSummary<D>>,
+    /// Base ids deleted since the last compaction.
+    tombstones: HashSet<u64>,
+    /// Inserted summaries chunked into ready-made delta leaf nodes.
+    delta_leaves: Vec<Arc<DecodedNode<D>>>,
+    /// Virtual root: base root + delta leaves as children.
+    root_node: Arc<DecodedNode<D>>,
+    root_mbr: Mbr<D>,
+    live_len: usize,
+}
+
+impl<const D: usize> OverlayRTree<D> {
+    /// Wrap an open base tree with an empty delta.
+    pub fn new(base: Arc<PagedRTree<D>>) -> Result<Self, StoreError> {
+        Self::with_delta(base, DeltaLog::default())
+    }
+
+    /// Open an index file together with its sidecar delta log (a missing
+    /// sidecar is the empty delta).
+    pub fn open(index_path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with_cache(&index_path, crate::paged::DEFAULT_CACHE_PAGES)
+    }
+
+    /// [`OverlayRTree::open`] with an explicit buffer-pool capacity.
+    pub fn open_with_cache(
+        index_path: impl AsRef<Path>,
+        cache_pages: usize,
+    ) -> Result<Self, StoreError> {
+        let base = Arc::new(PagedRTree::open_with_cache(&index_path, cache_pages)?);
+        let delta = DeltaLog::load(delta_path_for(&index_path))?;
+        Self::with_delta(base, delta)
+    }
+
+    /// Wrap an open base tree, replaying a delta log. Rejects logs that
+    /// are inconsistent with the base (tombstones for unknown ids,
+    /// inserts colliding with live ids).
+    pub fn with_delta(base: Arc<PagedRTree<D>>, delta: DeltaLog<D>) -> Result<Self, StoreError> {
+        let base_ids = Self::sweep_base_ids(&base)?;
+        let mut out = Self {
+            base,
+            base_ids,
+            inserted: Vec::new(),
+            tombstones: HashSet::new(),
+            delta_leaves: Vec::new(),
+            root_node: Arc::new(DecodedNode::Internal(Vec::new())),
+            root_mbr: Mbr::empty(),
+            live_len: 0,
+        };
+        for &id in &delta.tombstones {
+            if !out.base_ids.contains(&id) {
+                return Err(corrupt(format!(
+                    "delta log tombstones id {id} which the index file does not store"
+                )));
+            }
+            if !out.tombstones.insert(id) {
+                return Err(corrupt(format!("delta log tombstones id {id} twice")));
+            }
+        }
+        for s in &delta.inserted {
+            let id = s.id.0;
+            let in_inserted = out.inserted.iter().any(|e| e.id.0 == id);
+            if in_inserted || (out.base_ids.contains(&id) && !out.tombstones.contains(&id)) {
+                return Err(corrupt(format!("delta log inserts id {id} which is already live")));
+            }
+            out.inserted.push(*s);
+        }
+        out.live_len = out.base.len() - out.tombstones.len() + out.inserted.len();
+        out.rebuild_virtual();
+        Ok(out)
+    }
+
+    /// One sweep over the base file's leaves, collecting every stored id.
+    fn sweep_base_ids(base: &PagedRTree<D>) -> Result<HashSet<u64>, StoreError> {
+        let mut ids = HashSet::with_capacity(base.len());
+        let mut stack = vec![NodeAccess::root_id(base)];
+        while let Some(id) = stack.pop() {
+            let read = base.read_node(id)?;
+            match read.view() {
+                NodeView::Nodes(kids) => stack.extend(kids.iter().map(|c| c.id)),
+                NodeView::Entries(entries) => {
+                    for e in entries {
+                        if !ids.insert(e.id.0) {
+                            return Err(corrupt(format!("index file stores id {} twice", e.id.0)));
+                        }
+                    }
+                }
+            }
+        }
+        if ids.len() != base.len() {
+            return Err(corrupt(format!(
+                "index header says {} objects, leaves store {}",
+                base.len(),
+                ids.len()
+            )));
+        }
+        Ok(ids)
+    }
+
+    /// Rechunk every inserted summary into delta leaves and rebuild the
+    /// virtual root from scratch. Needed when existing chunks changed
+    /// shape (a delete from `inserted` shifts everything after it); the
+    /// common append path uses [`Self::append_virtual`] instead.
+    fn rebuild_virtual(&mut self) {
+        let cap = self.chunk_cap();
+        self.delta_leaves.clear();
+        let mut children = Vec::with_capacity(1 + self.inserted.len() / cap);
+        children.push(ChildRef {
+            id: NodeAccess::root_id(self.base.as_ref()),
+            mbr: self.base.root_mbr(),
+        });
+        let mut mbr = self.base.root_mbr();
+        for (i, chunk) in self.inserted.chunks(cap).enumerate() {
+            let chunk_mbr = chunk.iter().fold(Mbr::empty(), |acc, e| acc.union(&e.support_mbr));
+            children.push(ChildRef { id: self.delta_leaf_id(i), mbr: chunk_mbr });
+            mbr = mbr.union(&chunk_mbr);
+            self.delta_leaves.push(Arc::new(DecodedNode::Leaf(chunk.to_vec())));
+        }
+        self.root_node = Arc::new(DecodedNode::Internal(children));
+        self.root_mbr = mbr;
+    }
+
+    /// Incrementally account for the just-appended last element of
+    /// `inserted`: only the final delta chunk is re-materialized, so a
+    /// batch of `m` inserts costs O(m) total instead of the O(m²) a full
+    /// rechunk per append would.
+    fn append_virtual(&mut self) {
+        let cap = self.chunk_cap();
+        let entry = *self.inserted.last().expect("append_virtual after a push");
+        let last_chunk = self.inserted.chunks(cap).next_back().expect("non-empty");
+        let chunk_index = (self.inserted.len() - 1) / cap;
+        let chunk_mbr = last_chunk.iter().fold(Mbr::empty(), |acc, e| acc.union(&e.support_mbr));
+        let leaf = Arc::new(DecodedNode::Leaf(last_chunk.to_vec()));
+        let child = ChildRef { id: self.delta_leaf_id(chunk_index), mbr: chunk_mbr };
+        let mut children = match self.root_node.as_ref() {
+            DecodedNode::Internal(children) => children.clone(),
+            DecodedNode::Leaf(_) => unreachable!("virtual root is always internal"),
+        };
+        if chunk_index < self.delta_leaves.len() {
+            self.delta_leaves[chunk_index] = leaf;
+            children[1 + chunk_index] = child; // children[0] is the base root
+        } else {
+            self.delta_leaves.push(leaf);
+            children.push(child);
+        }
+        self.root_node = Arc::new(DecodedNode::Internal(children));
+        self.root_mbr = self.root_mbr.union(&entry.support_mbr);
+    }
+
+    fn chunk_cap(&self) -> usize {
+        self.base.config().max_entries.max(1)
+    }
+
+    fn delta_leaf_id(&self, chunk_index: usize) -> NodeId {
+        let id = NodeId(DELTA_TOP - chunk_index as u32);
+        assert!((id.0 as usize) > self.base.page_count(), "delta leaves collide with base pages");
+        id
+    }
+
+    /// Is `id` in the live set (base minus tombstones, plus inserts)?
+    pub fn contains_id(&self, id: ObjectId) -> bool {
+        self.inserted.iter().any(|e| e.id == id)
+            || (self.base_ids.contains(&id.0) && !self.tombstones.contains(&id.0))
+    }
+
+    /// Insert a summary unless its id is already live. Returns `true`
+    /// when inserted.
+    pub fn insert(&mut self, entry: ObjectSummary<D>) -> bool {
+        if self.contains_id(entry.id) {
+            return false;
+        }
+        // A tombstoned base id being re-inserted keeps its tombstone: the
+        // stale base copy must stay hidden behind the new summary.
+        self.inserted.push(entry);
+        self.live_len += 1;
+        self.append_virtual();
+        true
+    }
+
+    /// Delete the entry with `id` from the live set. Returns `true` when
+    /// it existed.
+    pub fn delete(&mut self, id: ObjectId) -> bool {
+        if let Some(pos) = self.inserted.iter().position(|e| e.id == id) {
+            // Removal shifts every later pending insert: rechunk.
+            self.inserted.remove(pos);
+            self.live_len -= 1;
+            self.rebuild_virtual();
+            true
+        } else if self.base_ids.contains(&id.0) && self.tombstones.insert(id.0) {
+            // Tombstones only filter base leaf reads; the delta leaves and
+            // the (conservative) root MBR are untouched.
+            self.live_len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replace the summary of `entry.id` (delete + insert). Returns
+    /// `true` when an existing entry was replaced.
+    pub fn update(&mut self, entry: ObjectSummary<D>) -> bool {
+        let existed = self.delete(entry.id);
+        let inserted = self.insert(entry);
+        debug_assert!(inserted);
+        existed
+    }
+
+    /// The current pending state as a delta log (tombstones ascending).
+    pub fn delta(&self) -> DeltaLog<D> {
+        let mut tombstones: Vec<u64> = self.tombstones.iter().copied().collect();
+        tombstones.sort_unstable();
+        DeltaLog { inserted: self.inserted.clone(), tombstones }
+    }
+
+    /// True when no mutations are pending (reads pass straight through to
+    /// base pages).
+    pub fn is_clean(&self) -> bool {
+        self.inserted.is_empty() && self.tombstones.is_empty()
+    }
+
+    /// Number of pending inserts.
+    pub fn pending_inserts(&self) -> usize {
+        self.inserted.len()
+    }
+
+    /// Number of pending tombstones.
+    pub fn pending_tombstones(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// The wrapped base tree.
+    pub fn base(&self) -> &PagedRTree<D> {
+        &self.base
+    }
+
+    /// Persist the pending state to the base file's sidecar
+    /// (`<index>.fzdl`). An empty delta removes the sidecar instead, so a
+    /// clean index has no stray companion file.
+    pub fn save_delta(&self) -> Result<(), StoreError> {
+        let path = delta_path_for(self.base.path());
+        let delta = self.delta();
+        if delta.is_empty() {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            return Ok(());
+        }
+        delta.save(path)
+    }
+
+    /// The live object set: base summaries in leaf-page order with
+    /// tombstones filtered out, then the pending inserts in insertion
+    /// order. This is the input order compaction feeds the bulk loader.
+    pub fn live_summaries(&self) -> Result<Vec<ObjectSummary<D>>, StoreError> {
+        let mut out = Vec::with_capacity(self.live_len);
+        for page in 0..self.base.page_count() {
+            let read = self.base.read_node(NodeId(page as u32))?;
+            if let NodeView::Entries(entries) = read.view() {
+                out.extend(entries.iter().filter(|e| !self.tombstones.contains(&e.id.0)).copied());
+            }
+        }
+        out.extend(self.inserted.iter().copied());
+        debug_assert_eq!(out.len(), self.live_len);
+        Ok(out)
+    }
+
+    /// Fold base + overlay into a freshly bulk-loaded index file and
+    /// reopen it: the live set is STR-packed ([`RTree::bulk_load`]),
+    /// written to `<index>.compact.tmp`, atomically renamed over the
+    /// index path, and the sidecar delta log is removed. Consumes the
+    /// overlay; the returned tree reads the rewritten file.
+    pub fn compact(self, page_size: u32) -> Result<PagedRTree<D>, StoreError> {
+        let live = self.live_summaries()?;
+        let path = self.base.path().to_path_buf();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".compact.tmp");
+        let tmp = PathBuf::from(tmp);
+        let fresh = RTree::bulk_load(live, self.base.config());
+        PagedRTree::write_tree(&fresh, &tmp, page_size)?;
+        std::fs::rename(&tmp, &path)?;
+        match std::fs::remove_file(delta_path_for(&path)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        drop(self.base); // release the old file handle before reopening
+        PagedRTree::open(&path)
+    }
+
+    /// The base tree's configuration (delta leaves chunk at its
+    /// `max_entries`).
+    pub fn config(&self) -> RTreeConfig {
+        self.base.config()
+    }
+}
+
+impl<const D: usize> NodeAccess<D> for OverlayRTree<D> {
+    fn root_id(&self) -> NodeId {
+        VIRTUAL_ROOT
+    }
+
+    fn root_mbr(&self) -> Mbr<D> {
+        self.root_mbr
+    }
+
+    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, D>, StoreError> {
+        if id == VIRTUAL_ROOT {
+            return Ok(NodeRead::from_page(Arc::clone(&self.root_node), false));
+        }
+        if id.0 > DELTA_TOP - self.delta_leaves.len() as u32 && id.0 <= DELTA_TOP {
+            let chunk = (DELTA_TOP - id.0) as usize;
+            return Ok(NodeRead::from_page(Arc::clone(&self.delta_leaves[chunk]), false));
+        }
+        let read = self.base.read_node(id)?;
+        // Leaf pages are filtered through the tombstone set before the
+        // query processor sees them; untouched pages pass through.
+        let filtered: Option<Vec<ObjectSummary<D>>> = match read.view() {
+            NodeView::Entries(entries)
+                if !self.tombstones.is_empty()
+                    && entries.iter().any(|e| self.tombstones.contains(&e.id.0)) =>
+            {
+                Some(
+                    entries
+                        .iter()
+                        .filter(|e| !self.tombstones.contains(&e.id.0))
+                        .copied()
+                        .collect(),
+                )
+            }
+            _ => None,
+        };
+        match filtered {
+            Some(entries) => {
+                Ok(NodeRead::from_page(Arc::new(DecodedNode::Leaf(entries)), read.disk_read))
+            }
+            None => Ok(read),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live_len
+    }
+
+    /// Base height plus the virtual root level. Overlay "leaves" are not
+    /// all at one depth (delta leaves hang directly off the virtual
+    /// root); best-first traversals do not care.
+    fn height(&self) -> usize {
+        NodeAccess::height(self.base.as_ref()) + 1
+    }
+}
+
+impl<const D: usize> MutableIndex<D> for OverlayRTree<D> {
+    fn insert_summary(&mut self, entry: ObjectSummary<D>) -> Result<bool, StoreError> {
+        Ok(self.insert(entry))
+    }
+
+    fn delete_id(&mut self, id: ObjectId) -> Result<bool, StoreError> {
+        Ok(self.delete(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access;
+    use fuzzy_core::FuzzyObject;
+    use fuzzy_geom::Point;
+
+    fn summary(id: u64, x: f64, y: f64) -> ObjectSummary<2> {
+        let obj = FuzzyObject::new(
+            ObjectId(id),
+            vec![Point::xy(x, y), Point::xy(x + 0.5, y + 0.5)],
+            vec![1.0, 0.5],
+        )
+        .unwrap();
+        ObjectSummary::from_object(&obj)
+    }
+
+    /// Grid with per-id jitter: overlay and freshly bulk-loaded trees have
+    /// different shapes, so exact distance ties would legitimately resolve
+    /// differently; tie-free geometry keeps answer comparisons exact.
+    fn grid(n: u64) -> Vec<ObjectSummary<2>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 20) as f64 * 1.5 + i as f64 * 1.1e-3;
+                let y = (i / 20) as f64 * 1.5 + i as f64 * 0.7e-3;
+                summary(i, x, y)
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fz-overlay-{}-{name}.fzpt", std::process::id()))
+    }
+
+    fn knn_ids<A: NodeAccess<2>>(tree: &A, q: Point<2>, k: usize) -> Vec<u64> {
+        access::knn_by(
+            tree,
+            k,
+            |m| m.min_dist_point(&q),
+            |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+        )
+        .unwrap()
+        .into_iter()
+        .map(|h| h.entry.id.0)
+        .collect()
+    }
+
+    #[test]
+    fn overlay_tracks_the_live_set() {
+        let path = tmp("live");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        let base = Arc::new(PagedRTree::bulk_write(grid(150), cfg, &path, 4096).unwrap());
+        let mut ov = OverlayRTree::new(Arc::clone(&base)).unwrap();
+        assert_eq!(NodeAccess::len(&ov), 150);
+        assert!(ov.is_clean());
+
+        assert!(ov.delete(ObjectId(10)));
+        assert!(!ov.delete(ObjectId(10)), "double delete");
+        assert!(ov.insert(summary(500, 3.0, 3.0)));
+        assert!(!ov.insert(summary(500, 3.0, 3.0)), "duplicate insert");
+        assert!(!ov.insert(summary(12, 0.0, 0.0)), "id 12 still live in base");
+        assert_eq!(NodeAccess::len(&ov), 150);
+        assert!(ov.contains_id(ObjectId(500)));
+        assert!(!ov.contains_id(ObjectId(10)));
+
+        // Re-inserting a tombstoned base id shadows the stale base copy.
+        assert!(ov.insert(summary(10, 99.0, 99.0)));
+        let live = ov.live_summaries().unwrap();
+        let copies: Vec<&ObjectSummary<2>> = live.iter().filter(|e| e.id.0 == 10).collect();
+        assert_eq!(copies.len(), 1);
+        assert!(copies[0].support_mbr.lo(0) >= 99.0, "new summary wins");
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn searches_match_a_fresh_tree_over_the_same_live_set() {
+        let path = tmp("search");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        let base = Arc::new(PagedRTree::bulk_write(grid(200), cfg, &path, 4096).unwrap());
+        let mut ov = OverlayRTree::new(base).unwrap();
+        for id in (0..200).step_by(3) {
+            assert!(ov.delete(ObjectId(id)));
+        }
+        for i in 0..40u64 {
+            let (x, y) = ((i % 7) as f64 * 2.0 + i as f64 * 1.3e-3, 30.0 + i as f64);
+            assert!(ov.insert(summary(1000 + i, x, y)));
+        }
+        let fresh = RTree::bulk_load(ov.live_summaries().unwrap(), cfg);
+        fresh.validate().unwrap();
+        for q in [Point::xy(0.0, 0.0), Point::xy(14.0, 36.0), Point::xy(100.0, -5.0)] {
+            for k in [1usize, 5, 23] {
+                assert_eq!(knn_ids(&ov, q, k), knn_ids(&fresh, q, k), "q={q:?} k={k}");
+            }
+            for radius in [0.0, 4.0, 50.0] {
+                let a = access::range_search(
+                    &ov,
+                    radius,
+                    |m| m.min_dist_point(&q),
+                    |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+                )
+                .unwrap();
+                let mut a: Vec<u64> = a.hits.into_iter().map(|h| h.entry.id.0).collect();
+                a.sort_unstable();
+                let b = access::range_search(
+                    &fresh,
+                    radius,
+                    |m| m.min_dist_point(&q),
+                    |e: &ObjectSummary<2>| e.support_mbr.min_dist_point(&q),
+                )
+                .unwrap();
+                let mut b: Vec<u64> = b.hits.into_iter().map(|h| h.entry.id.0).collect();
+                b.sort_unstable();
+                assert_eq!(a, b, "q={q:?} radius={radius}");
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn delta_roundtrip_and_compact() {
+        let path = tmp("compact");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        {
+            let base = Arc::new(PagedRTree::bulk_write(grid(120), cfg, &path, 4096).unwrap());
+            let mut ov = OverlayRTree::new(base).unwrap();
+            for id in [5u64, 50, 119] {
+                assert!(ov.delete(ObjectId(id)));
+            }
+            for i in 0..10u64 {
+                assert!(ov.insert(summary(2000 + i, i as f64, -4.0)));
+            }
+            ov.save_delta().unwrap();
+        }
+        // A fresh open sees the sidecar.
+        let ov: OverlayRTree<2> = OverlayRTree::open(&path).unwrap();
+        assert_eq!(NodeAccess::len(&ov), 127);
+        assert_eq!(ov.pending_inserts(), 10);
+        assert_eq!(ov.pending_tombstones(), 3);
+        let want = {
+            let mut ids: Vec<u64> = ov.live_summaries().unwrap().iter().map(|e| e.id.0).collect();
+            ids.sort_unstable();
+            ids
+        };
+        // Compaction folds the delta into the file and removes the sidecar.
+        let compacted = ov.compact(4096).unwrap();
+        assert_eq!(NodeAccess::len(&compacted), 127);
+        assert!(!delta_path_for(&path).exists());
+        let reopened: OverlayRTree<2> = OverlayRTree::open(&path).unwrap();
+        assert!(reopened.is_clean());
+        let mut got: Vec<u64> = reopened.live_summaries().unwrap().iter().map(|e| e.id.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn incremental_virtual_maintenance_matches_full_rebuild() {
+        // insert() maintains the delta leaves incrementally (only the
+        // tail chunk is re-materialized) and tombstones skip the rebuild
+        // entirely; the result must be indistinguishable from an overlay
+        // rebuilt from scratch off the same delta log.
+        let path = tmp("incremental");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        let base = Arc::new(PagedRTree::bulk_write(grid(100), cfg, &path, 4096).unwrap());
+        let mut ov = OverlayRTree::new(Arc::clone(&base)).unwrap();
+        let mut state = 0xABCDu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..60u64 {
+            match rnd() % 3 {
+                0 => {
+                    ov.delete(ObjectId(rnd() % 100));
+                }
+                1 => {
+                    ov.delete(ObjectId(1000 + rnd() % 60));
+                }
+                _ => {
+                    ov.insert(summary(1000 + i, (i % 9) as f64, 50.0 + i as f64 * 0.1));
+                }
+            }
+        }
+        let rebuilt = OverlayRTree::with_delta(Arc::clone(&base), ov.delta()).unwrap();
+        assert_eq!(NodeAccess::len(&ov), NodeAccess::len(&rebuilt));
+        assert_eq!(ov.root_mbr(), rebuilt.root_mbr());
+        assert_eq!(ov.delta_leaves.len(), rebuilt.delta_leaves.len());
+        for (a, b) in ov.delta_leaves.iter().zip(&rebuilt.delta_leaves) {
+            match (a.as_ref(), b.as_ref()) {
+                (DecodedNode::Leaf(x), DecodedNode::Leaf(y)) => {
+                    assert_eq!(x.len(), y.len());
+                    for (ea, eb) in x.iter().zip(y) {
+                        assert_eq!(ea.id, eb.id);
+                    }
+                }
+                _ => panic!("delta chunks must be leaves"),
+            }
+        }
+        for q in [Point::xy(3.0, 52.0), Point::xy(20.0, 10.0)] {
+            assert_eq!(knn_ids(&ov, q, 9), knn_ids(&rebuilt, q, 9), "q={q:?}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn inconsistent_delta_logs_are_rejected() {
+        let path = tmp("reject");
+        let cfg = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+        let base = Arc::new(PagedRTree::bulk_write(grid(30), cfg, &path, 4096).unwrap());
+        // Tombstone for an id the file does not store.
+        let bad = DeltaLog::<2> { inserted: vec![], tombstones: vec![999] };
+        assert!(matches!(
+            OverlayRTree::with_delta(Arc::clone(&base), bad).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        // Insert colliding with a live base id.
+        let bad = DeltaLog::<2> { inserted: vec![summary(3, 0.0, 0.0)], tombstones: vec![] };
+        assert!(matches!(
+            OverlayRTree::with_delta(Arc::clone(&base), bad).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_base_supports_pure_insert_workloads() {
+        let path = tmp("emptybase");
+        let base = Arc::new(
+            PagedRTree::bulk_write(Vec::new(), RTreeConfig::default(), &path, 16 * 1024).unwrap(),
+        );
+        let mut ov = OverlayRTree::new(base).unwrap();
+        assert!(NodeAccess::is_empty(&ov));
+        for i in 0..100u64 {
+            assert!(ov.insert(summary(i, (i % 10) as f64, (i / 10) as f64)));
+        }
+        assert_eq!(NodeAccess::len(&ov), 100);
+        assert_eq!(knn_ids(&ov, Point::xy(0.0, 0.0), 1), vec![0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

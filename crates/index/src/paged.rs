@@ -222,6 +222,12 @@ impl<const D: usize> PagedRTree<D> {
                         encode_summary(&mut page, entry);
                     }
                 }
+                // Freed arena slots keep node id == page number; they are
+                // unreferenced, so an empty leaf page is never read back.
+                Node::Free => {
+                    page.bytes(&[0, 0, 0, 0]);
+                    page.u32(0);
+                }
             }
             if page.len() + 8 > page_size as usize {
                 return Err(StoreError::PageOverflow {

@@ -54,6 +54,12 @@ pub enum ValidationError {
         /// The shared node id.
         node: u32,
     },
+    /// A freed arena slot is reachable from the root (dangling child
+    /// pointer left behind by `delete`'s condense step).
+    FreeNodeReachable {
+        /// The freed node id.
+        node: u32,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -92,6 +98,7 @@ impl<const D: usize> RTree<D> {
         let is_root = id == self.root;
         let max = self.config.max_entries;
         match node {
+            Node::Free => return Err(ValidationError::FreeNodeReachable { node: id.0 }),
             Node::Leaf { mbr, entries } => {
                 if depth != self.height {
                     return Err(ValidationError::UnevenDepth {
@@ -186,9 +193,12 @@ mod tests {
         let mut tree = RTree::bulk_load(entries, RTreeConfig { max_entries: 8, min_fill: 0.4 });
         // Shrink the root MBR so children poke out.
         let root = tree.root;
-        let (Node::Internal { mbr, .. } | Node::Leaf { mbr, .. }) =
-            &mut tree.nodes[root.0 as usize];
-        *mbr = fuzzy_geom::Mbr::new([0.0, 0.0], [1.0, 1.0]);
+        match &mut tree.nodes[root.0 as usize] {
+            Node::Internal { mbr, .. } | Node::Leaf { mbr, .. } => {
+                *mbr = fuzzy_geom::Mbr::new([0.0, 0.0], [1.0, 1.0]);
+            }
+            Node::Free => unreachable!(),
+        }
         assert!(tree.validate().is_err());
     }
 

@@ -187,6 +187,18 @@ impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SharedQueryEngine<A, S
         Self::new(Arc::new(tree), Arc::new(store))
     }
 
+    /// An engine pinned to the current epoch of a mutable index: the
+    /// returned engine answers every query against the snapshot published
+    /// at call time, however many writer commits land afterwards. This is
+    /// how in-flight AKNN/RKNN/join/batch work stays consistent while the
+    /// index is maintained — see [`crate::epoch`].
+    pub fn at_snapshot(index: &crate::epoch::Versioned<A>, store: Arc<S>) -> Self
+    where
+        A: Clone,
+    {
+        Self::new(index.snapshot(), store)
+    }
+
     /// The underlying index.
     pub fn tree(&self) -> &A {
         &self.tree

@@ -1,0 +1,340 @@
+//! Epoch/snapshot concurrency for dynamic indexes.
+//!
+//! The read path of this crate is lock-free by construction: every query
+//! runs against `&A`/`&S` references that are never mutated. Dynamic
+//! maintenance (`fuzzy_index::MutableIndex`) breaks that assumption — a
+//! writer restructuring the tree underneath an in-flight best-first
+//! traversal would hand it dangling node ids.
+//!
+//! [`Versioned`] restores the invariant with snapshot isolation:
+//!
+//! * Writers mutate a private **master** copy under a mutex and, on
+//!   commit, **publish** a frozen clone behind an `Arc`, bumping the
+//!   epoch counter.
+//! * Readers grab the currently published `Arc` (one atomic-refcount
+//!   bump, no tree copy) and run entire queries — AKNN, RKNN, joins,
+//!   whole [`crate::BatchExecutor`] batches — against that immutable
+//!   snapshot. A query admitted at epoch `e` sees exactly the epoch-`e`
+//!   tree no matter how many commits land while it runs.
+//!
+//! The cost model: publishing clones the index once per *commit*, not per
+//! mutation — batch your writes with [`Versioned::write`]'s closure. For
+//! the in-memory `RTree` a clone is the arena `Vec`; for the paged
+//! overlay it is the (small) delta plus an `Arc` bump on the base file.
+//!
+//! [`DynamicQueryEngine`] bundles a versioned index with a shared object
+//! store and exposes the writer API next to snapshot readers.
+
+use crate::engine::SharedQueryEngine;
+use fuzzy_core::{ObjectId, ObjectSummary};
+use fuzzy_index::{MutableIndex, NodeAccess};
+use fuzzy_store::{ObjectStore, StoreError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A value with single-writer/multi-reader snapshot semantics.
+///
+/// See the [module docs](self) for the scheme. `T` is typically an index
+/// backend (`RTree`, `OverlayRTree`), but any `Clone` state works.
+#[derive(Debug)]
+pub struct Versioned<T> {
+    /// The writer's working copy. Mutations land here first.
+    master: Mutex<T>,
+    /// The frozen copy readers see. Swapped wholesale on commit.
+    published: RwLock<Arc<T>>,
+    /// Bumped on every commit; lets readers detect staleness cheaply.
+    epoch: AtomicU64,
+}
+
+impl<T: Clone> Versioned<T> {
+    /// Wrap `value`, publishing it as epoch 0.
+    pub fn new(value: T) -> Self {
+        let published = Arc::new(value.clone());
+        Self {
+            master: Mutex::new(value),
+            published: RwLock::new(published),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The currently published snapshot (an `Arc` bump — O(1)). The
+    /// snapshot stays valid for as long as the handle is held, regardless
+    /// of later commits.
+    pub fn snapshot(&self) -> Arc<T> {
+        Arc::clone(&self.published.read().expect("published lock poisoned"))
+    }
+
+    /// Apply `mutate` to the master copy and publish the result as a new
+    /// epoch. Serializes writers; readers are never blocked (they keep
+    /// their snapshots, and `snapshot()` only contends for the swap
+    /// instant). Batch multiple mutations in one closure to pay the
+    /// publish clone once.
+    pub fn write<R>(&self, mutate: impl FnOnce(&mut T) -> R) -> R {
+        self.write_if(|value| (true, mutate(value)))
+    }
+
+    /// Like [`Versioned::write`], but `mutate` reports whether it
+    /// actually changed the value; a `false` skips the publish clone and
+    /// the epoch bump entirely. This is what keeps no-op mutations
+    /// (duplicate-id insert, delete of an absent id) from cloning a large
+    /// index just to republish an identical tree.
+    pub fn write_if<R>(&self, mutate: impl FnOnce(&mut T) -> (bool, R)) -> R {
+        let mut master = self.master.lock().expect("master lock poisoned");
+        let (changed, out) = mutate(&mut master);
+        if changed {
+            let fresh = Arc::new(master.clone());
+            // Publish while still holding the master lock so commit order
+            // and epoch order agree.
+            *self.published.write().expect("published lock poisoned") = fresh;
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        out
+    }
+}
+
+/// A query engine over a mutable index: epoch-snapshot reads, serialized
+/// writes, one shared object store.
+///
+/// ```
+/// use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+/// use fuzzy_geom::Point;
+/// use fuzzy_index::{RTree, RTreeConfig};
+/// use fuzzy_query::{AknnConfig, DynamicQueryEngine};
+/// use fuzzy_store::{MemStore, ObjectStore};
+///
+/// let store = MemStore::from_objects((0..8).map(|i| {
+///     FuzzyObject::new(
+///         ObjectId(i),
+///         vec![Point::xy(i as f64, 0.0), Point::xy(i as f64, 1.0)],
+///         vec![1.0, 0.5],
+///     )
+///     .unwrap()
+/// }))
+/// .unwrap();
+/// let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+/// let engine = DynamicQueryEngine::from_parts(tree, store);
+///
+/// // Readers pin a snapshot; writers publish new epochs.
+/// let reader = engine.reader();
+/// engine.delete(ObjectId(3)).unwrap();
+/// assert_eq!(engine.epoch(), 1);
+///
+/// let q = reader.store().probe(ObjectId(0)).unwrap();
+/// // The pinned snapshot still sees all 8 objects ...
+/// let pinned = reader.aknn(&q, 8, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+/// assert_eq!(pinned.neighbors.len(), 8);
+/// // ... while a fresh reader sees 7.
+/// let fresh = engine.reader().aknn(&q, 8, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+/// assert_eq!(fresh.neighbors.len(), 7);
+/// ```
+pub struct DynamicQueryEngine<A, S, const D: usize> {
+    index: Arc<Versioned<A>>,
+    store: Arc<S>,
+}
+
+/// Adapt a `Result<bool>` mutation outcome for [`Versioned::write_if`]:
+/// publish only when the mutation reports it changed the index.
+fn changed(out: Result<bool, StoreError>) -> (bool, Result<bool, StoreError>) {
+    (matches!(out, Ok(true)), out)
+}
+
+impl<A, S, const D: usize> Clone for DynamicQueryEngine<A, S, D> {
+    fn clone(&self) -> Self {
+        Self { index: Arc::clone(&self.index), store: Arc::clone(&self.store) }
+    }
+}
+
+impl<A, S, const D: usize> DynamicQueryEngine<A, S, D>
+where
+    A: MutableIndex<D> + Clone,
+    S: ObjectStore<D>,
+{
+    /// Take ownership of an index and a store.
+    pub fn from_parts(index: A, store: S) -> Self {
+        Self { index: Arc::new(Versioned::new(index)), store: Arc::new(store) }
+    }
+
+    /// Bundle an already-shared store with a fresh versioned index.
+    pub fn new(index: A, store: Arc<S>) -> Self {
+        Self { index: Arc::new(Versioned::new(index)), store }
+    }
+
+    /// The versioned index (for direct `write`/`snapshot` access).
+    pub fn versioned(&self) -> &Versioned<A> {
+        &self.index
+    }
+
+    /// The shared object store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Epoch of the published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
+    }
+
+    /// A [`SharedQueryEngine`] pinned to the current epoch: hand it to
+    /// worker threads or a [`crate::BatchExecutor`] and every query it
+    /// answers sees one consistent tree, however many commits land
+    /// meanwhile.
+    pub fn reader(&self) -> SharedQueryEngine<A, S, D> {
+        SharedQueryEngine::new(self.index.snapshot(), Arc::clone(&self.store))
+    }
+
+    /// Insert one summary (its own epoch). Returns `Ok(false)` on a
+    /// duplicate id — a no-op that publishes no new epoch. Use
+    /// [`Versioned::write`] via [`Self::versioned`] to batch many
+    /// mutations into one publish.
+    pub fn insert(&self, entry: ObjectSummary<D>) -> Result<bool, StoreError> {
+        self.index.write_if(|tree| changed(tree.insert_summary(entry)))
+    }
+
+    /// Delete by object id. `Ok(false)` when absent (no epoch published).
+    pub fn delete(&self, id: ObjectId) -> Result<bool, StoreError> {
+        self.index.write_if(|tree| changed(tree.delete_id(id)))
+    }
+
+    /// Replace a summary (its own epoch). `Ok(true)` when it replaced an
+    /// existing entry.
+    pub fn update(&self, entry: ObjectSummary<D>) -> Result<bool, StoreError> {
+        // An update always inserts, so the tree always changed.
+        self.index.write(|tree| tree.update_summary(entry))
+    }
+
+    /// Number of live objects in the published snapshot.
+    pub fn len(&self) -> usize {
+        NodeAccess::len(self.index.snapshot().as_ref())
+    }
+
+    /// True when the published snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aknn::AknnConfig;
+    use fuzzy_core::FuzzyObject;
+    use fuzzy_geom::Point;
+    use fuzzy_index::{RTree, RTreeConfig};
+    use fuzzy_store::MemStore;
+
+    fn summary(id: u64, x: f64, y: f64) -> ObjectSummary<2> {
+        let obj = FuzzyObject::new(
+            ObjectId(id),
+            vec![Point::xy(x, y), Point::xy(x + 0.4, y + 0.4)],
+            vec![1.0, 0.5],
+        )
+        .unwrap();
+        ObjectSummary::from_object(&obj)
+    }
+
+    fn objects(n: u64) -> Vec<FuzzyObject<2>> {
+        (0..n)
+            .map(|i| {
+                let (x, y) = ((i % 16) as f64 * 2.0, (i / 16) as f64 * 2.0);
+                FuzzyObject::new(
+                    ObjectId(i),
+                    vec![Point::xy(x, y), Point::xy(x + 0.4, y + 0.4)],
+                    vec![1.0, 0.5],
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn versioned_snapshots_are_frozen() {
+        let v = Versioned::new(vec![1, 2, 3]);
+        let snap = v.snapshot();
+        v.write(|xs| xs.push(4));
+        assert_eq!(*snap, vec![1, 2, 3], "pinned snapshot unchanged");
+        assert_eq!(*v.snapshot(), vec![1, 2, 3, 4]);
+        assert_eq!(v.epoch(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_epochs() {
+        // Writers churn the tree while readers hammer snapshots; every
+        // query must observe an internally consistent tree (validate() on
+        // the snapshot plus a successful AKNN).
+        let store = MemStore::from_objects(objects(64)).unwrap();
+        let tree = RTree::bulk_load(
+            store.summaries().to_vec(),
+            RTreeConfig { max_entries: 8, min_fill: 0.4 },
+        );
+        let engine = DynamicQueryEngine::from_parts(tree, store);
+        let q = engine.store().probe(ObjectId(0)).unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let engine = engine.clone();
+                let q = q.clone();
+                scope.spawn(move || {
+                    for _ in 0..60 {
+                        let reader = engine.reader();
+                        reader.tree().validate().expect("snapshot is structurally sound");
+                        let k = 5.min(fuzzy_index::NodeAccess::len(reader.tree()));
+                        if k > 0 {
+                            let res = reader.aknn(&q, k, 0.5, &AknnConfig::lb_lp_ub()).unwrap();
+                            assert_eq!(res.neighbors.len(), k);
+                        }
+                    }
+                });
+            }
+            let writer = engine.clone();
+            scope.spawn(move || {
+                for round in 0..30u64 {
+                    let id = 100 + round;
+                    assert!(writer.insert(summary(id, (round % 9) as f64, 40.0)).unwrap());
+                    if round % 3 == 0 {
+                        assert!(writer.delete(ObjectId(round)).unwrap());
+                    }
+                }
+            });
+        });
+        assert_eq!(engine.epoch(), 30 + 10);
+        assert_eq!(engine.len(), 64 + 30 - 10);
+        engine.versioned().snapshot().validate().unwrap();
+    }
+
+    #[test]
+    fn noop_mutations_publish_no_epoch() {
+        let store = MemStore::from_objects(objects(16)).unwrap();
+        let existing = store.summaries()[3];
+        let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+        let engine = DynamicQueryEngine::from_parts(tree, store);
+        let snap = engine.versioned().snapshot();
+        assert!(!engine.delete(ObjectId(9999)).unwrap(), "unknown id");
+        assert!(!engine.insert(existing).unwrap(), "duplicate id");
+        assert_eq!(engine.epoch(), 0, "no-ops must not publish");
+        assert!(
+            Arc::ptr_eq(&snap, &engine.versioned().snapshot()),
+            "published snapshot must be untouched by no-ops"
+        );
+        assert!(engine.delete(ObjectId(3)).unwrap());
+        assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn batched_writes_publish_once() {
+        let store = MemStore::from_objects(objects(16)).unwrap();
+        let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+        let engine = DynamicQueryEngine::from_parts(tree, store);
+        engine.versioned().write(|tree| {
+            for i in 100..150u64 {
+                assert!(tree.insert_summary(summary(i, i as f64, 0.0)).unwrap());
+            }
+        });
+        assert_eq!(engine.epoch(), 1, "one commit, one epoch");
+        assert_eq!(engine.len(), 66);
+    }
+}

@@ -24,20 +24,42 @@ pub struct Interval {
 }
 
 impl Interval {
-    /// Closed interval `[lo, hi]`.
+    /// The canonical empty interval (what NaN endpoints normalize to).
+    pub const EMPTY: Interval =
+        Interval { lo: f64::INFINITY, lo_closed: false, hi: f64::NEG_INFINITY, hi_closed: false };
+
+    /// General constructor. NaN endpoints — reachable from upstream f64
+    /// arithmetic (`0 · ∞`, `∞ − ∞` in distance-profile math) — normalize
+    /// to [`Interval::EMPTY`]: an interval that cannot decide membership
+    /// contains nothing. This keeps the [`IntervalSet`] algebra total
+    /// (the merge step assumes a sorted order NaN would poison).
+    pub fn new(lo: f64, lo_closed: bool, hi: f64, hi_closed: bool) -> Self {
+        if lo.is_nan() || hi.is_nan() {
+            return Self::EMPTY;
+        }
+        Self { lo, lo_closed, hi, hi_closed }
+    }
+
+    /// Closed interval `[lo, hi]` (NaN endpoints yield the empty interval).
     pub fn closed(lo: f64, hi: f64) -> Self {
-        Self { lo, lo_closed: true, hi, hi_closed: true }
+        Self::new(lo, true, hi, true)
     }
 
     /// Half-open interval `(lo, hi]` — the natural shape of α-distance
-    /// constancy ranges.
+    /// constancy ranges (NaN endpoints yield the empty interval).
     pub fn left_open(lo: f64, hi: f64) -> Self {
-        Self { lo, lo_closed: false, hi, hi_closed: true }
+        Self::new(lo, false, hi, true)
     }
 
     /// Is the interval empty (inverted, or a point with an open end)?
+    /// NaN-safe: an interval with an undecidable endpoint is empty, so
+    /// intervals built via struct literal are defused here as well.
     pub fn is_empty(&self) -> bool {
-        self.lo > self.hi || (self.lo == self.hi && !(self.lo_closed && self.hi_closed))
+        match self.lo.partial_cmp(&self.hi) {
+            None | Some(std::cmp::Ordering::Greater) => true, // NaN endpoint or inverted
+            Some(std::cmp::Ordering::Equal) => !(self.lo_closed && self.hi_closed),
+            Some(std::cmp::Ordering::Less) => false,
+        }
     }
 
     /// Does the interval contain probability `x`?
@@ -332,6 +354,26 @@ mod tests {
     }
 
     #[test]
+    fn nan_endpoints_normalize_to_empty() {
+        assert!(Interval::closed(f64::NAN, 0.5).is_empty());
+        assert!(Interval::left_open(0.2, f64::NAN).is_empty());
+        assert_eq!(Interval::new(f64::NAN, true, f64::NAN, true), Interval::EMPTY);
+        // Struct literals bypass the constructor; is_empty still defuses
+        // them, so normalize() drops them from sets.
+        let rogue = Interval { lo: f64::NAN, lo_closed: true, hi: 0.9, hi_closed: true };
+        assert!(rogue.is_empty());
+        assert!(!rogue.contains(0.5));
+        let mut s = IntervalSet::empty();
+        s.push(rogue);
+        s.push(Interval::closed(0.1, 0.2));
+        s.push(Interval::closed(f64::NAN, f64::NAN));
+        assert_eq!(s.intervals(), &[Interval::closed(0.1, 0.2)]);
+        assert_eq!(s.measure(), 0.1_f64.max(0.2 - 0.1));
+        // Intersection with a NaN-poisoned interval is empty, not NaN.
+        assert!(Interval::closed(0.0, 1.0).intersect(&rogue).is_none());
+    }
+
+    #[test]
     fn approx_eq_tolerates_noise() {
         let a = IntervalSet::from_interval(Interval::closed(0.3, 0.6));
         let b = IntervalSet::from_interval(Interval::closed(0.3 + 1e-12, 0.6 - 1e-12));
@@ -339,5 +381,102 @@ mod tests {
         assert!(!a.approx_eq(&b, 1e-15));
         let c = IntervalSet::from_interval(Interval::left_open(0.3, 0.6));
         assert!(!a.approx_eq(&c, 1e-9));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One raw interval: endpoints snapped to a coarse lattice so exact
+    /// endpoint coincidences (the interesting merge cases) are common,
+    /// with occasional NaN injection to exercise the normalization path.
+    fn raw_interval() -> impl Strategy<Value = Interval> {
+        (0u32..40, 0u32..40, any::<bool>(), any::<bool>(), 0u32..24).prop_map(
+            |(a, b, lo_closed, hi_closed, poison)| {
+                let lo = a as f64 / 32.0;
+                let hi = b as f64 / 32.0;
+                match poison {
+                    0 => Interval::new(f64::NAN, lo_closed, hi, hi_closed),
+                    1 => Interval::new(lo, lo_closed, f64::NAN, hi_closed),
+                    _ => Interval::new(lo, lo_closed, hi, hi_closed),
+                }
+            },
+        )
+    }
+
+    /// Membership oracle: probe points covering every endpoint, midpoints
+    /// between adjacent lattice values, and outside values. Since all
+    /// finite endpoints live on the 1/32 lattice, probing every 1/64 step
+    /// distinguishes any pair of structurally different sets.
+    fn probes() -> Vec<f64> {
+        let mut out: Vec<f64> = (-2i32..82).map(|i| i as f64 / 64.0).collect();
+        out.push(f64::INFINITY);
+        out.push(f64::NEG_INFINITY);
+        out
+    }
+
+    fn brute_contains(parts: &[Interval], x: f64) -> bool {
+        parts.iter().any(|p| p.contains(x))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn set_union_matches_membership_oracle(
+            xs in prop::collection::vec(raw_interval(), 0..8),
+            ys in prop::collection::vec(raw_interval(), 0..8),
+        ) {
+            let mut a = IntervalSet::empty();
+            for &iv in &xs {
+                a.push(iv);
+            }
+            let mut b = IntervalSet::empty();
+            for &iv in &ys {
+                b.push(iv);
+            }
+            let u = a.union(&b);
+            // Normalized form: sorted, disjoint, non-empty, non-adjacent.
+            for p in u.intervals() {
+                prop_assert!(!p.is_empty());
+            }
+            for w in u.intervals().windows(2) {
+                prop_assert!(w[0].hi <= w[1].lo, "sorted and disjoint: {u}");
+                prop_assert!(
+                    !w[0].merges_with(&w[1]),
+                    "adjacent parts must have been merged: {u}"
+                );
+            }
+            // Membership agrees with the raw input at every probe point.
+            for x in probes() {
+                let want = brute_contains(&xs, x) || brute_contains(&ys, x);
+                prop_assert_eq!(u.contains(x), want, "x={} in {}", x, u);
+            }
+        }
+
+        #[test]
+        fn set_intersection_matches_membership_oracle(
+            xs in prop::collection::vec(raw_interval(), 0..8),
+            ys in prop::collection::vec(raw_interval(), 0..8),
+        ) {
+            let mut a = IntervalSet::empty();
+            for &iv in &xs {
+                a.push(iv);
+            }
+            let mut b = IntervalSet::empty();
+            for &iv in &ys {
+                b.push(iv);
+            }
+            let i = a.intersect(&b);
+            for x in probes() {
+                let want = brute_contains(&xs, x) && brute_contains(&ys, x);
+                prop_assert_eq!(i.contains(x), want, "x={} in {}", x, i);
+            }
+            // Measure is consistent with the two operands.
+            prop_assert!(i.measure() <= a.measure() + 1e-12);
+            prop_assert!(i.measure() <= b.measure() + 1e-12);
+        }
     }
 }

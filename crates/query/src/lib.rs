@@ -23,12 +23,18 @@
 //!   AKNN/RKNN workloads across scoped worker threads over one shared
 //!   engine ([`SharedQueryEngine`]), with deterministic output ordering
 //!   and lossless per-thread cost accounting.
+//! * **Dynamic indexes** ([`epoch`]): a [`Versioned`] epoch/snapshot
+//!   wrapper and the [`DynamicQueryEngine`] make index mutation
+//!   (`fuzzy_index::MutableIndex`: insert/delete/update on the in-memory
+//!   tree or the paged-overlay backend) safe under concurrent reads —
+//!   writers publish frozen snapshots, in-flight queries keep theirs.
 
 #![warn(missing_docs)]
 
 pub mod aknn;
 pub mod batch;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod interval;
 pub mod join;
@@ -40,6 +46,7 @@ pub mod sweep;
 pub use aknn::AknnConfig;
 pub use batch::{BatchExecutor, BatchOutcome, BatchRequest, BatchResponse, ThreadStats};
 pub use engine::{QueryEngine, SharedQueryEngine};
+pub use epoch::{DynamicQueryEngine, Versioned};
 pub use error::QueryError;
 pub use interval::{Interval, IntervalSet};
 pub use join::{alpha_distance_join, JoinPair, JoinResult};

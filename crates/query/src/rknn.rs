@@ -176,7 +176,7 @@ fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
             alpha_star = alpha_star.min(beta);
         }
         let hi = alpha_star.min(alpha_end);
-        let iv = Interval { lo: t.value, lo_closed: !t.strict, hi, hi_closed: true };
+        let iv = Interval::new(t.value, !t.strict, hi, true);
         for n in &out.neighbors {
             acc.entry(n.id).or_default().push(iv);
         }
@@ -290,12 +290,7 @@ fn refine_basic<const D: usize>(
             let beta = cache.get(id).next_critical(t).unwrap_or(1.0);
             alpha_star = alpha_star.min(beta);
         }
-        let iv = Interval {
-            lo: t.value,
-            lo_closed: !t.strict,
-            hi: alpha_star.min(alpha_end),
-            hi_closed: true,
-        };
+        let iv = Interval::new(t.value, !t.strict, alpha_star.min(alpha_end), true);
         for &(_, id) in nn {
             acc.entry(id).or_default().push(iv);
         }
@@ -354,12 +349,7 @@ fn refine_icr<const D: usize>(
                 Some(b) if b >= t.value && d < dk1 => b,
                 _ => prof.next_critical(t).unwrap_or(1.0),
             };
-            let iv = Interval {
-                lo: t.value,
-                lo_closed: !t.strict,
-                hi: beta.min(alpha_end),
-                hi_closed: true,
-            };
+            let iv = Interval::new(t.value, !t.strict, beta.min(alpha_end), true);
             acc.entry(id).or_default().push(iv);
             alpha_star = alpha_star.min(beta);
         }

@@ -55,7 +55,7 @@ pub fn exact_sweep(
             }
         }
         scratch.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let iv = Interval { lo: t.value, lo_closed: !t.strict, hi: event, hi_closed: true };
+        let iv = Interval::new(t.value, !t.strict, event, true);
         for &(_, id) in scratch.iter().take(k) {
             acc.entry(id).or_default().push(iv);
         }

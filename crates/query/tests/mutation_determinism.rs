@@ -1,0 +1,447 @@
+//! Dynamic-update determinism: after an interleaved insert/delete/update
+//! workload, the three dynamic backends — the in-memory `RTree` mutated
+//! in place, the `PagedRTree` + delta overlay, and the overlay after
+//! `compact` rewrote the index file — must answer AKNN/RKNN/join queries
+//! **byte-identically** to each other, to a freshly bulk-loaded tree over
+//! the same live set, and to linear-scan oracles; at 1, 2 and 8 executor
+//! threads. This is the test the CI `mutation-determinism` job runs.
+//!
+//! Comparison configs avoid the lazy-probe buffer on *cross-shape*
+//! checks: which neighbours get confirmed via bounds (vs probed exact)
+//! legitimately depends on traversal order, hence on tree shape. The
+//! `LB-LP-UB` variant is still pinned across thread counts per backend,
+//! where the shape is fixed.
+
+use fuzzy_core::distance::alpha_distance;
+use fuzzy_core::{DistanceProfile, FuzzyObject, ObjectId, ObjectSummary, Threshold};
+use fuzzy_geom::Point;
+use fuzzy_index::{
+    delta_path_for, MutableIndex, NodeAccess, OverlayRTree, PagedRTree, RTree, RTreeConfig,
+};
+use fuzzy_query::sweep::{exact_sweep, ProfiledCandidate};
+use fuzzy_query::{
+    alpha_distance_join, AknnConfig, BatchExecutor, BatchOutcome, BatchRequest, BatchResponse,
+    DistBound, DynamicQueryEngine, RknnAlgorithm, SharedQueryEngine,
+};
+use fuzzy_store::{FileStoreWriter, ObjectStore};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random fuzzy object (tie-free geometry).
+fn blob(id: u64) -> FuzzyObject<2> {
+    let mut state = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let (cx, cy) = ((id % 11) as f64 * 4.0 + rnd(), (id / 11) as f64 * 4.0 + rnd());
+    let mut pts = vec![Point::xy(cx, cy)];
+    let mut mus = vec![1.0];
+    for _ in 1..16 {
+        let r = rnd() * 1.5;
+        let th = rnd() * std::f64::consts::TAU;
+        pts.push(Point::xy(cx + r * th.cos(), cy + r * th.sin()));
+        mus.push((((1.0 - r / 1.5) * 10.0).round() / 10.0).clamp(0.1, 1.0));
+    }
+    FuzzyObject::new(ObjectId(id), pts, mus).unwrap()
+}
+
+const TOTAL: u64 = 90;
+const SEEDED: u64 = 60; // objects indexed before the mutation script runs
+
+/// One deterministic interleaved mutation script: inserts of unindexed
+/// store objects, deletes and updates of live ones.
+enum Op {
+    Insert(u64),
+    Delete(u64),
+    Update(u64),
+}
+
+fn script() -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut live: BTreeSet<u64> = (0..SEEDED).collect();
+    let mut pending: Vec<u64> = (SEEDED..TOTAL).collect();
+    let mut state = 0xDEADBEEFu64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..70 {
+        match rnd() % 4 {
+            0 | 1 if !pending.is_empty() => {
+                let id = pending.remove(rnd() as usize % pending.len());
+                live.insert(id);
+                ops.push(Op::Insert(id));
+            }
+            2 => {
+                let victim = *live.iter().nth(rnd() as usize % live.len()).unwrap();
+                live.remove(&victim);
+                pending.push(victim);
+                ops.push(Op::Delete(victim));
+            }
+            _ => {
+                let id = *live.iter().nth(rnd() as usize % live.len()).unwrap();
+                ops.push(Op::Update(id));
+            }
+        }
+    }
+    ops
+}
+
+/// Replay the script over any mutable backend; returns the live id set.
+fn apply<A: MutableIndex<2>>(index: &mut A, summaries: &[ObjectSummary<2>]) -> BTreeSet<u64> {
+    let mut live: BTreeSet<u64> = (0..SEEDED).collect();
+    for op in script() {
+        match op {
+            Op::Insert(id) => {
+                assert!(index.insert_summary(summaries[id as usize]).unwrap(), "insert {id}");
+                live.insert(id);
+            }
+            Op::Delete(id) => {
+                assert!(index.delete_id(ObjectId(id)).unwrap(), "delete {id}");
+                live.remove(&id);
+            }
+            Op::Update(id) => {
+                assert!(index.update_summary(summaries[id as usize]).unwrap(), "update {id}");
+            }
+        }
+        assert_eq!(NodeAccess::len(index), live.len());
+    }
+    live
+}
+
+/// Mixed workload over shape-independent configurations (no lazy probe;
+/// every AKNN answer carries exact distances in ascending order).
+fn workload<S: ObjectStore<2>>(store: &S, live: &BTreeSet<u64>) -> Vec<BatchRequest<2>> {
+    let mut requests = Vec::new();
+    for (i, &id) in live.iter().step_by(4).enumerate() {
+        let q = store.probe(ObjectId(id)).unwrap().as_ref().clone();
+        match i % 4 {
+            0 => requests.push(BatchRequest::aknn(q, 5, 0.5, AknnConfig::basic())),
+            1 => requests.push(BatchRequest::aknn(q, 8, 0.7, AknnConfig::lb())),
+            2 => requests.push(BatchRequest::rknn(
+                q,
+                3,
+                (0.3, 0.7),
+                RknnAlgorithm::RssIcr,
+                AknnConfig::lb_lp_ub(),
+            )),
+            _ => requests.push(BatchRequest::rknn(
+                q,
+                2,
+                (0.2, 0.9),
+                RknnAlgorithm::Rss,
+                AknnConfig::lb_lp(),
+            )),
+        }
+    }
+    requests
+}
+
+/// Canonical bytes of a batch outcome (ids + IEEE-754 bits, no wall
+/// clock).
+fn fingerprint(outcome: &BatchOutcome) -> String {
+    let mut out = String::new();
+    for (i, res) in outcome.responses.iter().enumerate() {
+        out.push_str(&format!("[{i}] "));
+        match res {
+            Err(e) => out.push_str(&format!("err {e}\n")),
+            Ok(BatchResponse::Aknn(r)) => {
+                for n in &r.neighbors {
+                    let bits = match n.dist {
+                        DistBound::Exact(d) => format!("={:016x}", d.to_bits()),
+                        DistBound::Bounded { lo, hi } => {
+                            format!("[{:016x},{:016x}]", lo.to_bits(), hi.to_bits())
+                        }
+                    };
+                    out.push_str(&format!("{}{bits} ", n.id));
+                }
+                out.push('\n');
+            }
+            Ok(BatchResponse::Rknn(r)) => {
+                for item in &r.items {
+                    out.push_str(&format!("{} ", item.id));
+                    for iv in item.range.intervals() {
+                        out.push_str(&format!(
+                            "{}{:016x},{:016x}{} ",
+                            if iv.lo_closed { "[" } else { "(" },
+                            iv.lo.to_bits(),
+                            iv.hi.to_bits(),
+                            if iv.hi_closed { "]" } else { ")" },
+                        ));
+                    }
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Run the workload at 1/2/8 threads; all runs must agree; returns the
+/// shared fingerprint.
+fn threaded_fingerprint<A, S>(engine: &SharedQueryEngine<A, S, 2>, live: &BTreeSet<u64>) -> String
+where
+    A: NodeAccess<2> + Sync,
+    S: ObjectStore<2> + Sync,
+{
+    let requests = workload(engine.store(), live);
+    let sequential = BatchExecutor::sequential().run_shared(engine, &requests);
+    assert_eq!(sequential.error_count(), 0);
+    let print = fingerprint(&sequential);
+    for threads in [2usize, 8] {
+        let concurrent = BatchExecutor::new(threads).run_shared(engine, &requests);
+        assert_eq!(fingerprint(&concurrent), print, "{threads}-thread run diverged");
+    }
+    print
+}
+
+/// AKNN linear-scan oracle: exact α-distances over the live set.
+fn assert_aknn_matches_oracle<A, S>(
+    engine: &SharedQueryEngine<A, S, 2>,
+    live: &BTreeSet<u64>,
+    q: &FuzzyObject<2>,
+    k: usize,
+    alpha: f64,
+) where
+    A: NodeAccess<2>,
+    S: ObjectStore<2>,
+{
+    let res = engine.aknn(q, k, alpha, &AknnConfig::basic()).unwrap();
+    let t = Threshold::at(alpha);
+    let mut want: Vec<(f64, u64)> = live
+        .iter()
+        .map(|&id| {
+            let obj = engine.store().probe(ObjectId(id)).unwrap();
+            (alpha_distance(&obj, q, t).unwrap(), id)
+        })
+        .collect();
+    want.sort_by(|a, b| a.0.total_cmp(&b.0));
+    assert_eq!(res.neighbors.len(), k.min(live.len()));
+    for (rank, n) in res.neighbors.iter().enumerate() {
+        assert_eq!(n.id.0, want[rank].1, "rank {rank}");
+        match n.dist {
+            DistBound::Exact(d) => assert_eq!(d.to_bits(), want[rank].0.to_bits(), "rank {rank}"),
+            DistBound::Bounded { .. } => panic!("basic config always probes exact distances"),
+        }
+    }
+}
+
+/// RKNN linear-scan oracle: exact sweep over profiles of the live set.
+fn assert_rknn_matches_oracle<A, S>(
+    engine: &SharedQueryEngine<A, S, 2>,
+    live: &BTreeSet<u64>,
+    q: &FuzzyObject<2>,
+    k: usize,
+    range: (f64, f64),
+) where
+    A: NodeAccess<2>,
+    S: ObjectStore<2>,
+{
+    let res = engine.rknn(q, k, range.0, range.1, RknnAlgorithm::RssIcr, &AknnConfig::lb_lp_ub());
+    let res = res.unwrap();
+    let profiles: Vec<(ObjectId, DistanceProfile)> = live
+        .iter()
+        .map(|&id| {
+            let obj = engine.store().probe(ObjectId(id)).unwrap();
+            (ObjectId(id), DistanceProfile::compute(&obj, q))
+        })
+        .collect();
+    let cands: Vec<ProfiledCandidate<'_>> =
+        profiles.iter().map(|(id, p)| ProfiledCandidate { id: *id, profile: p }).collect();
+    let mut want = exact_sweep(&cands, k, range.0, range.1);
+    want.sort_by_key(|item| item.id);
+    let mut got = res.items;
+    got.sort_by_key(|item| item.id);
+    assert_eq!(got.len(), want.len(), "RKNN answer cardinality");
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.id, w.id);
+        assert!(g.range.approx_eq(&w.range, 1e-9), "{}: {} vs oracle {}", g.id, g.range, w.range);
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fz-mutdet-{}-{name}", std::process::id()))
+}
+
+/// Self-join over one index: qualifying pairs with exact distances.
+fn join_of<A: NodeAccess<2>, S: ObjectStore<2>>(tree: &A, store: &S) -> Vec<(u64, u64, u64)> {
+    let res = alpha_distance_join(
+        tree,
+        store,
+        tree,
+        store,
+        Threshold::at(0.5),
+        2.5,
+        &AknnConfig::lb_lp_ub(),
+    )
+    .unwrap();
+    res.pairs.iter().map(|p| (p.left.0, p.right.0, p.dist.to_bits())).collect()
+}
+
+#[test]
+fn interleaved_mutations_converge_across_backends_and_threads() {
+    // Shared object store with every object (indexed or not).
+    let store_path = tmp("store.fzkn");
+    let index_path = tmp("index.fzpt");
+    let mut writer = FileStoreWriter::<2>::create(&store_path).unwrap();
+    for id in 0..TOTAL {
+        writer.append(&blob(id)).unwrap();
+    }
+    let store = Arc::new(writer.finish().unwrap());
+    let summaries = store.summaries().to_vec();
+    let config = RTreeConfig { max_entries: 8, min_fill: 0.4 };
+    let seeded: Vec<ObjectSummary<2>> = summaries[..SEEDED as usize].to_vec();
+
+    // Backend 1: in-memory tree mutated in place, with invariant checks
+    // after every mutation.
+    let mut mem = RTree::bulk_load(seeded.clone(), config);
+    let live = {
+        let mut live: BTreeSet<u64> = (0..SEEDED).collect();
+        for op in script() {
+            match op {
+                Op::Insert(id) => {
+                    assert!(mem.insert_summary(summaries[id as usize]).unwrap());
+                    live.insert(id);
+                }
+                Op::Delete(id) => {
+                    assert!(mem.delete(ObjectId(id)));
+                    live.remove(&id);
+                }
+                Op::Update(id) => {
+                    assert!(mem.update(summaries[id as usize]));
+                }
+            }
+            mem.validate().expect("invariants hold after every mutation");
+        }
+        live
+    };
+
+    // Backend 2: paged base file + delta overlay, same script.
+    let base = Arc::new(PagedRTree::bulk_write(seeded, config, &index_path, 4096).unwrap());
+    let mut overlay = OverlayRTree::new(base).unwrap();
+    let live_overlay = apply(&mut overlay, &summaries);
+    assert_eq!(live, live_overlay);
+
+    // Reference: a freshly bulk-loaded tree over the same live set.
+    let fresh_summaries: Vec<ObjectSummary<2>> =
+        summaries.iter().filter(|s| live.contains(&s.id.0)).copied().collect();
+    let fresh = RTree::bulk_load(fresh_summaries.clone(), config);
+    fresh.validate().unwrap();
+
+    let mem_engine = SharedQueryEngine::new(Arc::new(mem), Arc::clone(&store));
+    // Clone for the engine; the original overlay is compacted at the end.
+    let overlay_engine = SharedQueryEngine::new(Arc::new(overlay.clone()), Arc::clone(&store));
+    let fresh_engine = SharedQueryEngine::new(Arc::new(fresh), Arc::clone(&store));
+
+    // 1/2/8-thread fingerprints, identical across all three backends.
+    let mem_print = threaded_fingerprint(&mem_engine, &live);
+    let overlay_print = threaded_fingerprint(&overlay_engine, &live);
+    let fresh_print = threaded_fingerprint(&fresh_engine, &live);
+    assert_eq!(mem_print, fresh_print, "mutated in-memory tree diverged from fresh bulk load");
+    assert_eq!(overlay_print, fresh_print, "paged overlay diverged from fresh bulk load");
+
+    // Linear-scan oracles on every backend.
+    for &qid in live.iter().take(6) {
+        let q = store.probe(ObjectId(qid)).unwrap().as_ref().clone();
+        assert_aknn_matches_oracle(&mem_engine, &live, &q, 7, 0.5);
+        assert_aknn_matches_oracle(&overlay_engine, &live, &q, 7, 0.5);
+        assert_rknn_matches_oracle(&mem_engine, &live, &q, 3, (0.3, 0.7));
+        assert_rknn_matches_oracle(&overlay_engine, &live, &q, 3, (0.3, 0.7));
+    }
+
+    // Self-join over the live set: the mutated backends must produce the
+    // same pair set as the fresh tree.
+    let fresh_join = join_of(fresh_engine.tree(), store.as_ref());
+    assert!(!fresh_join.is_empty(), "join radius too small to exercise anything");
+    assert_eq!(
+        join_of(mem_engine.tree(), store.as_ref()),
+        fresh_join,
+        "join diverged on mutated RTree"
+    );
+    assert_eq!(
+        join_of(overlay_engine.tree(), store.as_ref()),
+        fresh_join,
+        "join diverged on overlay"
+    );
+
+    // Compact: rewrite the index file through the bulk loader; answers
+    // must not move.
+    drop(overlay_engine);
+    overlay.save_delta().unwrap();
+    assert!(delta_path_for(&index_path).exists());
+    let compacted = overlay.compact(4096).unwrap();
+    assert!(!delta_path_for(&index_path).exists(), "compact clears the sidecar");
+    assert_eq!(NodeAccess::len(&compacted), live.len());
+    let compacted_engine = SharedQueryEngine::new(Arc::new(compacted), Arc::clone(&store));
+    let compacted_print = threaded_fingerprint(&compacted_engine, &live);
+    assert_eq!(compacted_print, fresh_print, "compacted index diverged");
+    assert_eq!(
+        join_of(compacted_engine.tree(), store.as_ref()),
+        fresh_join,
+        "join diverged after compact"
+    );
+
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(&index_path).ok();
+}
+
+/// In-flight queries pinned to an epoch snapshot must be unaffected by
+/// writer commits — including whole batches running while the writer
+/// churns.
+#[test]
+fn pinned_snapshots_survive_concurrent_writes() {
+    let store_path = tmp("epoch.fzkn");
+    let mut writer = FileStoreWriter::<2>::create(&store_path).unwrap();
+    for id in 0..TOTAL {
+        writer.append(&blob(id)).unwrap();
+    }
+    let store = writer.finish().unwrap();
+    let seeded: Vec<ObjectSummary<2>> = store.summaries()[..SEEDED as usize].to_vec();
+    let live: BTreeSet<u64> = (0..SEEDED).collect();
+    let tree = RTree::bulk_load(seeded, RTreeConfig { max_entries: 8, min_fill: 0.4 });
+    let engine = DynamicQueryEngine::from_parts(tree, store);
+
+    let pinned = engine.reader();
+    let requests = workload(pinned.store(), &live);
+    let before = fingerprint(&BatchExecutor::sequential().run_shared(&pinned, &requests));
+
+    std::thread::scope(|scope| {
+        let writer = engine.clone();
+        let summaries: Vec<ObjectSummary<2>> = engine.store().summaries().to_vec();
+        scope.spawn(move || {
+            for op in script() {
+                match op {
+                    Op::Insert(id) => {
+                        writer.insert(summaries[id as usize]).unwrap();
+                    }
+                    Op::Delete(id) => {
+                        writer.delete(ObjectId(id)).unwrap();
+                    }
+                    Op::Update(id) => {
+                        writer.update(summaries[id as usize]).unwrap();
+                    }
+                }
+            }
+        });
+        // Readers on the pinned snapshot, racing the writer.
+        for threads in [1usize, 2, 8] {
+            let outcome = BatchExecutor::new(threads).run_shared(&pinned, &requests);
+            assert_eq!(
+                fingerprint(&outcome),
+                before,
+                "pinned snapshot changed under a concurrent writer ({threads} threads)"
+            );
+        }
+    });
+
+    assert!(engine.epoch() > 0);
+    // A fresh reader sees the post-script tree, and it is valid.
+    engine.versioned().snapshot().validate().unwrap();
+    std::fs::remove_file(&store_path).ok();
+}

@@ -15,6 +15,9 @@
 //!   paper's algorithms are evaluated *without* caching).
 //! * [`PageCache`] — a generic bounded LRU buffer pool for page-structured
 //!   files (the paged R-tree index reads through one).
+//! * [`DeltaLog`] — the checksummed `.fzdl` sidecar persisting a paged
+//!   index's pending inserts/tombstones between processes (the index file
+//!   itself is immutable until compaction).
 //! * [`ObjectStore`] — the trait the query processor is generic over.
 
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod error;
 pub mod file_store;
 pub mod format;
 pub mod mem_store;
+pub mod overlay;
 pub mod pagecache;
 pub mod stats;
 
@@ -31,6 +35,7 @@ pub use cache::CachedStore;
 pub use error::StoreError;
 pub use file_store::{FileStore, FileStoreWriter};
 pub use mem_store::MemStore;
+pub use overlay::DeltaLog;
 pub use pagecache::{CachedPage, PageCache, PageCacheStats};
 pub use stats::{IoStats, IoStatsSnapshot};
 
