@@ -17,6 +17,7 @@
 //! pool — to expose the cache's effect directly.
 
 use crate::json::Json;
+use crate::kernel::{self, KernelOptions};
 use crate::{DatasetSpec, Env};
 use fuzzy_datagen::DatasetKind;
 use fuzzy_index::{NodeAccess, PagedRTree};
@@ -24,8 +25,10 @@ use fuzzy_query::{AknnConfig, BatchExecutor, BatchOutcome, BatchRequest};
 use fuzzy_store::{FileStore, ObjectStore};
 use std::path::Path;
 
-/// Schema identifier embedded in every report.
-pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v2";
+/// Schema identifier embedded in every report. v3 added per-query latency
+/// percentiles (`wall_ms_p50/p95/p99`) to every run and the top-level
+/// `kernel` microbench section.
+pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v3";
 
 /// Which index backend a bench run queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +72,8 @@ pub struct BenchOptions {
     pub page_size: u32,
     /// Buffer-pool capacity in pages (ignored for `Mem`).
     pub cache_pages: usize,
+    /// Axes of the distance-kernel microbench (`kernel` report section).
+    pub kernel: KernelOptions,
     /// Fraction of the dataset cycled through the dynamic-update path
     /// (delete + reinsert) before an extra `mutation` sweep measures the
     /// default workload against the mutated index. `0.0` skips the sweep.
@@ -99,6 +104,7 @@ impl BenchOptions {
             backend: IndexBackend::Paged,
             page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
             cache_pages: fuzzy_index::DEFAULT_CACHE_PAGES,
+            kernel: KernelOptions::full(),
             mutation_rate: 0.0,
             smoke: false,
         }
@@ -123,6 +129,7 @@ impl BenchOptions {
             backend: IndexBackend::Paged,
             page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
             cache_pages: 64,
+            kernel: KernelOptions::smoke(),
             mutation_rate: 0.25,
             smoke: true,
         }
@@ -146,6 +153,23 @@ fn record(
     let total = outcome.total_stats();
     let ok = outcome.ok_count().max(1) as f64;
     let batch_secs = outcome.wall.as_secs_f64();
+    // Per-query latency distribution (successful queries only). The
+    // nearest-rank percentile matches the usual SLO convention: p99 of 48
+    // samples is the 48th-ranked latency.
+    let mut walls: Vec<f64> = outcome
+        .responses
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.stats().wall.as_secs_f64() * 1e3)
+        .collect();
+    walls.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if walls.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * walls.len() as f64).ceil() as usize;
+        walls[rank.clamp(1, walls.len()) - 1]
+    };
     Json::obj(vec![
         ("sweep", Json::str(sweep)),
         ("variant", Json::str(cfg.variant_name())),
@@ -157,6 +181,9 @@ fn record(
         ("errors", Json::num(outcome.error_count() as f64)),
         ("wall_ms_batch", Json::num(batch_secs * 1e3)),
         ("wall_ms_mean_query", Json::num(total.wall.as_secs_f64() * 1e3 / ok)),
+        ("wall_ms_p50", Json::num(pct(50.0))),
+        ("wall_ms_p95", Json::num(pct(95.0))),
+        ("wall_ms_p99", Json::num(pct(99.0))),
         ("qps", Json::num(if batch_secs > 0.0 { ok / batch_secs } else { 0.0 })),
         ("object_accesses_total", Json::num(total.object_accesses as f64)),
         ("object_accesses_mean", Json::num(total.object_accesses as f64 / ok)),
@@ -182,6 +209,9 @@ const RUN_FIELDS: &[(&str, bool)] = &[
     ("errors", true),
     ("wall_ms_batch", true),
     ("wall_ms_mean_query", true),
+    ("wall_ms_p50", true),
+    ("wall_ms_p95", true),
+    ("wall_ms_p99", true),
     ("qps", true),
     ("object_accesses_total", true),
     ("object_accesses_mean", true),
@@ -394,6 +424,8 @@ pub fn run(opts: &BenchOptions) -> Json {
         }
     };
 
+    let kernel_rows = kernel::run(&opts.kernel);
+
     let threads_available =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     Json::obj(vec![
@@ -434,6 +466,7 @@ pub fn run(opts: &BenchOptions) -> Json {
             ]),
         ),
         ("runs", Json::Arr(runs)),
+        ("kernel", Json::Arr(kernel_rows)),
     ])
 }
 
@@ -468,6 +501,23 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
         }
         if run.get("errors").and_then(Json::as_num) != Some(0.0) {
             return Err(format!("runs[{i}] recorded query errors"));
+        }
+    }
+    let kernel_rows = report
+        .get("kernel")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "kernel must be an array".to_string())?;
+    if kernel_rows.is_empty() {
+        return Err("kernel must not be empty".to_string());
+    }
+    for (i, row) in kernel_rows.iter().enumerate() {
+        for &(field, is_number) in kernel::KERNEL_FIELDS {
+            let value = row.get(field).ok_or_else(|| format!("kernel[{i}] missing {field:?}"))?;
+            match (is_number, value) {
+                (true, Json::Num(n)) if n.is_finite() && *n >= 0.0 => {}
+                (false, Json::Str(_)) => {}
+                _ => return Err(format!("kernel[{i}].{field} has the wrong type: {value:?}")),
+            }
         }
     }
     Ok(())

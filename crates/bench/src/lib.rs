@@ -12,6 +12,7 @@
 
 pub mod aknn_suite;
 pub mod json;
+pub mod kernel;
 
 use fuzzy_core::FuzzyObject;
 use fuzzy_datagen::{CellConfig, DatasetKind, SyntheticConfig};

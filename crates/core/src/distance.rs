@@ -1,37 +1,76 @@
 //! α-distance evaluation (Definition 3):
 //! `d_α(A, B) = min_{⟨a,b⟩ ∈ A_α×B_α} ‖a − b‖`.
 //!
-//! Two evaluators are provided:
+//! The paper's central cost statement — "the evaluation of α-distance is
+//! quadratic with the number of points" — makes this module the system's
+//! hot path. Everything here therefore works in **squared** distances and
+//! takes the single `sqrt` only at the API boundary; the result is
+//! bitwise-identical to minimizing real distances because `sqrt` is
+//! correctly rounded and monotone.
 //!
-//! * [`alpha_distance_brute`] — the quadratic all-pairs scan the paper
-//!   describes as the naive cost ("the evaluation of α-distance is
-//!   quadratic with the number of points"); kept as the test oracle and
-//!   for the `abl-dist` ablation.
-//! * [`alpha_distance`] — dual-tree bichromatic closest pair over the
-//!   objects' cached kd-trees with membership-level pruning; near
-//!   `O(n log n)` in practice.
+//! Evaluators:
+//!
+//! * [`alpha_distance_brute`] — the naive per-pair scan (with a `sqrt` per
+//!   pair), kept verbatim as the test oracle and for the `abl-dist`
+//!   ablation.
+//! * [`alpha_distance`] / [`alpha_distance_bounded`] — the adaptive kernel.
+//!   It treats the **second** argument as the reusable side (the query
+//!   object in AKNN, the run-grouped left object in the join): cached
+//!   structures — the [`MembershipPrefix`](crate::MembershipPrefix)
+//!   layout or the kd-tree — are only ever built on that side, while the
+//!   throwaway side (an object decoded for a single probe) is scanned
+//!   raw. Per call it picks the cheapest exact strategy:
+//!   1. **dense** — when the cut product is small, the throwaway side's
+//!      points stream once through the membership filter and each
+//!      accepted point runs a dense inner loop over the reusable side's
+//!      contiguous α-cut prefix (no tree, no sort, no allocation);
+//!   2. **single-tree** — for larger cuts, each accepted throwaway point
+//!      runs a seeded nearest-neighbour search in the reusable side's
+//!      kd-tree, chaining the running best as the next seed;
+//!   3. **dual-tree** — the bichromatic closest pair over both kd-trees
+//!      with membership-level pruning (Corral et al., ref. \[9\]), used
+//!      when both trees already exist.
+//!
+//!   All strategies minimize the same set of squared pair distances, so
+//!   they return bitwise-equal results (property-tested against the
+//!   oracle).
+//!
+//! The `upper_bound` seed of [`alpha_distance_bounded`] realizes the
+//! bound-seeding idea the AKNN traversal exploits (§3.3–3.4): pairs at or
+//! beyond the seed are pruned, and `None` reports that no qualifying pair
+//! closer than the seed exists.
 
 use crate::object::FuzzyObject;
 use crate::threshold::Threshold;
-use fuzzy_geom::bichromatic_closest_pair;
+use fuzzy_geom::{bichromatic_closest_pair_sq, KdTree, LevelFilter, Point};
+
+/// Below this `|A_α|·|B_α|` product the dense filtered-scan × prefix loop
+/// beats the tree traversals (no tree build, no recursion, a vectorized
+/// branchless inner loop). Chosen so objects of a few hundred points
+/// never pay a tree construction.
+const DENSE_PAIR_BUDGET: usize = 65536;
 
 /// Evaluation strategy selector, mainly for benchmarks and tests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DistanceAlgorithm {
-    /// All-pairs scan, `O(|A_α|·|B_α|)`.
+    /// All-pairs scan, `O(|A_α|·|B_α|)`, one `sqrt` per pair (the paper's
+    /// naive cost model; the reference oracle).
     BruteForce,
-    /// Dual-tree branch and bound over kd-trees.
+    /// Dual-tree branch and bound over both kd-trees.
     DualTree,
+    /// The adaptive kernel: prefix×prefix, single-tree or dual-tree,
+    /// whichever is cheapest for the call (the production default).
+    Auto,
 }
 
-/// α-distance via dual-tree closest pair. Returns `None` when either cut is
+/// α-distance via the adaptive kernel. Returns `None` when either cut is
 /// empty under `t` (possible only for strict thresholds at the top level).
 pub fn alpha_distance<const D: usize>(
     a: &FuzzyObject<D>,
     b: &FuzzyObject<D>,
     t: Threshold,
 ) -> Option<f64> {
-    alpha_distance_bounded(a, b, t, f64::INFINITY)
+    alpha_distance_sq_bounded(a, b, t, f64::INFINITY).map(f64::sqrt)
 }
 
 /// α-distance with a seed upper bound: pairs at distance `≥ upper_bound`
@@ -44,11 +83,134 @@ pub fn alpha_distance_bounded<const D: usize>(
     t: Threshold,
     upper_bound: f64,
 ) -> Option<f64> {
-    let f = t.filter();
-    bichromatic_closest_pair(a.kd_tree(), b.kd_tree(), f, f, upper_bound).map(|r| r.dist)
+    let bound_sq = if upper_bound.is_finite() { upper_bound * upper_bound } else { f64::INFINITY };
+    alpha_distance_sq_bounded(a, b, t, bound_sq).map(f64::sqrt)
 }
 
-/// Reference all-pairs evaluator.
+/// The squared-space workhorse behind every evaluator: the **squared**
+/// α-distance, pruned by a **squared** seed. `None` when either cut is
+/// empty or no pair lies strictly closer than `upper_bound_sq`.
+///
+/// This is the form the query engine calls on its hot path — heap keys,
+/// pruning bounds and seeds all stay squared, and the single `sqrt` is
+/// taken when a distance is reported to the user.
+pub fn alpha_distance_sq_bounded<const D: usize>(
+    a: &FuzzyObject<D>,
+    b: &FuzzyObject<D>,
+    t: Threshold,
+    upper_bound_sq: f64,
+) -> Option<f64> {
+    // `a` is the throwaway side, scanned raw: count its cut in one pass
+    // (branch-predictable, no allocation, no sort).
+    let na = a.memberships().iter().filter(|&&mu| t.accepts(mu)).count();
+    if na == 0 {
+        return None;
+    }
+    // `b` is the reusable side: its sorted layout is built once and
+    // amortized over every evaluation against it.
+    let pb = b.by_membership();
+    let nb = pb.prefix_len(t);
+    if nb == 0 {
+        return None;
+    }
+    if na.saturating_mul(nb) <= DENSE_PAIR_BUDGET {
+        return dense_scan_sq(a, t, pb, nb, upper_bound_sq);
+    }
+    let f = t.filter();
+    if a.kd_tree_ready() && b.kd_tree_ready() {
+        return bichromatic_closest_pair_sq(a.kd_tree(), b.kd_tree(), f, f, upper_bound_sq)
+            .map(|r| r.dist_sq);
+    }
+    if a.kd_tree_ready() {
+        // Rare shape (the throwaway side happens to carry a tree): probe
+        // it from b's prefix instead of building a second tree.
+        return single_tree_sq(a.kd_tree(), f, &pb.points()[..nb], upper_bound_sq);
+    }
+    single_tree_sq(b.kd_tree(), f, FilteredPoints::Raw(a, t), upper_bound_sq)
+}
+
+/// Point source for the single-tree path: either a raw membership-filtered
+/// scan or an already-contiguous prefix.
+enum FilteredPoints<'a, const D: usize> {
+    Raw(&'a FuzzyObject<D>, Threshold),
+    Prefix(&'a [Point<D>]),
+}
+
+impl<'a, const D: usize> From<&'a [Point<D>]> for FilteredPoints<'a, D> {
+    fn from(pts: &'a [Point<D>]) -> Self {
+        Self::Prefix(pts)
+    }
+}
+
+/// Dense path: stream `a`'s raw points through the membership filter; each
+/// accepted point runs a branchless columnar min-reduction over `b`'s
+/// contiguous cut prefix. A point whose distance to the prefix's bounding
+/// box already reaches the running best skips its row entirely — with the
+/// engine's tight probe seeds, dominated evaluations collapse to a handful
+/// of box tests (bitwise-safe: a skipped row's minimum cannot beat the
+/// bound that skipped it).
+fn dense_scan_sq<const D: usize>(
+    a: &FuzzyObject<D>,
+    t: Threshold,
+    pb: &crate::object::MembershipPrefix<D>,
+    nb: usize,
+    upper_bound_sq: f64,
+) -> Option<f64> {
+    let (cut_lo, cut_hi) = pb.prefix_bounds(nb);
+    let mut best = upper_bound_sq;
+    let mut found = false;
+    for (p, mu) in a.iter() {
+        if !t.accepts(mu) {
+            continue;
+        }
+        if p.dist_sq_to_box(&cut_lo, &cut_hi) >= best {
+            continue;
+        }
+        let row_min = pb.min_dist_sq_to_prefix(p, nb);
+        if row_min < best {
+            best = row_min;
+            found = true;
+        }
+    }
+    found.then_some(best)
+}
+
+/// One seeded NN search per filtered point of the tree-less side, chaining
+/// the running best as the next seed: after the first close hit, most
+/// probes prune at the root.
+fn single_tree_sq<'a, const D: usize>(
+    tree: &KdTree<D>,
+    filter: LevelFilter,
+    cut: impl Into<FilteredPoints<'a, D>>,
+    upper_bound_sq: f64,
+) -> Option<f64> {
+    let mut best = upper_bound_sq;
+    let mut found = false;
+    let mut visit = |p: &Point<D>| {
+        if let Some((_, d2)) = tree.nn_sq_within(p, filter, best) {
+            best = d2;
+            found = true;
+        }
+    };
+    match cut.into() {
+        FilteredPoints::Raw(a, t) => {
+            for (p, mu) in a.iter() {
+                if t.accepts(mu) {
+                    visit(p);
+                }
+            }
+        }
+        FilteredPoints::Prefix(pts) => {
+            for p in pts {
+                visit(p);
+            }
+        }
+    }
+    found.then_some(best)
+}
+
+/// Reference all-pairs evaluator (a `sqrt` per candidate pair; the bitwise
+/// oracle every optimized path is property-tested against).
 pub fn alpha_distance_brute<const D: usize>(
     a: &FuzzyObject<D>,
     b: &FuzzyObject<D>,
@@ -79,7 +241,12 @@ pub fn alpha_distance_with<const D: usize>(
 ) -> Option<f64> {
     match algo {
         DistanceAlgorithm::BruteForce => alpha_distance_brute(a, b, t),
-        DistanceAlgorithm::DualTree => alpha_distance(a, b, t),
+        DistanceAlgorithm::DualTree => {
+            let f = t.filter();
+            bichromatic_closest_pair_sq(a.kd_tree(), b.kd_tree(), f, f, f64::INFINITY)
+                .map(|r| r.dist_sq.sqrt())
+        }
+        DistanceAlgorithm::Auto => alpha_distance(a, b, t),
     }
 }
 
@@ -109,7 +276,9 @@ mod tests {
     }
 
     #[test]
-    fn dual_tree_matches_brute_force() {
+    fn adaptive_kernel_matches_brute_force_bitwise() {
+        // 90×90 points straddles the brute budget across α, so this
+        // exercises the dense path (high α) and tree paths (low α).
         for seed in 1..10u64 {
             let a = blob(seed, 80, 0.0, 0.0);
             let b = blob(seed + 100, 90, 3.0, 1.0);
@@ -121,13 +290,71 @@ mod tests {
                     match (fast, slow) {
                         (None, None) => {}
                         (Some(f), Some(s)) => {
-                            assert!((f - s).abs() < 1e-12, "seed {seed} t {t}: {f} vs {s}")
+                            assert_eq!(f.to_bits(), s.to_bits(), "seed {seed} t {t}: {f} vs {s}")
                         }
                         other => panic!("seed {seed} t {t}: {other:?}"),
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn all_strategies_agree_bitwise() {
+        for seed in [2u64, 5, 9] {
+            let a = blob(seed, 120, 0.0, 0.0);
+            let b = blob(seed + 7, 110, 2.0, -1.0);
+            for v in [0.1, 0.5, 0.9] {
+                let t = Threshold::at(v);
+                let brute = alpha_distance_with(DistanceAlgorithm::BruteForce, &a, &b, t).unwrap();
+                let dual = alpha_distance_with(DistanceAlgorithm::DualTree, &a, &b, t).unwrap();
+                let auto = alpha_distance_with(DistanceAlgorithm::Auto, &a, &b, t).unwrap();
+                assert_eq!(brute.to_bits(), dual.to_bits(), "seed {seed} α {v}");
+                assert_eq!(brute.to_bits(), auto.to_bits(), "seed {seed} α {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_paths_match_brute_above_the_dense_budget() {
+        // Force the cut product above the real dispatch constant so the
+        // non-dense strategies actually run, in every cache shape:
+        // b-cached (the hot probe shape), a-cached (the rare symmetric
+        // branch), neither (builds b's tree), and both (dual-tree).
+        let n = 300; // 300×300 support cuts → 90 000 pairs
+        let t = Threshold::at(0.05);
+        let fresh = |id: u64| (blob(id, n, 0.0, 0.0), blob(id + 1, n, 1.5, 0.5));
+        let (a0, b0) = fresh(31);
+        let product = a0.by_membership().prefix_len(t) * b0.by_membership().prefix_len(t);
+        assert!(product > super::DENSE_PAIR_BUDGET, "test objects too small: {product}");
+        let want = alpha_distance_brute(&a0, &b0, t).unwrap();
+
+        // Only b cached (probed object vs resident query).
+        let (a, b) = fresh(31);
+        b.kd_tree();
+        assert!(!a.kd_tree_ready() && b.kd_tree_ready());
+        assert_eq!(alpha_distance(&a, &b, t).unwrap().to_bits(), want.to_bits());
+        // Only a cached.
+        let (a, b) = fresh(31);
+        a.kd_tree();
+        assert_eq!(alpha_distance(&a, &b, t).unwrap().to_bits(), want.to_bits());
+        // Neither cached: the kernel builds b's tree.
+        let (a, b) = fresh(31);
+        assert_eq!(alpha_distance(&a, &b, t).unwrap().to_bits(), want.to_bits());
+        assert!(!a.kd_tree_ready() && b.kd_tree_ready());
+        // Both cached: dual-tree.
+        let (a, b) = fresh(31);
+        a.kd_tree();
+        b.kd_tree();
+        assert_eq!(alpha_distance(&a, &b, t).unwrap().to_bits(), want.to_bits());
+        // Seeded forms agree too: just above the answer preserves it
+        // bitwise, at the answer prunes to None — on the tree paths.
+        let (a, b) = fresh(31);
+        b.kd_tree();
+        let want_sq = alpha_distance_sq_bounded(&a, &b, t, f64::INFINITY).unwrap();
+        assert_eq!(want_sq.sqrt().to_bits(), want.to_bits());
+        assert_eq!(alpha_distance_sq_bounded(&a, &b, t, want_sq * (1.0 + 1e-9)), Some(want_sq));
+        assert_eq!(alpha_distance_sq_bounded(&a, &b, t, want_sq), None);
     }
 
     #[test]
@@ -180,6 +407,20 @@ mod tests {
     }
 
     #[test]
+    fn squared_bounded_form_is_consistent() {
+        let a = blob(13, 70, 0.0, 0.0);
+        let b = blob(14, 70, 3.0, 2.0);
+        let t = Threshold::at(0.4);
+        let exact = alpha_distance(&a, &b, t).unwrap();
+        let sq = alpha_distance_sq_bounded(&a, &b, t, f64::INFINITY).unwrap();
+        assert_eq!(sq.sqrt().to_bits(), exact.to_bits());
+        // A squared seed just above the squared answer preserves it.
+        assert_eq!(alpha_distance_sq_bounded(&a, &b, t, sq * (1.0 + 1e-9)), Some(sq));
+        // A squared seed at the answer prunes everything (strict compare).
+        assert_eq!(alpha_distance_sq_bounded(&a, &b, t, sq), None);
+    }
+
+    #[test]
     fn dispatch_helper() {
         let a = blob(11, 40, 0.0, 0.0);
         let b = blob(12, 40, 2.0, 2.0);
@@ -187,6 +428,10 @@ mod tests {
         assert_eq!(
             alpha_distance_with(DistanceAlgorithm::BruteForce, &a, &b, t),
             alpha_distance_with(DistanceAlgorithm::DualTree, &a, &b, t)
+        );
+        assert_eq!(
+            alpha_distance_with(DistanceAlgorithm::BruteForce, &a, &b, t),
+            alpha_distance_with(DistanceAlgorithm::Auto, &a, &b, t)
         );
     }
 }

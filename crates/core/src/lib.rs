@@ -31,7 +31,7 @@ pub mod summary;
 pub mod threshold;
 
 pub use error::ModelError;
-pub use object::{FuzzyObject, FuzzyObjectBuilder, ObjectId};
+pub use object::{FuzzyObject, FuzzyObjectBuilder, MembershipPrefix, ObjectId};
 pub use profile::DistanceProfile;
 pub use summary::ObjectSummary;
 pub use threshold::Threshold;

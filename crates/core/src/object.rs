@@ -24,14 +24,131 @@ impl fmt::Display for ObjectId {
 /// * non-empty kernel — some point has membership exactly `1.0`
 ///   (the paper's standing assumption, Section 2.1).
 ///
-/// A kd-tree over the points (annotated with subtree membership maxima) is
-/// built lazily on first use and cached; all α-distance evaluators share it.
+/// Two derived structures are built lazily on first use and cached:
+///
+/// * a kd-tree over the points (annotated with subtree membership maxima),
+///   shared by the tree-based α-distance evaluators;
+/// * a [`MembershipPrefix`] — the points re-stored as a
+///   **membership-descending structure-of-arrays**, so any α-cut is a
+///   contiguous prefix located by one binary search. The hot distance
+///   kernels scan these prefixes instead of filtering point-by-point.
+///
+/// The externally observable point order ([`FuzzyObject::points`],
+/// [`FuzzyObject::iter`], serialization) remains the construction order.
 #[derive(Clone, Debug)]
 pub struct FuzzyObject<const D: usize> {
     id: ObjectId,
     points: Vec<Point<D>>,
     memberships: Vec<f64>,
     kd: OnceLock<KdTree<D>>,
+    prefix: OnceLock<MembershipPrefix<D>>,
+}
+
+/// The membership-descending structure-of-arrays view of an object's
+/// points: `points()[i]` carries `memberships()[i]`, and memberships are
+/// sorted descending (ties broken by original index, so the layout is
+/// deterministic). Any threshold then selects the contiguous prefix
+/// `0..prefix_len(t)` — a single binary search instead of a scan — and
+/// the quadratic α-distance kernels become cache-friendly prefix×prefix
+/// loops over dense coordinate arrays.
+#[derive(Clone, Debug)]
+pub struct MembershipPrefix<const D: usize> {
+    pts: Vec<Point<D>>,
+    mus: Vec<f64>,
+    /// Dimension-major coordinate columns (`cols[d*len + j]` is coordinate
+    /// `d` of sorted point `j`): the dense distance kernels stream these
+    /// contiguously, which lets the compiler vectorize the inner loop.
+    cols: Vec<f64>,
+}
+
+impl<const D: usize> MembershipPrefix<D> {
+    fn build(points: &[Point<D>], memberships: &[f64]) -> Self {
+        // One (µ, index) buffer; unstable sort is fine because the index
+        // tie-break makes the order total and deterministic.
+        let mut keyed: Vec<(f64, u32)> =
+            memberships.iter().zip(0u32..).map(|(&mu, i)| (mu, i)).collect();
+        keyed.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let n = keyed.len();
+        let mut cols = vec![0.0; D * n];
+        for (j, &(_, i)) in keyed.iter().enumerate() {
+            for d in 0..D {
+                cols[d * n + j] = points[i as usize].coords()[d];
+            }
+        }
+        Self {
+            pts: keyed.iter().map(|&(_, i)| points[i as usize]).collect(),
+            mus: keyed.iter().map(|&(mu, _)| mu).collect(),
+            cols,
+        }
+    }
+
+    /// Points, membership-descending.
+    #[inline]
+    pub fn points(&self) -> &[Point<D>] {
+        &self.pts
+    }
+
+    /// Memberships, descending, parallel to [`MembershipPrefix::points`].
+    #[inline]
+    pub fn memberships(&self) -> &[f64] {
+        &self.mus
+    }
+
+    /// Coordinate column of dimension `d` (membership-descending order,
+    /// parallel to [`MembershipPrefix::points`]).
+    #[inline]
+    pub fn coord_column(&self, d: usize) -> &[f64] {
+        &self.cols[d * self.pts.len()..(d + 1) * self.pts.len()]
+    }
+
+    /// Length of the prefix selected by `t`: the cut `{a : t accepts µ(a)}`
+    /// is exactly `points()[..prefix_len(t)]`.
+    #[inline]
+    pub fn prefix_len(&self, t: Threshold) -> usize {
+        self.mus.partition_point(|&mu| t.accepts(mu))
+    }
+
+    /// Per-dimension bounds of the prefix `0..n` as `(lo, hi)` arrays —
+    /// the exact cut MBR, computed with one pass over the coordinate
+    /// columns. Callers use it to skip whole prefix scans whose bounding
+    /// box already lies beyond a known bound.
+    pub fn prefix_bounds(&self, n: usize) -> ([f64; D], [f64; D]) {
+        let mut lo = [f64::INFINITY; D];
+        let mut hi = [f64::NEG_INFINITY; D];
+        for d in 0..D {
+            for &c in &self.coord_column(d)[..n] {
+                lo[d] = lo[d].min(c);
+                hi[d] = hi[d].max(c);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// The smallest **squared** distance from `p` to a point of the
+    /// prefix `0..n`, computed as a branchless columnar min-reduction
+    /// (auto-vectorizes). `+∞` for an empty prefix.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // index loops keep the reduction vectorizable
+    pub fn min_dist_sq_to_prefix(&self, p: &Point<D>, n: usize) -> f64 {
+        let len = self.pts.len();
+        // Per-dimension column slices, hoisted so the inner loop indexes
+        // equal-length slices (lets the compiler drop bounds checks and
+        // vectorize the min-reduction).
+        let cols: [&[f64]; D] = std::array::from_fn(|d| &self.cols[d * len..d * len + n]);
+        let mut row_min = f64::INFINITY;
+        // Per-point accumulation in dimension order matches
+        // `Point::dist_sq` exactly, so results are bitwise-identical to
+        // the scalar evaluators.
+        for j in 0..n {
+            let mut acc = 0.0;
+            for d in 0..D {
+                let diff = cols[d][j] - p.coords()[d];
+                acc += diff * diff;
+            }
+            row_min = row_min.min(acc);
+        }
+        row_min
+    }
 }
 
 impl<const D: usize> FuzzyObject<D> {
@@ -64,7 +181,7 @@ impl<const D: usize> FuzzyObject<D> {
         if !has_kernel {
             return Err(ModelError::EmptyKernel);
         }
-        Ok(Self { id, points, memberships, kd: OnceLock::new() })
+        Ok(Self { id, points, memberships, kd: OnceLock::new(), prefix: OnceLock::new() })
     }
 
     /// Object identifier.
@@ -105,6 +222,23 @@ impl<const D: usize> FuzzyObject<D> {
     /// The lazily built, cached kd-tree over the object's points.
     pub fn kd_tree(&self) -> &KdTree<D> {
         self.kd.get_or_init(|| KdTree::build(&self.points, &self.memberships))
+    }
+
+    /// True when the cached kd-tree has already been built. The adaptive
+    /// α-distance kernel uses this to avoid constructing a tree for an
+    /// object probed once (e.g. a freshly decoded store object) when a
+    /// cheaper evaluation path exists.
+    #[inline]
+    pub fn kd_tree_ready(&self) -> bool {
+        self.kd.get().is_some()
+    }
+
+    /// The lazily built, cached membership-descending prefix layout. Much
+    /// cheaper to build than the kd-tree (one sort, no recursive
+    /// partitioning), which is why the hot kernels prefer it for objects
+    /// probed a single time.
+    pub fn by_membership(&self) -> &MembershipPrefix<D> {
+        self.prefix.get_or_init(|| MembershipPrefix::build(&self.points, &self.memberships))
     }
 
     /// MBR of the support set (`M_A` = `M_A(0)` in the paper's notation).

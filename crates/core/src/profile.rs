@@ -45,12 +45,11 @@ impl DistanceProfile {
         levels.sort_by(|x, y| y.total_cmp(x));
         levels.dedup();
 
-        // Points of each object ordered by membership descending, so the
-        // activation frontier is a single cursor per object.
-        let mut ord_a: Vec<usize> = (0..a.len()).collect();
-        ord_a.sort_by(|&i, &j| a.membership(j).total_cmp(&a.membership(i)));
-        let mut ord_q: Vec<usize> = (0..q.len()).collect();
-        ord_q.sort_by(|&i, &j| q.membership(j).total_cmp(&q.membership(i)));
+        // The cached membership-descending prefix layouts make the
+        // activation frontier a single cursor per object — no per-call
+        // index sort.
+        let pa = a.by_membership();
+        let pq = q.by_membership();
 
         let (tree_a, tree_q) = (a.kd_tree(), q.kd_tree());
         let (mut ca, mut cq) = (0usize, 0usize);
@@ -60,8 +59,8 @@ impl DistanceProfile {
         for &level in &levels {
             let filter = LevelFilter::at_least(level);
             // Activate the new A-points and probe Q's tree.
-            while ca < ord_a.len() && a.membership(ord_a[ca]) >= level {
-                let p = a.point(ord_a[ca]);
+            while ca < pa.points().len() && pa.memberships()[ca] >= level {
+                let p = &pa.points()[ca];
                 if let Some((_, d)) = tree_q.nn_filtered(p, filter) {
                     if d < best {
                         best = d;
@@ -70,8 +69,8 @@ impl DistanceProfile {
                 ca += 1;
             }
             // Activate the new Q-points and probe A's tree.
-            while cq < ord_q.len() && q.membership(ord_q[cq]) >= level {
-                let p = q.point(ord_q[cq]);
+            while cq < pq.points().len() && pq.memberships()[cq] >= level {
+                let p = &pq.points()[cq];
                 if let Some((_, d)) = tree_a.nn_filtered(p, filter) {
                     if d < best {
                         best = d;

@@ -82,21 +82,41 @@ impl<const D: usize> ObjectSummary<D> {
     /// query cut MBR computed exactly by the caller.
     #[inline]
     pub fn lower_bound_dist(&self, query_cut: &Mbr<D>, t: Threshold) -> f64 {
-        self.approx_cut_mbr(t).min_dist(query_cut)
+        self.lower_bound_dist_sq(query_cut, t).sqrt()
+    }
+
+    /// Squared form of [`ObjectSummary::lower_bound_dist`] — the form the
+    /// best-first traversal keys its heap with (no `sqrt` on the hot path).
+    #[inline]
+    pub fn lower_bound_dist_sq(&self, query_cut: &Mbr<D>, t: Threshold) -> f64 {
+        self.approx_cut_mbr(t).min_dist_sq(query_cut)
     }
 
     /// Loose upper bound `MaxDist(M_A(α)*, M_Q(α))` (Eq. 3) used by the lazy
     /// probe before the improved §3.4 bound is applied.
     #[inline]
     pub fn upper_bound_dist(&self, query_cut: &Mbr<D>, t: Threshold) -> f64 {
-        self.approx_cut_mbr(t).max_dist(query_cut)
+        self.upper_bound_dist_sq(query_cut, t).sqrt()
+    }
+
+    /// Squared form of [`ObjectSummary::upper_bound_dist`].
+    #[inline]
+    pub fn upper_bound_dist_sq(&self, query_cut: &Mbr<D>, t: Threshold) -> f64 {
+        self.approx_cut_mbr(t).max_dist_sq(query_cut)
     }
 
     /// Improved upper bound `d⁺_α(A, Q) = min_{q ∈ Q'_α} ‖rep(A) − q‖`
     /// (Lemma 1): the distance from the kernel representative to the closest
     /// of the sampled query points. Returns `+∞` for an empty sample.
     pub fn rep_upper_bound(&self, query_samples: &[Point<D>]) -> f64 {
-        query_samples.iter().map(|q| self.rep.dist(q)).fold(f64::INFINITY, f64::min)
+        self.rep_upper_bound_sq(query_samples).sqrt()
+    }
+
+    /// Squared form of [`ObjectSummary::rep_upper_bound`]: the minimum
+    /// squared distance from `rep(A)` to the sampled query points (`+∞`
+    /// for an empty sample).
+    pub fn rep_upper_bound_sq(&self, query_samples: &[Point<D>]) -> f64 {
+        query_samples.iter().map(|q| self.rep.dist_sq(q)).fold(f64::INFINITY, f64::min)
     }
 }
 

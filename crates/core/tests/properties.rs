@@ -81,6 +81,88 @@ proptest! {
         }
     }
 
+    /// The squared-distance kernel returns **bitwise-equal** distances to
+    /// the per-pair `sqrt` oracle, whatever strategy the adaptive kernel
+    /// picks (dense prefix scan, single-tree, dual-tree): `sqrt` is
+    /// correctly rounded and monotone, so `min over sqrt(d²)` and
+    /// `sqrt(min over d²)` are the same float. Pre-building kd-trees
+    /// steers the strategy choice; objects up to 120 points straddle the
+    /// dense budget across thresholds.
+    #[test]
+    fn squared_kernel_bitwise_equals_brute(
+        a in arb_object(20, 120),
+        b in arb_object(21, 120),
+        t in arb_threshold(),
+        pre_a in any::<bool>(),
+        pre_b in any::<bool>(),
+    ) {
+        if pre_a { a.kd_tree(); }
+        if pre_b { b.kd_tree(); }
+        let fast = alpha_distance(&a, &b, t);
+        let slow = alpha_distance_brute(&a, &b, t);
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => prop_assert_eq!(
+                f.to_bits(), s.to_bits(),
+                "kernel {} != oracle {} at {} (kd pre-built: {}/{})", f, s, t, pre_a, pre_b
+            ),
+            other => prop_assert!(false, "evaluator disagreement: {:?}", other),
+        }
+    }
+
+    /// The membership-descending prefix layout selects exactly the α-cut:
+    /// `prefix_len` equals the scan count, memberships descend, the prefix
+    /// point multiset equals the filtered original points, and everything
+    /// past the prefix fails the threshold.
+    #[test]
+    fn prefix_layout_is_the_alpha_cut(obj in arb_object(22, 80), t in arb_threshold()) {
+        let p = obj.by_membership();
+        let n = p.prefix_len(t);
+        prop_assert_eq!(n, obj.cut_len(t));
+        for w in p.memberships().windows(2) {
+            prop_assert!(w[0] >= w[1], "memberships must descend");
+        }
+        for (i, &mu) in p.memberships().iter().enumerate() {
+            prop_assert_eq!(t.accepts(mu), i < n, "prefix boundary wrong at {}", i);
+        }
+        // Same point multiset as the filter over the original layout
+        // (compare via sorted total order).
+        let mut want: Vec<_> = obj
+            .iter()
+            .filter(|&(_, mu)| t.accepts(mu))
+            .map(|(pt, _)| *pt)
+            .collect();
+        let mut got: Vec<_> = p.points()[..n].to_vec();
+        want.sort_by(|x, y| x.lex_cmp(y));
+        got.sort_by(|x, y| x.lex_cmp(y));
+        prop_assert_eq!(got, want);
+        // The columnar view agrees with the point array.
+        for (j, pt) in p.points().iter().enumerate() {
+            for d in 0..2 {
+                prop_assert_eq!(p.coord_column(d)[j].to_bits(), pt.coords()[d].to_bits());
+            }
+        }
+    }
+
+    /// Bound-seeded evaluation: a seed strictly above the true distance
+    /// preserves the exact answer bitwise; a seed at or below it prunes
+    /// everything (the documented `None`-on-seed contract).
+    #[test]
+    fn seeded_evaluation_is_exact_or_none(
+        a in arb_object(23, 60),
+        b in arb_object(24, 60),
+        t in arb_threshold(),
+        slack in 1e-9..1.0f64,
+    ) {
+        use fuzzy_core::distance::alpha_distance_bounded;
+        if let Some(exact) = alpha_distance_brute(&a, &b, t) {
+            let above = alpha_distance_bounded(&a, &b, t, exact * (1.0 + slack) + f64::MIN_POSITIVE);
+            prop_assert_eq!(above.map(f64::to_bits), Some(exact.to_bits()));
+            let at = alpha_distance_bounded(&a, &b, t, exact * (1.0 - slack.min(0.5)));
+            prop_assert_eq!(at, None);
+        }
+    }
+
     /// The sweep profile equals the brute-force Pareto profile, and lookups
     /// into it match direct evaluation at arbitrary thresholds.
     #[test]

@@ -21,6 +21,17 @@ pub struct PairResult {
     pub j: usize,
 }
 
+/// Result of a closest-pair computation in squared space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairResultSq {
+    /// **Squared** distance between the winning pair.
+    pub dist_sq: f64,
+    /// Original index of the winning point in the first tree.
+    pub i: usize,
+    /// Original index of the winning point in the second tree.
+    pub j: usize,
+}
+
 /// Closest pair between the points of `a` passing `filter_a` and the points
 /// of `b` passing `filter_b`. Returns `None` when either side is empty under
 /// its filter.
@@ -36,11 +47,29 @@ pub fn bichromatic_closest_pair<const D: usize>(
     filter_b: LevelFilter,
     upper_bound: f64,
 ) -> Option<PairResult> {
-    let mut best_sq =
-        if upper_bound.is_finite() { upper_bound * upper_bound } else { f64::INFINITY };
+    let bound_sq = if upper_bound.is_finite() { upper_bound * upper_bound } else { f64::INFINITY };
+    bichromatic_closest_pair_sq(a, b, filter_a, filter_b, bound_sq).map(|r| PairResult {
+        dist: r.dist_sq.sqrt(),
+        i: r.i,
+        j: r.j,
+    })
+}
+
+/// [`bichromatic_closest_pair`] without the boundary square root: both the
+/// seed and the result are **squared** distances. This is the form every
+/// internal traversal uses — the single `sqrt` is taken only where a real
+/// distance leaves the hot path.
+pub fn bichromatic_closest_pair_sq<const D: usize>(
+    a: &KdTree<D>,
+    b: &KdTree<D>,
+    filter_a: LevelFilter,
+    filter_b: LevelFilter,
+    upper_bound_sq: f64,
+) -> Option<PairResultSq> {
+    let mut best_sq = upper_bound_sq;
     let mut best: Option<(u32, u32)> = None;
     descend(a, b, a.root_id(), b.root_id(), filter_a, filter_b, &mut best_sq, &mut best);
-    best.map(|(i, j)| PairResult { dist: best_sq.sqrt(), i: i as usize, j: j as usize })
+    best.map(|(i, j)| PairResultSq { dist_sq: best_sq, i: i as usize, j: j as usize })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -63,18 +92,20 @@ fn descend<const D: usize>(
     }
     match (a.node_children(na), b.node_children(nb)) {
         (None, None) => {
-            // Leaf x leaf: exhaustive scan over accepted points.
+            // Leaf x leaf: scan the accepted prefixes (leaf slots are
+            // membership-descending, so the first rejection on either
+            // side ends that side's accepted range).
             let (sa, ea) = a.node_points(na).expect("leaf");
             let (sb, eb) = b.node_points(nb).expect("leaf");
             for ia in sa..ea {
                 let (pa, mua, oa) = a.point_at(ia);
                 if !fa.accepts(mua) {
-                    continue;
+                    break;
                 }
                 for ib in sb..eb {
                     let (pb, mub, ob) = b.point_at(ib);
                     if !fb.accepts(mub) {
-                        continue;
+                        break;
                     }
                     let d2 = pa.dist_sq(pb);
                     if d2 < *best_sq {

@@ -7,6 +7,13 @@
 //! index over *all α-cuts at once* — the crucial property exploited by the
 //! α-distance evaluators, because the fraction of an object participating in
 //! a query is unknown until the query arrives (Section 1 of the paper).
+//!
+//! **Leaf prefix invariant:** within every leaf the points are stored in
+//! membership-descending order, so the subset passing any [`LevelFilter`]
+//! is a *contiguous prefix* of the leaf range. Leaf scans therefore stop
+//! at the first rejected membership instead of testing every point — the
+//! per-point filter closure of the original implementation becomes a
+//! single early exit.
 
 use crate::mbr::Mbr;
 use crate::point::Point;
@@ -107,6 +114,14 @@ impl<const D: usize> KdTree<D> {
         let mbr = Mbr::from_points(self.pts[start..end].iter()).expect("non-empty range");
         let max_mu = self.mus[start..end].iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if end - start <= LEAF_SIZE {
+            // Establish the leaf prefix invariant: membership descending
+            // (ties by original index, for determinism), so any level
+            // filter selects a contiguous prefix of the leaf.
+            let mut idx: Vec<usize> = (start..end).collect();
+            idx.sort_by(|&a, &b| {
+                self.mus[b].total_cmp(&self.mus[a]).then(self.orig[a].cmp(&self.orig[b]))
+            });
+            self.apply_permutation(start, &idx);
             let id = self.nodes.len() as u32;
             self.nodes.push(Node {
                 mbr,
@@ -184,10 +199,26 @@ impl<const D: usize> KdTree<D> {
     /// Nearest neighbour of `q` among points passing `filter`; returns the
     /// original index and the distance, or `None` when no point passes.
     pub fn nn_filtered(&self, q: &Point<D>, filter: LevelFilter) -> Option<(usize, f64)> {
-        let mut best = f64::INFINITY;
+        self.nn_sq_within(q, filter, f64::INFINITY).map(|(i, d2)| (i, d2.sqrt()))
+    }
+
+    /// Seeded nearest-neighbour search in **squared** space: the original
+    /// index and squared distance of the closest point passing `filter`
+    /// that lies *strictly closer* than `cap_sq`, or `None` when no such
+    /// point exists. With `cap_sq = ∞` this is [`KdTree::nn_filtered`]
+    /// without the final square root. The seed lets chained searches (one
+    /// per activated point in the α-distance evaluators) start each probe
+    /// from the running best, pruning most of the tree immediately.
+    pub fn nn_sq_within(
+        &self,
+        q: &Point<D>,
+        filter: LevelFilter,
+        cap_sq: f64,
+    ) -> Option<(usize, f64)> {
+        let mut best = cap_sq;
         let mut best_idx: Option<usize> = None;
         self.nn_rec(self.root, q, filter, &mut best, &mut best_idx);
-        best_idx.map(|i| (i, best.sqrt()))
+        best_idx.map(|i| (i, best))
     }
 
     fn nn_rec(
@@ -209,8 +240,10 @@ impl<const D: usize> KdTree<D> {
         match node.kind {
             NodeKind::Leaf { start, end } => {
                 for i in start as usize..end as usize {
+                    // Leaf prefix invariant: memberships descend, so the
+                    // first rejection ends the accepted prefix.
                     if !filter.accepts(self.mus[i]) {
-                        continue;
+                        break;
                     }
                     let d2 = q.dist_sq(&self.pts[i]);
                     if d2 < *best_sq {
@@ -257,7 +290,10 @@ impl<const D: usize> KdTree<D> {
             match node.kind {
                 NodeKind::Leaf { start, end } => {
                     for i in start as usize..end as usize {
-                        if filter.accepts(self.mus[i]) && q.dist_sq(&self.pts[i]) <= r2 {
+                        if !filter.accepts(self.mus[i]) {
+                            break; // leaf prefix invariant
+                        }
+                        if q.dist_sq(&self.pts[i]) <= r2 {
                             out.push(self.orig[i] as usize);
                         }
                     }
@@ -291,6 +327,9 @@ impl<const D: usize> KdTree<D> {
         }
     }
 
+    /// Leaf slot ranges are membership-descending (the leaf prefix
+    /// invariant), so callers may stop scanning at the first slot whose
+    /// membership fails their filter.
     #[inline]
     pub(crate) fn node_points(&self, id: u32) -> Option<(usize, usize)> {
         match self.nodes[id as usize].kind {

@@ -28,7 +28,9 @@ pub mod kdtree;
 pub mod mbr;
 pub mod point;
 
-pub use closest_pair::{bichromatic_closest_pair, PairResult};
+pub use closest_pair::{
+    bichromatic_closest_pair, bichromatic_closest_pair_sq, PairResult, PairResultSq,
+};
 pub use conservative::{fit_conservative_line, fit_conservative_line_exact, ConservativeLine};
 pub use hull::{convex_hull_2d, upper_hull_2d};
 pub use kdtree::{KdTree, LevelFilter};

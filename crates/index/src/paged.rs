@@ -42,7 +42,7 @@ use std::path::{Path, PathBuf};
 /// Index-file magic ("FuZzy Paged Tree").
 pub const PAGED_MAGIC: [u8; 4] = *b"FZPT";
 /// Index-file format version understood by this build.
-pub const PAGED_VERSION: u16 = 1;
+pub const PAGED_VERSION: u16 = 2;
 /// Trailer length in bytes: page-table offset, page count, reserved, magic.
 pub const PAGED_TRAILER_LEN: usize = 8 + 8 + 4 + 4;
 /// Per-page overhead: kind byte, 3 reserved bytes, entry count, checksum.

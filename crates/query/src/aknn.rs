@@ -10,6 +10,28 @@
 //! | `LB-LP`    | ✓                      | ✓            | –                      |
 //! | `LB-LP-UB` | ✓                      | ✓            | ✓                      |
 //!
+//! ### Hot-path layout
+//!
+//! The whole traversal works in **squared** distances: heap keys, deferred
+//! lower/upper bounds and probe seeds are all squared, and the single
+//! `sqrt` is taken when a distance leaves the search (a reported
+//! neighbour). Leaf entries are appended once to a per-query arena (their
+//! Eq. 2 approximate cut MBR computed a single time and reused by the
+//! lower *and* upper bound), and heap items carry a `u32` arena index
+//! instead of a by-value [`ObjectSummary`]. All transient state lives in a
+//! reusable [`QueryScratch`], so steady-state queries allocate nothing.
+//!
+//! ### Bound-seeded probes
+//!
+//! Every object probe seeds [`alpha_distance_sq_bounded`] with the
+//! tightest sound bound available: the entry's own upper bound `d⁺(E)`
+//! (inflated by a few ulps so the exact result is preserved bitwise) and
+//! the current k-th best upper bound τ over the *live* candidates. A probe
+//! that comes back `None` under the τ seed is dominated — at least `k`
+//! live candidates are provably no farther than τ — and is discarded
+//! without ever finishing its dual-tree descent (the documented
+//! `None`-on-seed contract of the kernel).
+//!
 //! ### A note on the lazy-probe buffer
 //!
 //! Algorithm 2 of the paper keeps deferred leaf entries in a second queue
@@ -22,16 +44,21 @@
 //! the sound dominance test `d⁺(U) < d⁻(E)` of §3.3 or when `H` is
 //! exhausted. Both rules preserve the paper's central property: an object
 //! is retrieved from disk only when the buffer overflows ("lazy probe
-//! makes all the object retrieval mandatory").
+//! makes all the object retrieval mandatory"). `G` is kept ordered by
+//! lower bound (descending, ties latest-first), so evicting the most
+//! promising entry is an O(1) tail pop instead of the linear scan of the
+//! original implementation.
 
 use crate::error::QueryError;
 use crate::result::{AknnResult, DistBound, Neighbor};
 use crate::stats::QueryStats;
-use fuzzy_core::distance::alpha_distance;
+use fuzzy_core::distance::alpha_distance_sq_bounded;
 use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary, Threshold};
+use fuzzy_geom::{Mbr, Point};
 use fuzzy_index::{MinKey, NodeAccess, NodeId, NodeView};
 use fuzzy_store::ObjectStore;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -46,6 +73,10 @@ pub struct AknnConfig {
     /// §3.4 — tighten `d⁺_α` with the kernel representative point against
     /// sampled query points.
     pub improved_upper_bound: bool,
+    /// Seed every exact α-distance evaluation with the entry's own upper
+    /// bound and the running k-th best upper bound, so dominated objects
+    /// terminate their descent early. Changes no answers; on by default.
+    pub seeded_probes: bool,
     /// Sample size `n` for `Q'_α` (the paper requires `n ≪ |Q_α|`).
     pub query_samples: usize,
     /// Seed for the deterministic query-point sampling.
@@ -65,6 +96,7 @@ impl AknnConfig {
             improved_lower_bound: false,
             lazy_probe: false,
             improved_upper_bound: false,
+            seeded_probes: true,
             query_samples: 16,
             sample_seed: 0x5EED,
         }
@@ -83,6 +115,13 @@ impl AknnConfig {
     /// All optimizations (the paper's best variant).
     pub fn lb_lp_ub() -> Self {
         Self { improved_upper_bound: true, ..Self::lb_lp() }
+    }
+
+    /// This configuration with probe seeding disabled (every probe runs an
+    /// unbounded evaluation, as in the original implementation). Used by
+    /// the equivalence tests; answers are identical either way.
+    pub fn unseeded(self) -> Self {
+        Self { seeded_probes: false, ..self }
     }
 
     /// Human-readable variant name matching the paper's figures.
@@ -117,29 +156,197 @@ pub(crate) struct SearchOutcome<const D: usize> {
 
 enum Item<const D: usize> {
     Node(NodeId),
-    Entry(ObjectSummary<D>),
+    /// Index into the per-query entry arena ([`QueryScratch::entries`]).
+    Entry(u32),
+    /// A probed object with its exact **squared** α-distance.
     Object(ObjectId, f64, Arc<FuzzyObject<D>>),
 }
 
-/// A probe callback: retrieves the object and evaluates its exact
-/// α-distance, charging the stats.
-type ProbeFn<'f, const D: usize> = dyn FnMut(
-        &ObjectSummary<D>,
-        &mut QueryStats,
-    ) -> Result<(ObjectId, f64, Arc<FuzzyObject<D>>), QueryError>
-    + 'f;
+/// Arena slot for a leaf entry: the summary plus the rectangle its bounds
+/// are measured against (the Eq. 2 approximate cut MBR under `LB`,
+/// otherwise the support MBR) — computed once, shared by `d⁻` and `d⁺`.
+struct EntryState<const D: usize> {
+    summary: ObjectSummary<D>,
+    bound_mbr: Mbr<D>,
+}
 
-/// Deferred leaf entry in the lazy-probe buffer `G`.
-struct Deferred<const D: usize> {
-    entry: ObjectSummary<D>,
-    lo: f64,
-    hi: f64,
+/// Deferred entry in the lazy-probe buffer `G`: arena index plus squared
+/// lower/upper bounds. The buffer is kept **descending** by `lo_sq` with
+/// equal bounds ordered latest-first, so the eviction victim — the
+/// smallest lower bound, first-inserted among ties — is always the tail
+/// element: a true O(1) `Vec::pop`.
+struct Deferred {
+    entry: u32,
+    lo_sq: f64,
+    hi_sq: f64,
+}
+
+/// Reusable per-query transient state. One instance per worker (or per
+/// call) makes the steady-state search allocation-free: the heap, the
+/// lazy-probe buffer, the entry arena, the query-sample vector and the
+/// seeding bookkeeping all retain their capacity across queries.
+///
+/// Obtain one with [`QueryScratch::new`] and pass it to the
+/// `*_with_scratch` engine entry points; the convenience entry points
+/// allocate a fresh one per call.
+pub struct QueryScratch<const D: usize> {
+    heap: BinaryHeap<MinKey<Item<D>>>,
+    buffer: Vec<Deferred>,
+    entries: Vec<EntryState<D>>,
+    samples: Vec<Point<D>>,
+    seeds: SeedTracker,
+}
+
+impl<const D: usize> Default for QueryScratch<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> QueryScratch<D> {
+    /// Empty scratch; capacity grows with use and is retained.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            buffer: Vec::new(),
+            entries: Vec::new(),
+            samples: Vec::new(),
+            seeds: SeedTracker::default(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.buffer.clear();
+        self.entries.clear();
+        self.samples.clear();
+        self.seeds.reset();
+    }
+}
+
+/// Probe-seed bookkeeping: an upper bound (squared) per *live* candidate
+/// — buffered entries, probed objects still in flight and confirmed
+/// results — whose k-th smallest value is the seed τ. τ is cached:
+/// inserting a bound at or above the cached τ cannot change the k-th
+/// smallest, so only inserts below it and removals trigger a recompute.
+/// This keeps the bookkeeping O(1) amortized per candidate instead of a
+/// full selection per probe.
+#[derive(Default)]
+struct SeedTracker {
+    live_ub: HashMap<ObjectId, f64>,
+    tau_tmp: Vec<f64>,
+    cached_tau: f64,
+    dirty: bool,
+}
+
+impl SeedTracker {
+    fn reset(&mut self) {
+        self.live_ub.clear();
+        self.tau_tmp.clear();
+        self.cached_tau = f64::INFINITY;
+        self.dirty = true;
+    }
+
+    fn insert(&mut self, id: ObjectId, ub_sq: f64) {
+        let old = self.live_ub.insert(id, ub_sq);
+        // A new/changed bound below the cached τ (or a replaced bound that
+        // was counted) can move the k-th smallest; at-or-above inserts
+        // cannot.
+        if ub_sq < self.cached_tau || old.is_some_and(|o| o <= self.cached_tau) {
+            self.dirty = true;
+        }
+    }
+
+    fn remove(&mut self, id: &ObjectId) {
+        if self.live_ub.remove(id).is_some() {
+            self.dirty = true;
+        }
+    }
+
+    /// The current τ (squared): the k-th smallest live upper bound, or
+    /// `+∞` when fewer than `k` candidates are live. Sound because every
+    /// tracked bound belongs to a distinct candidate still guaranteed to
+    /// reach the result competition.
+    fn tau_sq(&mut self, k: usize) -> f64 {
+        if self.live_ub.len() < k {
+            return f64::INFINITY;
+        }
+        if self.dirty {
+            self.tau_tmp.clear();
+            self.tau_tmp.extend(self.live_ub.values().copied());
+            let (_, kth, _) = self.tau_tmp.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+            self.cached_tau = *kth;
+            self.dirty = false;
+        }
+        self.cached_tau
+    }
+}
+
+/// Inflate a squared upper bound by a few ulps so that seeding an exact
+/// evaluation with an object's *own* conservative bound can never lose the
+/// witness pair to floating-point rounding (the kernel's pruning compare
+/// is strict).
+#[inline]
+fn inflate_sq(hi_sq: f64) -> f64 {
+    hi_sq * (1.0 + 1e-12) + f64::MIN_POSITIVE
+}
+
+/// What a probe learned about an object.
+enum Probed<const D: usize> {
+    /// Exact **squared** α-distance and the decoded object.
+    Exact(f64, Arc<FuzzyObject<D>>),
+    /// The probe was cut off by the τ seed: at least `k` live candidates
+    /// are no farther, so the object cannot enter the result.
+    Dominated,
+}
+
+/// Retrieve one object and evaluate its exact α-distance, charging the
+/// stats. `own_hi_sq` is the entry's own (inflated) upper bound when known
+/// and `tau_sq` the current k-th best upper bound — their minimum seeds
+/// the evaluation. τ is inflated by a few ulps before use, so a `None`
+/// under the τ seed implies the distance is **strictly** greater than τ:
+/// domination can never discard a candidate that exactly ties the k-th
+/// distance, and seeded answers match unseeded ones even on ties (e.g.
+/// duplicated objects). This single function serves the eager path, the
+/// lazy-probe eviction and the `force_exact` tail (the latter passes `+∞`
+/// seeds), so the probe accounting cannot diverge between them.
+fn probe_exact<S: ObjectStore<D>, const D: usize>(
+    store: &S,
+    q: &FuzzyObject<D>,
+    t: Threshold,
+    id: ObjectId,
+    own_hi_sq: f64,
+    tau_sq: f64,
+    stats: &mut QueryStats,
+) -> Result<Probed<D>, QueryError> {
+    let probe = store.probe_traced(id)?;
+    let obj = probe.object;
+    stats.object_accesses += probe.disk_read as u64;
+    stats.distance_evals += 1;
+    let tau_eff = if tau_sq.is_finite() { inflate_sq(tau_sq) } else { f64::INFINITY };
+    let seed_sq = own_hi_sq.min(tau_eff);
+    match alpha_distance_sq_bounded(&obj, q, t, seed_sq) {
+        Some(d_sq) => Ok(Probed::Exact(d_sq, obj)),
+        None if tau_eff <= own_hi_sq && tau_eff.is_finite() => Ok(Probed::Dominated),
+        None => {
+            // The object's own conservative bound failed by an ulp (only
+            // possible through floating-point degeneracies, or because no
+            // seed was available and the cut is empty). Fall back to the
+            // unbounded evaluation; still one probe, one evaluation.
+            let d_sq = alpha_distance_sq_bounded(&obj, q, t, f64::INFINITY).expect(
+                "object cut cannot be empty: kernels are non-empty and the query threshold \
+                 admits the kernel",
+            );
+            Ok(Probed::Exact(d_sq, obj))
+        }
+    }
 }
 
 /// Core best-first search, generic over the index backend. `force_exact`
 /// probes any bound-confirmed neighbour at the end so every returned
 /// distance is exact (the RKNN algorithms need exact distances and the
 /// objects themselves).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     tree: &A,
     store: &S,
@@ -148,6 +355,7 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     t: Threshold,
     cfg: &AknnConfig,
     force_exact: bool,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<SearchOutcome<D>, QueryError> {
     if k == 0 {
         return Err(QueryError::ZeroK);
@@ -155,88 +363,51 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     let start = Instant::now();
     let mut stats = QueryStats::default();
 
-    let q_cut = q.cut_mbr(t).ok_or(QueryError::EmptyQueryCut)?;
-    let q_samples: Vec<fuzzy_geom::Point<D>> = if cfg.improved_upper_bound {
-        q.sample_cut_indices(t, cfg.query_samples, cfg.sample_seed)
-            .into_iter()
-            .map(|i| *q.point(i))
-            .collect()
-    } else {
-        Vec::new()
-    };
+    scratch.reset();
+    let QueryScratch { heap, buffer, entries, samples, seeds } = scratch;
 
-    let entry_lower = |e: &ObjectSummary<D>| -> f64 {
-        if cfg.improved_lower_bound {
-            e.lower_bound_dist(&q_cut, t)
-        } else {
-            e.support_mbr.min_dist(&q_cut)
-        }
-    };
-    let entry_upper = |e: &ObjectSummary<D>| -> f64 {
-        let geo = if cfg.improved_lower_bound {
-            e.upper_bound_dist(&q_cut, t)
-        } else {
-            e.support_mbr.max_dist(&q_cut)
-        };
+    let q_cut = q.cut_mbr(t).ok_or(QueryError::EmptyQueryCut)?;
+    if cfg.improved_upper_bound {
+        samples.extend(
+            q.sample_cut_indices(t, cfg.query_samples, cfg.sample_seed)
+                .into_iter()
+                .map(|i| *q.point(i)),
+        );
+    }
+
+    // Squared upper bound of an arena entry (`d⁺` of §3.3/§3.4).
+    let entry_hi_sq = |st: &EntryState<D>| -> f64 {
+        let geo = st.bound_mbr.max_dist_sq(&q_cut);
         if cfg.improved_upper_bound {
-            geo.min(e.rep_upper_bound(&q_samples))
+            geo.min(st.summary.rep_upper_bound_sq(samples))
         } else {
             geo
         }
     };
 
+    heap.push(MinKey {
+        key: tree.root_mbr().min_dist_sq(&q_cut),
+        item: Item::Node(tree.root_id()),
+    });
+    let mut out: Vec<FoundNeighbor<D>> = Vec::with_capacity(k);
+
     // Costs are charged to the query-local `stats` (never read back from
     // the shared store/tree counters), so concurrent queries over one
     // engine cannot pollute each other's numbers.
-    let mut probe = |e: &ObjectSummary<D>,
-                     stats: &mut QueryStats|
-     -> Result<(ObjectId, f64, Arc<FuzzyObject<D>>), QueryError> {
-        let probe = store.probe_traced(e.id)?;
-        let obj = probe.object;
-        stats.object_accesses += probe.disk_read as u64;
-        stats.distance_evals += 1;
-        let d = alpha_distance(&obj, q, t).expect(
-            "object cut cannot be empty: kernels are non-empty and the query threshold \
-             admits the kernel",
-        );
-        Ok((e.id, d, obj))
-    };
-
-    let mut heap: BinaryHeap<MinKey<Item<D>>> = BinaryHeap::new();
-    heap.push(MinKey { key: tree.root_mbr().min_dist(&q_cut), item: Item::Node(tree.root_id()) });
-    let mut buffer: Vec<Deferred<D>> = Vec::new(); // the paper's G
-    let mut out: Vec<FoundNeighbor<D>> = Vec::with_capacity(k);
-
-    // Evict the most promising deferred entry: probe it and let its exact
-    // distance compete in H.
-    let evict = |buffer: &mut Vec<Deferred<D>>,
-                 heap: &mut BinaryHeap<MinKey<Item<D>>>,
-                 stats: &mut QueryStats,
-                 probe: &mut ProbeFn<'_, D>|
-     -> Result<(), QueryError> {
-        let (mut best, mut best_key) = (0usize, f64::INFINITY);
-        for (i, d) in buffer.iter().enumerate() {
-            if d.lo < best_key {
-                best_key = d.lo;
-                best = i;
-            }
-        }
-        let victim = buffer.swap_remove(best);
-        let (id, d, obj) = probe(&victim.entry, stats)?;
-        heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
-        Ok(())
-    };
-
     while out.len() < k {
         let Some(MinKey { key, item }) = heap.pop() else {
             // H exhausted: everything still deferred is confirmed
             // (|G| ≤ k − |NN| by invariant). Deterministic order: by lower
             // bound, then id.
-            buffer.sort_by(|a, b| a.lo.total_cmp(&b.lo).then(a.entry.id.cmp(&b.entry.id)));
+            buffer.sort_by(|a, b| {
+                a.lo_sq.total_cmp(&b.lo_sq).then(
+                    entries[a.entry as usize].summary.id.cmp(&entries[b.entry as usize].summary.id),
+                )
+            });
             for d in buffer.drain(..) {
                 out.push(FoundNeighbor {
-                    id: d.entry.id,
-                    dist: DistBound::Bounded { lo: d.lo, hi: d.hi },
+                    id: entries[d.entry as usize].summary.id,
+                    dist: DistBound::Bounded { lo: d.lo_sq.sqrt(), hi: d.hi_sq.sqrt() },
                     object: None,
                 });
             }
@@ -251,23 +422,40 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                     NodeView::Nodes(kids) => {
                         for c in kids {
                             heap.push(MinKey {
-                                key: c.mbr.min_dist(&q_cut),
+                                key: c.mbr.min_dist_sq(&q_cut),
                                 item: Item::Node(c.id),
                             });
                         }
                     }
-                    NodeView::Entries(entries) => {
-                        for e in entries {
+                    NodeView::Entries(leaf) => {
+                        for e in leaf {
                             stats.bound_evals += 1;
-                            heap.push(MinKey { key: entry_lower(e), item: Item::Entry(*e) });
+                            let bound_mbr = if cfg.improved_lower_bound {
+                                e.approx_cut_mbr(t)
+                            } else {
+                                e.support_mbr
+                            };
+                            let lo_sq = bound_mbr.min_dist_sq(&q_cut);
+                            let idx = entries.len() as u32;
+                            entries.push(EntryState { summary: *e, bound_mbr });
+                            heap.push(MinKey { key: lo_sq, item: Item::Entry(idx) });
                         }
                     }
                 }
             }
-            Item::Entry(e) => {
+            Item::Entry(idx) => {
+                let id = entries[idx as usize].summary.id;
                 if !cfg.lazy_probe {
-                    let (id, d, obj) = probe(&e, &mut stats)?;
-                    heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
+                    let tau_sq = if cfg.seeded_probes { seeds.tau_sq(k) } else { f64::INFINITY };
+                    match probe_exact(store, q, t, id, f64::INFINITY, tau_sq, &mut stats)? {
+                        Probed::Exact(d_sq, obj) => {
+                            if cfg.seeded_probes {
+                                seeds.insert(id, d_sq);
+                            }
+                            heap.push(MinKey { key: d_sq, item: Item::Object(id, d_sq, obj) });
+                        }
+                        Probed::Dominated => {}
+                    }
                 } else {
                     // §3.3: any buffered U with d⁺(U) < d⁻(E) is dominated
                     // by everything left in H and fits in the remaining
@@ -275,11 +463,11 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                     // probing.
                     let mut i = 0;
                     while i < buffer.len() && out.len() < k {
-                        if buffer[i].hi < key {
-                            let u = buffer.swap_remove(i);
+                        if buffer[i].hi_sq < key {
+                            let u = buffer.remove(i);
                             out.push(FoundNeighbor {
-                                id: u.entry.id,
-                                dist: DistBound::Bounded { lo: u.lo, hi: u.hi },
+                                id: entries[u.entry as usize].summary.id,
+                                dist: DistBound::Bounded { lo: u.lo_sq.sqrt(), hi: u.hi_sq.sqrt() },
                                 object: None,
                             });
                         } else {
@@ -290,24 +478,36 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                         break;
                     }
                     stats.bound_evals += 1;
-                    buffer.push(Deferred { entry: e, lo: key, hi: entry_upper(&e) });
+                    let hi_sq = entry_hi_sq(&entries[idx as usize]);
+                    if cfg.seeded_probes {
+                        seeds.insert(id, hi_sq);
+                    }
+                    // Descending order, equal bounds latest-first: later
+                    // duplicates land at the head of their equal run, so
+                    // the tail pop evicts first-inserted ties first.
+                    let pos = buffer.partition_point(|d| d.lo_sq > key);
+                    buffer.insert(pos, Deferred { entry: idx, lo_sq: key, hi_sq });
                     while buffer.len() > k - out.len() {
-                        evict(&mut buffer, &mut heap, &mut stats, &mut probe)?;
+                        evict(heap, buffer, entries, seeds, store, q, t, k, cfg, &mut stats)?;
                     }
                 }
             }
-            Item::Object(id, d, obj) => {
+            Item::Object(id, d_sq, obj) => {
                 // Make room first: accepting the object shrinks the buffer
                 // capacity, and a full buffer might hide a closer candidate.
                 while !buffer.is_empty() && buffer.len() > k - out.len() - 1 {
-                    evict(&mut buffer, &mut heap, &mut stats, &mut probe)?;
+                    evict(heap, buffer, entries, seeds, store, q, t, k, cfg, &mut stats)?;
                 }
                 // Eviction may have pushed a closer object into H; re-check.
-                if heap.peek().is_some_and(|top| top.key < d) {
-                    heap.push(MinKey { key: d, item: Item::Object(id, d, obj) });
+                if heap.peek().is_some_and(|top| top.key < d_sq) {
+                    heap.push(MinKey { key: d_sq, item: Item::Object(id, d_sq, obj) });
                     continue;
                 }
-                out.push(FoundNeighbor { id, dist: DistBound::Exact(d), object: Some(obj) });
+                out.push(FoundNeighbor {
+                    id,
+                    dist: DistBound::Exact(d_sq.sqrt()),
+                    object: Some(obj),
+                });
             }
         }
     }
@@ -315,19 +515,66 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     if force_exact {
         for n in &mut out {
             if n.object.is_none() {
-                let probe = store.probe_traced(n.id)?;
-                let obj = probe.object;
-                stats.object_accesses += probe.disk_read as u64;
-                stats.distance_evals += 1;
-                let d = alpha_distance(&obj, q, t).expect("non-empty cut for confirmed neighbour");
-                n.dist = DistBound::Exact(d);
-                n.object = Some(obj);
+                match probe_exact(store, q, t, n.id, f64::INFINITY, f64::INFINITY, &mut stats)? {
+                    Probed::Exact(d_sq, obj) => {
+                        n.dist = DistBound::Exact(d_sq.sqrt());
+                        n.object = Some(obj);
+                    }
+                    Probed::Dominated => unreachable!("unseeded probes cannot be dominated"),
+                }
             }
         }
     }
 
+    // Release per-query state now rather than at the next query: a
+    // long-lived worker scratch must not pin the decoded objects held by
+    // leftover heap items (capacity is retained, contents dropped).
+    heap.clear();
+    buffer.clear();
+    entries.clear();
+    samples.clear();
+    seeds.reset();
+
     stats.wall = start.elapsed();
     Ok(SearchOutcome { neighbors: out, stats })
+}
+
+/// Evict the most promising deferred entry (the buffer tail, since `G` is
+/// kept descending by lower bound): probe it and let its exact distance
+/// compete in H. A probe dominated under the τ seed is discarded — its
+/// live-bound entry was removed *before* τ was computed, so τ counts `k`
+/// other candidates.
+#[allow(clippy::too_many_arguments)]
+fn evict<S: ObjectStore<D>, const D: usize>(
+    heap: &mut BinaryHeap<MinKey<Item<D>>>,
+    buffer: &mut Vec<Deferred>,
+    entries: &[EntryState<D>],
+    seeds: &mut SeedTracker,
+    store: &S,
+    q: &FuzzyObject<D>,
+    t: Threshold,
+    k: usize,
+    cfg: &AknnConfig,
+    stats: &mut QueryStats,
+) -> Result<(), QueryError> {
+    let victim = buffer.pop().expect("evict called on a non-empty buffer");
+    let id = entries[victim.entry as usize].summary.id;
+    let (own_hi_sq, tau_sq) = if cfg.seeded_probes {
+        seeds.remove(&id);
+        (inflate_sq(victim.hi_sq), seeds.tau_sq(k))
+    } else {
+        (f64::INFINITY, f64::INFINITY)
+    };
+    match probe_exact(store, q, t, id, own_hi_sq, tau_sq, stats)? {
+        Probed::Exact(d_sq, obj) => {
+            if cfg.seeded_probes {
+                seeds.insert(id, d_sq);
+            }
+            heap.push(MinKey { key: d_sq, item: Item::Object(id, d_sq, obj) });
+        }
+        Probed::Dominated => {}
+    }
+    Ok(())
 }
 
 /// Public AKNN entry point used by [`crate::QueryEngine`].
@@ -338,8 +585,9 @@ pub(crate) fn aknn_at<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     k: usize,
     t: Threshold,
     cfg: &AknnConfig,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<AknnResult, QueryError> {
-    let outcome = search(tree, store, q, k, t, cfg, false)?;
+    let outcome = search(tree, store, q, k, t, cfg, false, scratch)?;
     Ok(AknnResult {
         neighbors: outcome
             .neighbors

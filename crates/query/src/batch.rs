@@ -23,7 +23,7 @@
 //! * **Graceful errors** — a failing query yields `Err` in its own slot
 //!   and the batch keeps going; nothing panics across the scope.
 
-use crate::aknn::AknnConfig;
+use crate::aknn::{AknnConfig, QueryScratch};
 use crate::engine::{QueryEngine, SharedQueryEngine};
 use crate::error::QueryError;
 use crate::result::{AknnResult, RknnResult};
@@ -278,13 +278,17 @@ impl BatchExecutor {
                     let cursor = &cursor;
                     scope.spawn(move || {
                         let engine = QueryEngine::new(tree, store);
+                        // One scratch per worker: every query this thread
+                        // claims reuses the same heap/buffer/arena
+                        // capacity, so steady state allocates nothing.
+                        let mut scratch = QueryScratch::new();
                         let mut report = ThreadStats::default();
                         let mut answered: Vec<(usize, Result<BatchResponse, QueryError>)> =
                             Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(request) = requests.get(i) else { break };
-                            let res = execute(&engine, request);
+                            let res = execute(&engine, request, &mut scratch);
                             report.executed += 1;
                             if let Ok(r) = &res {
                                 report.stats += *r.stats();
@@ -328,18 +332,20 @@ impl BatchExecutor {
     }
 }
 
-/// Dispatch one request on the calling thread.
+/// Dispatch one request on the calling thread, reusing the worker's
+/// scratch.
 fn execute<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     engine: &QueryEngine<'_, A, S, D>,
     request: &BatchRequest<D>,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<BatchResponse, QueryError> {
     match request {
         BatchRequest::Aknn { query, k, alpha, cfg } => {
-            engine.aknn(query, *k, *alpha, cfg).map(BatchResponse::Aknn)
+            engine.aknn_with_scratch(query, *k, *alpha, cfg, scratch).map(BatchResponse::Aknn)
         }
-        BatchRequest::Rknn { query, k, alpha_start, alpha_end, algo, cfg } => {
-            engine.rknn(query, *k, *alpha_start, *alpha_end, *algo, cfg).map(BatchResponse::Rknn)
-        }
+        BatchRequest::Rknn { query, k, alpha_start, alpha_end, algo, cfg } => engine
+            .rknn_with_scratch(query, *k, *alpha_start, *alpha_end, *algo, cfg, scratch)
+            .map(BatchResponse::Rknn),
     }
 }
 

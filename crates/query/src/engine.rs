@@ -8,7 +8,7 @@
 //! implementing [`ObjectStore`]), so the same query code serves a fully
 //! in-memory setup, a disk-resident one, or any mix.
 
-use crate::aknn::{aknn_at, AknnConfig};
+use crate::aknn::{aknn_at, AknnConfig, QueryScratch};
 use crate::error::QueryError;
 use crate::result::{AknnResult, RknnResult};
 use crate::rknn::{self, RknnAlgorithm};
@@ -80,10 +80,24 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         alpha: f64,
         cfg: &AknnConfig,
     ) -> Result<AknnResult, QueryError> {
+        self.aknn_with_scratch(q, k, alpha, cfg, &mut QueryScratch::new())
+    }
+
+    /// [`QueryEngine::aknn`] with caller-provided [`QueryScratch`]. Workers
+    /// issuing many queries should reuse one scratch per thread — the
+    /// steady-state search then allocates nothing.
+    pub fn aknn_with_scratch(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<AknnResult, QueryError> {
         if !(alpha > 0.0 && alpha <= 1.0) {
             return Err(QueryError::InvalidProbability { value: alpha });
         }
-        self.aknn_at(q, k, Threshold::at(alpha), cfg)
+        self.aknn_at_with_scratch(q, k, Threshold::at(alpha), cfg, scratch)
     }
 
     /// AKNN at an explicit [`Threshold`] (strict thresholds implement the
@@ -95,10 +109,22 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         t: Threshold,
         cfg: &AknnConfig,
     ) -> Result<AknnResult, QueryError> {
+        self.aknn_at_with_scratch(q, k, t, cfg, &mut QueryScratch::new())
+    }
+
+    /// [`QueryEngine::aknn_at`] with caller-provided scratch.
+    pub fn aknn_at_with_scratch(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<AknnResult, QueryError> {
         if k == 0 {
             return Err(QueryError::ZeroK);
         }
-        aknn_at(self.tree, self.store, q, k, t, cfg)
+        aknn_at(self.tree, self.store, q, k, t, cfg, scratch)
     }
 
     /// Range kNN query (Definition 5): every object belonging to the kNN
@@ -113,6 +139,22 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         algo: RknnAlgorithm,
         cfg: &AknnConfig,
     ) -> Result<RknnResult, QueryError> {
+        self.rknn_with_scratch(q, k, alpha_start, alpha_end, algo, cfg, &mut QueryScratch::new())
+    }
+
+    /// [`QueryEngine::rknn`] with caller-provided scratch; the inner AKNN
+    /// invocations of Algorithms 3–5 all reuse it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rknn_with_scratch(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha_start: f64,
+        alpha_end: f64,
+        algo: RknnAlgorithm,
+        cfg: &AknnConfig,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<RknnResult, QueryError> {
         if k == 0 {
             return Err(QueryError::ZeroK);
         }
@@ -125,7 +167,7 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         if alpha_start > alpha_end {
             return Err(QueryError::InvalidRange { start: alpha_start, end: alpha_end });
         }
-        rknn::run(self.tree, self.store, q, k, alpha_start, alpha_end, algo, cfg)
+        rknn::run(self.tree, self.store, q, k, alpha_start, alpha_end, algo, cfg, scratch)
     }
 }
 

@@ -78,8 +78,18 @@ where
         (left_tree.root_id(), left_tree.root_mbr()),
         (right_tree.root_id(), right_tree.root_mbr()),
     )];
+    // All pruning below runs in squared space; `radius` itself only
+    // leaves plain space when the exact verification reports a distance.
+    // The squared radius is inflated by a few ulps so rounding can never
+    // make the (inclusive) pruning drop a pair the exact verification
+    // would accept — false positives are discarded by that verification.
+    let radius_sq = if radius.is_finite() {
+        radius * radius * (1.0 + 4.0 * f64::EPSILON)
+    } else {
+        f64::INFINITY
+    };
     while let Some(((nl, ml), (nr, mr))) = stack.pop() {
-        if ml.min_dist(&mr) > radius {
+        if ml.min_dist_sq(&mr) > radius_sq {
             continue;
         }
         let left = left_tree.read_node(nl)?;
@@ -108,12 +118,12 @@ where
                 for le in les {
                     for re in res {
                         stats.bound_evals += 1;
-                        let lo = if cfg.improved_lower_bound {
-                            le.approx_cut_mbr(t).min_dist(&re.approx_cut_mbr(t))
+                        let lo_sq = if cfg.improved_lower_bound {
+                            le.approx_cut_mbr(t).min_dist_sq(&re.approx_cut_mbr(t))
                         } else {
-                            le.support_mbr.min_dist(&re.support_mbr)
+                            le.support_mbr.min_dist_sq(&re.support_mbr)
                         };
-                        if lo <= radius {
+                        if lo_sq <= radius_sq {
                             candidates.push((*le, *re));
                         }
                     }
@@ -142,8 +152,10 @@ where
         let robj = rprobe.object;
         stats.distance_evals += 1;
         // Seed with radius (inclusive): anything farther is pruned inside.
+        // The left object is reused across its run of candidates, so it
+        // goes in the kernel's reusable-side slot (second argument).
         if let Some(d) =
-            alpha_distance_bounded(&lobj, &robj, t, radius + f64::EPSILON * radius.max(1.0))
+            alpha_distance_bounded(&robj, &lobj, t, radius + f64::EPSILON * radius.max(1.0))
         {
             if d <= radius {
                 pairs.push(JoinPair { left: le.id, right: re.id, dist: d });

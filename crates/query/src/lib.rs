@@ -43,7 +43,7 @@ pub mod rknn;
 pub mod stats;
 pub mod sweep;
 
-pub use aknn::AknnConfig;
+pub use aknn::{AknnConfig, QueryScratch};
 pub use batch::{BatchExecutor, BatchOutcome, BatchRequest, BatchResponse, ThreadStats};
 pub use engine::{QueryEngine, SharedQueryEngine};
 pub use epoch::{DynamicQueryEngine, Versioned};

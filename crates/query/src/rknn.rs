@@ -17,7 +17,7 @@
 //!   within the (k+1)-th distance (Lemma 4), sharply cutting CPU work for
 //!   wide probability ranges.
 
-use crate::aknn::{search, AknnConfig};
+use crate::aknn::{search, AknnConfig, QueryScratch};
 use crate::error::QueryError;
 use crate::interval::{Interval, IntervalSet};
 use crate::result::{RknnItem, RknnResult};
@@ -95,12 +95,15 @@ pub(crate) fn run<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     alpha_end: f64,
     algo: RknnAlgorithm,
     cfg: &AknnConfig,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<RknnResult, QueryError> {
     let start = Instant::now();
     let mut stats = QueryStats::default();
     let items = match algo {
         RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, &mut stats)?,
-        RknnAlgorithm::Basic => basic(tree, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?,
+        RknnAlgorithm::Basic => {
+            basic(tree, store, q, k, alpha_start, alpha_end, cfg, &mut stats, scratch)?
+        }
         RknnAlgorithm::Rss | RknnAlgorithm::RssIcr => rss(
             tree,
             store,
@@ -111,6 +114,7 @@ pub(crate) fn run<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
             cfg,
             algo == RknnAlgorithm::RssIcr,
             &mut stats,
+            scratch,
         )?,
     };
 
@@ -152,13 +156,14 @@ fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     alpha_end: f64,
     cfg: &AknnConfig,
     stats: &mut QueryStats,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<Vec<RknnItem>, QueryError> {
     let mut cache: ProfileCache<D> = ProfileCache::new();
     let mut acc: HashMap<ObjectId, IntervalSet> = HashMap::new();
     let mut t = Threshold::at(alpha_start);
 
     loop {
-        let out = search(tree, store, q, k, t, cfg, true)?;
+        let out = search(tree, store, q, k, t, cfg, true, scratch)?;
         stats.aknn_calls += 1;
         stats.object_accesses += out.stats.object_accesses;
         stats.node_accesses += out.stats.node_accesses;
@@ -202,10 +207,11 @@ fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     cfg: &AknnConfig,
     improved_refinement: bool,
     stats: &mut QueryStats,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<Vec<RknnItem>, QueryError> {
     // Step 1 — AKNN at α_e gives the pruning radius r = d_k(α_e).
     let t_end = Threshold::at(alpha_end);
-    let out_end = search(tree, store, q, k, t_end, cfg, true)?;
+    let out_end = search(tree, store, q, k, t_end, cfg, true, scratch)?;
     stats.aknn_calls += 1;
     stats.object_accesses += out_end.stats.object_accesses;
     stats.node_accesses += out_end.stats.node_accesses;
@@ -219,18 +225,23 @@ fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     };
 
     // Step 2 — range search at α_s with radius r (Lemma 3: no object with
-    // a lower bound beyond r can ever qualify).
+    // a lower bound beyond r can ever qualify). Keys and radius are
+    // squared — the traversal never takes a square root. `r` is a rounded
+    // `sqrt`, so the squared radius is inflated by a few ulps to keep the
+    // filter conservative (a boundary candidate is kept, never dropped;
+    // refinement discards false positives anyway).
     let t_start = Threshold::at(alpha_start);
     let q_cut = q.cut_mbr(t_start).ok_or(QueryError::EmptyQueryCut)?;
+    let r_sq = if r.is_finite() { r * r * (1.0 + 4.0 * f64::EPSILON) } else { f64::INFINITY };
     let range = fuzzy_index::range_search(
         tree,
-        r,
-        |mbr| mbr.min_dist(&q_cut),
+        r_sq,
+        |mbr| mbr.min_dist_sq(&q_cut),
         |e| {
             if cfg.improved_lower_bound {
-                e.lower_bound_dist(&q_cut, t_start)
+                e.lower_bound_dist_sq(&q_cut, t_start)
             } else {
-                e.support_mbr.min_dist(&q_cut)
+                e.support_mbr.min_dist_sq(&q_cut)
             }
         },
     )?;

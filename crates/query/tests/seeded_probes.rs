@@ -1,0 +1,123 @@
+//! Property test: bound-seeded probes change no answers.
+//!
+//! The AKNN engine seeds every exact α-distance evaluation with the
+//! entry's own upper bound and the running k-th best upper bound τ
+//! (`AknnConfig::seeded_probes`, on by default). Seeding prunes work, not
+//! candidates it cannot prove dominated — so on every paper variant
+//! (Basic/LB/LB-LP/LB-LP-UB) the seeded and unseeded searches must return
+//! the same neighbour id set, and wherever both report an exact distance
+//! for the same object the values must agree bitwise. Both runs are also
+//! checked against a linear-scan oracle's k-th distance.
+
+use fuzzy_core::distance::alpha_distance_brute;
+use fuzzy_core::{FuzzyObject, ObjectId, Threshold};
+use fuzzy_geom::Point;
+use fuzzy_index::{RTree, RTreeConfig};
+use fuzzy_query::{AknnConfig, DistBound, QueryEngine};
+use fuzzy_store::{MemStore, ObjectStore};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn blob(id: u64, salt: u64, cx: f64, cy: f64) -> FuzzyObject<2> {
+    let mut state = (id ^ salt.rotate_left(21)).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut pts = vec![Point::xy(cx, cy)];
+    let mut mus = vec![1.0];
+    for _ in 1..24 {
+        let r = rnd();
+        let th = rnd() * std::f64::consts::TAU;
+        pts.push(Point::xy(cx + r * th.cos(), cy + r * th.sin()));
+        // Continuous memberships: distance ties have measure zero, so the
+        // seeded/unseeded id sets must match exactly.
+        mus.push(((1.0 - r) * 0.9 + 0.05).clamp(0.01, 1.0));
+    }
+    FuzzyObject::new(ObjectId(id), pts, mus).unwrap()
+}
+
+fn dataset(n: u64, salt: u64) -> MemStore<2> {
+    let mut state = salt | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    MemStore::from_objects((0..n).map(|i| blob(i, salt, rnd() * 25.0, rnd() * 25.0))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn seeded_search_agrees_with_unseeded_on_all_variants(
+        salt in any::<u64>(),
+        k in 1usize..12,
+        alpha_step in 1u32..=10,
+        query_seed in 0u64..50,
+    ) {
+        let alpha = alpha_step as f64 / 10.0;
+        let store = dataset(60, salt);
+        let tree = RTree::bulk_load(
+            store.summaries().to_vec(),
+            RTreeConfig { max_entries: 8, min_fill: 0.4 },
+        );
+        let engine = QueryEngine::new(&tree, &store);
+        let q = blob(1_000_000 + query_seed, salt, 12.0, 12.0);
+
+        // Oracle k-th distance for the containment check.
+        let t = Threshold::at(alpha);
+        let mut oracle: Vec<f64> = store
+            .summaries()
+            .iter()
+            .map(|s| alpha_distance_brute(&store.probe(s.id).unwrap(), &q, t).unwrap())
+            .collect();
+        oracle.sort_by(f64::total_cmp);
+        let kth = oracle[k - 1];
+
+        for base in AknnConfig::paper_variants() {
+            prop_assert!(base.seeded_probes, "seeding must be the default");
+            let seeded = engine.aknn(&q, k, alpha, &base).unwrap();
+            let unseeded = engine.aknn(&q, k, alpha, &base.unseeded()).unwrap();
+
+            let mut ids_s = seeded.ids();
+            let mut ids_u = unseeded.ids();
+            ids_s.sort();
+            ids_u.sort();
+            prop_assert_eq!(
+                &ids_s, &ids_u,
+                "id sets diverge under seeding ({} k={} α={})", base.variant_name(), k, alpha
+            );
+
+            // Exact distances agree bitwise where both probes happened.
+            let exact = |r: &fuzzy_query::AknnResult| -> HashMap<ObjectId, u64> {
+                r.neighbors
+                    .iter()
+                    .filter_map(|n| match n.dist {
+                        DistBound::Exact(d) => Some((n.id, d.to_bits())),
+                        DistBound::Bounded { .. } => None,
+                    })
+                    .collect()
+            };
+            let (es, eu) = (exact(&seeded), exact(&unseeded));
+            for (id, bits) in &es {
+                if let Some(other) = eu.get(id) {
+                    prop_assert_eq!(bits, other, "exact distance diverges for {}", id);
+                }
+            }
+
+            // Every returned neighbour genuinely sits within the oracle's
+            // k-th distance (same soundness bar for both modes).
+            for r in [&seeded, &unseeded] {
+                for n in &r.neighbors {
+                    let d = alpha_distance_brute(&store.probe(n.id).unwrap(), &q, t).unwrap();
+                    prop_assert!(d <= kth + 1e-9, "{} beyond oracle k-th", n.id);
+                }
+            }
+        }
+    }
+}

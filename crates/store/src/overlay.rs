@@ -31,7 +31,7 @@ use std::path::Path;
 /// Delta-log magic ("FuZzy DeLta").
 pub const DELTA_MAGIC: [u8; 4] = *b"FZDL";
 /// Delta-log format version understood by this build.
-pub const DELTA_VERSION: u16 = 1;
+pub const DELTA_VERSION: u16 = 2;
 /// Header length in bytes (magic, version, dims, two counts).
 pub const DELTA_HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8;
 

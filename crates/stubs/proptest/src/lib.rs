@@ -145,7 +145,7 @@ macro_rules! int_strategies {
         }
     )*};
 }
-int_strategies!(u8, u16, u32, usize, i32, i64);
+int_strategies!(u8, u16, u32, u64, usize, i32, i64);
 
 macro_rules! tuple_strategies {
     ($(($($s:ident $idx:tt),+))*) => {$(
