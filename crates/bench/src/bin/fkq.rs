@@ -10,6 +10,10 @@
 //! fkq delete --index-file cells.fzpt --ids 3,4
 //! fkq compact --index-file cells.fzpt
 //! fkq bench --out BENCH_aknn.json
+//! fkq serve cells.fzkn --listen 127.0.0.1:7878
+//! fkq aknn cells.fzkn --k 10 --alpha 0.5 --server 127.0.0.1:7878
+//! fkq loadgen --addr 127.0.0.1:7878 --qps 100,200 --out BENCH_serve.json
+//! fkq swap --addr 127.0.0.1:7878 --index-file cells.fzpt
 //! ```
 //!
 //! Query subcommands bulk-load an in-memory R-tree by default; pass
@@ -19,6 +23,12 @@
 //! accumulate changes in a checksummed sidecar delta log
 //! (`<index>.fzdl`) which every query subcommand replays automatically;
 //! `compact` folds base + delta into a freshly bulk-loaded file.
+//!
+//! `serve` keeps a store/index pair resident behind the FZQP binary
+//! protocol (`docs/PROTOCOL.md`); `aknn`/`rknn --server` run the same
+//! query through a daemon and print byte-identical answers; `loadgen`
+//! measures latency under open-loop load and writes `BENCH_serve.json`;
+//! `swap` publishes a new index epoch without restarting the daemon.
 
 use fuzzy_core::FuzzyObject;
 use fuzzy_datagen::{CellConfig, SyntheticConfig};
@@ -26,6 +36,10 @@ use fuzzy_index::{
     delta_path_for, NodeAccess, NodeId, NodeRead, OverlayRTree, PagedRTree, RTree, RTreeConfig,
 };
 use fuzzy_query::{AknnConfig, QueryEngine, RknnAlgorithm};
+use fuzzy_server::{
+    serve, Client, ListenAddr, QuerySource, Request, Response, ServeIndex, ServeOptions,
+    WireVariant,
+};
 use fuzzy_store::{FileStore, ObjectStore, StoreError};
 use std::collections::HashMap;
 use std::process::exit;
@@ -36,16 +50,24 @@ const USAGE: &str = "usage:
   fkq build-index <path> --out <index-path> [--page-size <bytes>] [--max-entries <n>] \
 [--min-fill <f>]
   fkq aknn <path> --k <k> --alpha <a> [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>] \
-[--index-file <path>] [--cache-pages <n>]
+[--index-file <path>] [--cache-pages <n>] [--server <addr>] [--deadline-ms <n>]
   fkq rknn <path> --k <k> --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] \
-[--query-seed <u64>] [--index-file <path>] [--cache-pages <n>]
+[--query-seed <u64>] [--index-file <path>] [--cache-pages <n>] [--server <addr>] \
+[--deadline-ms <n>]
   fkq insert <path> --index-file <index> --ids <csv> [--cache-pages <n>]
   fkq delete --index-file <index> --ids <csv> [--cache-pages <n>]
   fkq compact --index-file <index> [--page-size <bytes>] [--cache-pages <n>]
   fkq bench [--out <path=BENCH_aknn.json>] [--smoke <true|false>] [--kind <synthetic|cell>] \
 [--n <count>] [--ppo <points>] [--seed <u64>] [--queries <count>] [--k <k>] [--alpha <a>] \
 [--ks <csv>] [--alphas <csv>] [--threads <csv>] [--backend <mem|paged>] [--page-size <bytes>] \
-[--cache-pages <n>] [--mutation-rate <f>]";
+[--cache-pages <n>] [--mutation-rate <f>]
+  fkq serve <path> [--listen <host:port|unix:path>] [--index-file <path>] [--workers <n>] \
+[--queue-depth <n>] [--cache-pages <n>]
+  fkq loadgen --addr <host:port|unix:path> [--qps <csv>] [--duration <secs>] \
+[--connections <n>] [--k <k>] [--alpha <a>] [--variant <name>] [--deadline-ms <n>] \
+[--query-ids <csv>] [--out <path=BENCH_serve.json>]
+  fkq swap --addr <host:port|unix:path> --index-file <path|:mem:>
+  fkq shutdown --addr <host:port|unix:path>";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -101,6 +123,10 @@ fn main() {
         "delete" => delete_cmd(&flags),
         "compact" => compact_cmd(&flags),
         "bench" => bench(&flags),
+        "serve" => serve_cmd(pos.first().unwrap_or_else(|| usage()), &flags),
+        "loadgen" => loadgen_cmd(&flags),
+        "swap" => swap_cmd(&flags),
+        "shutdown" => shutdown_cmd(&flags),
         _ => usage(),
     }
 }
@@ -526,6 +552,10 @@ fn aknn(path: &str, flags: &HashMap<String, String>) {
     let k: usize = get(flags, "k").unwrap_or(10);
     let alpha: f64 = get(flags, "alpha").unwrap_or(0.5);
     let q = query_object(&store, flags);
+    if let Some(addr) = flags.get("server") {
+        server_aknn(addr, q.id(), k, alpha, flags);
+        return;
+    }
     store.reset_stats();
     match flags.get("index-file") {
         Some(ix) => run_aknn(&open_index(ix, flags), &store, &q, k, alpha, &variant(flags)),
@@ -578,12 +608,246 @@ fn rknn(path: &str, flags: &HashMap<String, String>) {
         }
     };
     let q = query_object(&store, flags);
+    if let Some(addr) = flags.get("server") {
+        server_rknn(addr, q.id(), k, start, end, algo, flags);
+        return;
+    }
     store.reset_stats();
     match flags.get("index-file") {
         Some(ix) => run_rknn(&open_index(ix, flags), &store, &q, k, start, end, algo),
         None => {
             let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
             run_rknn(&tree, &store, &q, k, start, end, algo);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resident-server subcommands (see `docs/PROTOCOL.md`).
+
+fn wire_variant(flags: &HashMap<String, String>) -> WireVariant {
+    let name = flags.get("variant").map(String::as_str).unwrap_or("lb-lp-ub");
+    WireVariant::parse(name).unwrap_or_else(|| {
+        eprintln!("unknown variant {name}");
+        usage()
+    })
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1)
+    })
+}
+
+fn call(client: &mut Client, request: &Request) -> Response {
+    match client.call(request) {
+        Ok(Response::Error { code, message }) => {
+            eprintln!("server error ({code:?}): {message}");
+            exit(1)
+        }
+        Ok(Response::Busy) => {
+            eprintln!("server busy: request shed by admission control; retry");
+            exit(1)
+        }
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// AKNN through a daemon — prints exactly what the local path prints
+/// (the answers are byte-identical; only the cost line's wall differs).
+fn server_aknn(
+    addr: &str,
+    id: fuzzy_core::ObjectId,
+    k: usize,
+    alpha: f64,
+    flags: &HashMap<String, String>,
+) {
+    let mut client = connect(addr);
+    let request = Request::Aknn {
+        query: QuerySource::Stored(id),
+        k: k as u32,
+        alpha,
+        variant: wire_variant(flags),
+        deadline_ms: get(flags, "deadline-ms").unwrap_or(0),
+    };
+    match call(&mut client, &request) {
+        Response::Aknn { neighbors, stats } => {
+            let stats = stats.to_query_stats();
+            println!("{k}NN of {id} at α = {alpha}:");
+            for n in &neighbors {
+                println!("  {n}");
+            }
+            println!(
+                "cost: {} object accesses, {} node accesses ({} from disk), {:?}",
+                stats.object_accesses, stats.node_accesses, stats.node_disk_reads, stats.wall
+            );
+        }
+        other => {
+            eprintln!("unexpected response: {other:?}");
+            exit(1)
+        }
+    }
+}
+
+/// RKNN through a daemon, printed like the local path.
+fn server_rknn(
+    addr: &str,
+    id: fuzzy_core::ObjectId,
+    k: usize,
+    start: f64,
+    end: f64,
+    algo: RknnAlgorithm,
+    flags: &HashMap<String, String>,
+) {
+    let mut client = connect(addr);
+    let request = Request::Rknn {
+        query: QuerySource::Stored(id),
+        k: k as u32,
+        alpha_start: start,
+        alpha_end: end,
+        algo,
+        variant: wire_variant(flags),
+        deadline_ms: get(flags, "deadline-ms").unwrap_or(0),
+    };
+    match call(&mut client, &request) {
+        Response::Rknn { items, stats } => {
+            let stats = stats.to_query_stats();
+            println!("range {k}NN of {id} over [{start}, {end}] ({}):", algo.name());
+            for item in &items {
+                println!("  {item}");
+            }
+            println!(
+                "cost: {} object accesses, {} candidates, {:?}",
+                stats.object_accesses, stats.candidates, stats.wall
+            );
+        }
+        other => {
+            eprintln!("unexpected response: {other:?}");
+            exit(1)
+        }
+    }
+}
+
+/// Start the resident daemon and park until a SHUTDOWN frame arrives.
+fn serve_cmd(path: &str, flags: &HashMap<String, String>) {
+    let store = open(path);
+    let index = match flags.get("index-file") {
+        Some(ix) => ServeIndex::open_paged(ix, cache_pages(flags)).unwrap_or_else(|e| {
+            eprintln!("cannot open index {ix}: {e}");
+            exit(1)
+        }),
+        None => ServeIndex::mem_from_store(&store),
+    };
+    let listen =
+        ListenAddr::parse(flags.get("listen").map(String::as_str).unwrap_or("127.0.0.1:7878"));
+    let opts = ServeOptions {
+        workers: get(flags, "workers").unwrap_or(0),
+        queue_depth: get(flags, "queue-depth").unwrap_or(64),
+        cache_pages: cache_pages(flags),
+    };
+    let handle = serve(store, index, &listen, &opts).unwrap_or_else(|e| {
+        eprintln!("cannot bind {listen}: {e}");
+        exit(1)
+    });
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush(); // scripts wait for this line
+    handle.join();
+}
+
+/// Drive a daemon with open-loop load and write `BENCH_serve.json`.
+fn loadgen_cmd(flags: &HashMap<String, String>) {
+    use fuzzy_bench::serve_suite::{self, LoadgenOptions};
+
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| usage());
+    // Default query ids: every stored object, as reported by INFO.
+    let query_ids = csv_list(flags, "query-ids").unwrap_or_else(|| {
+        let mut client = connect(&addr);
+        match call(&mut client, &Request::Info) {
+            Response::Info { objects, .. } => (0..objects.max(1)).collect(),
+            other => {
+                eprintln!("unexpected INFO response: {other:?}");
+                exit(1)
+            }
+        }
+    });
+    let d = LoadgenOptions::default();
+    let opts = LoadgenOptions {
+        addr,
+        connections: get(flags, "connections").unwrap_or(d.connections),
+        qps_targets: csv_list(flags, "qps").unwrap_or(d.qps_targets),
+        duration_secs: get(flags, "duration").unwrap_or(d.duration_secs),
+        k: get(flags, "k").unwrap_or(d.k),
+        alpha: get(flags, "alpha").unwrap_or(d.alpha),
+        variant: wire_variant(flags),
+        deadline_ms: get(flags, "deadline-ms").unwrap_or(d.deadline_ms),
+        query_ids,
+    };
+    eprintln!(
+        "loadgen against {}: qps {:?} x {}s over {} connections ...",
+        opts.addr, opts.qps_targets, opts.duration_secs, opts.connections
+    );
+    let report = serve_suite::run(&opts).unwrap_or_else(|e| {
+        eprintln!("loadgen failed: {e}");
+        exit(1)
+    });
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_serve.json".into());
+    serve_suite::write_report(std::path::Path::new(&out), &report).unwrap_or_else(|e| {
+        eprintln!("cannot write report: {e}");
+        exit(1)
+    });
+
+    println!(
+        "{:>10} {:>10} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "target", "achieved", "ok", "busy", "p50 ms", "p95 ms", "p99 ms", "mean ms"
+    );
+    for run in report.get("runs").and_then(|r| r.as_arr()).unwrap_or(&[]) {
+        let f = |key: &str| run.get(key).and_then(|v| v.as_num()).unwrap_or(f64::NAN);
+        println!(
+            "{:>10.0} {:>10.1} {:>6.0} {:>6.0} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            f("target_qps"),
+            f("achieved_qps"),
+            f("ok"),
+            f("busy"),
+            f("latency_ms_p50"),
+            f("latency_ms_p95"),
+            f("latency_ms_p99"),
+            f("latency_ms_mean"),
+        );
+    }
+    println!("-> {out}");
+}
+
+/// Publish a new index epoch on a running daemon.
+fn swap_cmd(flags: &HashMap<String, String>) {
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| usage());
+    let index_path = flags.get("index-file").cloned().unwrap_or_else(|| usage());
+    let mut client = connect(&addr);
+    match call(&mut client, &Request::Swap { index_path }) {
+        Response::Swapped { epoch, objects } => {
+            println!("swapped: epoch {epoch}, {objects} objects");
+        }
+        other => {
+            eprintln!("unexpected response: {other:?}");
+            exit(1)
+        }
+    }
+}
+
+/// Ask a running daemon to exit.
+fn shutdown_cmd(flags: &HashMap<String, String>) {
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| usage());
+    let mut client = connect(&addr);
+    match call(&mut client, &Request::Shutdown) {
+        Response::ShutdownAck => println!("server at {addr} is shutting down"),
+        other => {
+            eprintln!("unexpected response: {other:?}");
+            exit(1)
         }
     }
 }

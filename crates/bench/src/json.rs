@@ -290,7 +290,17 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
+        match text.parse::<f64>() {
+            // `"1e999".parse::<f64>()` is `Ok(inf)`: an overflowing literal
+            // would otherwise smuggle a non-finite Num into a value model
+            // whose writer cannot represent it (it emits `null`), breaking
+            // parse→write→parse round-trips. Reject it like any other
+            // malformed number. (Bare `NaN`/`Infinity` tokens never reach
+            // here — `value()` only dispatches digits and `-` to numbers.)
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(self.err("number overflows f64")),
+            Err(_) => Err(self.err("malformed number")),
+        }
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
@@ -380,6 +390,41 @@ mod tests {
     fn non_finite_serializes_as_null() {
         assert_eq!(Json::Num(f64::NAN).to_pretty(), "null\n");
         assert_eq!(Json::Num(f64::INFINITY).to_pretty(), "null\n");
+    }
+
+    #[test]
+    fn non_finite_survives_write_parse_write() {
+        // NaN/Inf cells degrade to null on the first write; the re-parsed
+        // document must round-trip bit-identically from then on.
+        let doc = Json::obj(vec![
+            ("nan", Json::Num(f64::NAN)),
+            ("inf", Json::Num(f64::INFINITY)),
+            ("neg_inf", Json::Num(f64::NEG_INFINITY)),
+            ("fine", Json::num(1.5)),
+        ]);
+        let text = doc.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("nan"), Some(&Json::Null));
+        assert_eq!(parsed.get("inf"), Some(&Json::Null));
+        assert_eq!(parsed.get("neg_inf"), Some(&Json::Null));
+        assert_eq!(parsed.get("fine"), Some(&Json::Num(1.5)));
+        assert_eq!(parsed.to_pretty(), text, "stable after one degradation");
+    }
+
+    #[test]
+    fn rejects_non_finite_number_tokens() {
+        // Bare IEEE spellings are not JSON.
+        assert!(Json::parse("NaN").is_err());
+        assert!(Json::parse("Infinity").is_err());
+        assert!(Json::parse("-Infinity").is_err());
+        assert!(Json::parse("[1, NaN]").is_err());
+        // Overflowing literals parse to ±inf in Rust; the parser must not
+        // let them through as non-finite Nums.
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        assert!(Json::parse("{\"v\": 1e999}").is_err());
+        // Large-but-finite is fine.
+        assert_eq!(Json::parse("1e308").unwrap().as_num(), Some(1e308));
     }
 
     #[test]

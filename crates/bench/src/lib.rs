@@ -13,6 +13,7 @@
 pub mod aknn_suite;
 pub mod json;
 pub mod kernel;
+pub mod serve_suite;
 
 use fuzzy_core::FuzzyObject;
 use fuzzy_datagen::{CellConfig, DatasetKind, SyntheticConfig};

@@ -1,0 +1,347 @@
+//! Open-loop load generation against a running `fkq serve` daemon, and
+//! the schema-versioned `BENCH_serve.json` report it records.
+//!
+//! The generator is **open-loop**: each target rate gets a fixed send
+//! schedule (`start + i/qps`) computed up front, and latency is measured
+//! from the *intended* send time, not the actual one — so when the server
+//! falls behind, the queueing delay the schedule slip represents is
+//! charged to the latency distribution instead of silently lowering the
+//! offered rate (the coordinated-omission trap). In-flight concurrency is
+//! bounded by the connection count: each of the `connections` threads
+//! walks its share of the schedule with blocking request/response.
+
+use crate::json::Json;
+use fuzzy_server::{Client, QuerySource, Request, Response, WireVariant};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Schema identifier of `BENCH_serve.json`. Bump on layout changes.
+pub const SCHEMA: &str = "fuzzy-knn/bench-serve/v1";
+
+/// Load-generator knobs.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Server address (`unix:<path>` or `host:port`).
+    pub addr: String,
+    /// Concurrent connections (bounds in-flight requests).
+    pub connections: usize,
+    /// Target offered rates, one measured run per entry.
+    pub qps_targets: Vec<f64>,
+    /// Duration of each run, seconds.
+    pub duration_secs: f64,
+    /// Neighbours per query.
+    pub k: usize,
+    /// Probability threshold.
+    pub alpha: f64,
+    /// AKNN pruning variant.
+    pub variant: WireVariant,
+    /// Per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: u32,
+    /// Stored object ids to cycle through as query objects.
+    pub query_ids: Vec<u64>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            connections: 4,
+            qps_targets: vec![100.0, 200.0, 400.0],
+            duration_secs: 5.0,
+            k: 10,
+            alpha: 0.5,
+            variant: WireVariant::LbLpUb,
+            deadline_ms: 0,
+            query_ids: vec![0],
+        }
+    }
+}
+
+/// Outcome tallies of one connection thread.
+#[derive(Debug, Default)]
+struct Tally {
+    ok_latencies_ms: Vec<f64>,
+    busy: u64,
+    deadline_exceeded: u64,
+    errors: u64,
+}
+
+/// Run the full QPS sweep and assemble the report. Fails fast if the
+/// server is unreachable.
+pub fn run(opts: &LoadgenOptions) -> Result<Json, String> {
+    if opts.query_ids.is_empty() {
+        return Err("query_ids must not be empty".into());
+    }
+    // Probe the server once for the report header.
+    let mut probe =
+        Client::connect(&opts.addr).map_err(|e| format!("cannot connect to {}: {e}", opts.addr))?;
+    let info = match probe.call(&Request::Info).map_err(|e| e.to_string())? {
+        Response::Info { objects, epoch, workers } => (objects, epoch, workers),
+        other => return Err(format!("unexpected INFO response: {other:?}")),
+    };
+
+    let mut runs = Vec::new();
+    for &qps in &opts.qps_targets {
+        if qps <= 0.0 || !qps.is_finite() {
+            return Err(format!("target qps must be positive, got {qps}"));
+        }
+        runs.push(run_one_rate(opts, qps)?);
+    }
+
+    Ok(Json::obj(vec![
+        ("schema", Json::str(SCHEMA)),
+        (
+            "server",
+            Json::obj(vec![
+                ("objects", Json::num(info.0 as f64)),
+                ("epoch", Json::num(info.1 as f64)),
+                ("workers", Json::num(info.2 as f64)),
+            ]),
+        ),
+        (
+            "workload",
+            Json::obj(vec![
+                ("connections", Json::num(opts.connections as f64)),
+                ("k", Json::num(opts.k as f64)),
+                ("alpha", Json::num(opts.alpha)),
+                (
+                    "variant",
+                    Json::str(match opts.variant {
+                        WireVariant::Basic => "basic",
+                        WireVariant::Lb => "lb",
+                        WireVariant::LbLp => "lb-lp",
+                        WireVariant::LbLpUb => "lb-lp-ub",
+                    }),
+                ),
+                ("duration_secs", Json::num(opts.duration_secs)),
+                ("deadline_ms", Json::num(opts.deadline_ms as f64)),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+    ]))
+}
+
+/// Drive one target rate: build the schedule, fan it over the
+/// connections, merge tallies into a report row.
+fn run_one_rate(opts: &LoadgenOptions, qps: f64) -> Result<Json, String> {
+    let total = (qps * opts.duration_secs).ceil().max(1.0) as usize;
+    let connections = opts.connections.clamp(1, total);
+    // Connect everything before starting the clock.
+    let mut clients = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let mut c = Client::connect(&opts.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", opts.addr))?;
+        c.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+        clients.push(c);
+    }
+
+    let interval = Duration::from_secs_f64(1.0 / qps);
+    let start = Instant::now() + Duration::from_millis(5);
+    let mut tallies: Vec<Tally> = Vec::with_capacity(connections);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for (conn_idx, mut client) in clients.into_iter().enumerate() {
+            let opts = &*opts;
+            handles.push(scope.spawn(move || {
+                let mut tally = Tally::default();
+                // Requests conn_idx, conn_idx + C, conn_idx + 2C, …
+                let mut i = conn_idx;
+                while i < total {
+                    let intended = start + interval.mul_f64(i as f64);
+                    sleep_until(intended);
+                    let id = opts.query_ids[i % opts.query_ids.len()];
+                    let request = Request::Aknn {
+                        query: QuerySource::Stored(fuzzy_core::ObjectId(id)),
+                        k: opts.k as u32,
+                        alpha: opts.alpha,
+                        variant: opts.variant,
+                        deadline_ms: opts.deadline_ms,
+                    };
+                    match client.call(&request) {
+                        Ok(Response::Aknn { .. }) => {
+                            let ms = intended.elapsed().as_secs_f64() * 1e3;
+                            tally.ok_latencies_ms.push(ms);
+                        }
+                        Ok(Response::Busy) => tally.busy += 1,
+                        Ok(Response::Error {
+                            code: fuzzy_server::ErrorCode::DeadlineExceeded,
+                            ..
+                        }) => tally.deadline_exceeded += 1,
+                        Ok(_) | Err(_) => tally.errors += 1,
+                    }
+                    i += connections;
+                }
+                tally
+            }));
+        }
+        for h in handles {
+            tallies.push(h.join().unwrap_or_default());
+        }
+    });
+
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut busy, mut deadline_exceeded, mut errors) = (0u64, 0u64, 0u64);
+    for t in &tallies {
+        latencies.extend_from_slice(&t.ok_latencies_ms);
+        busy += t.busy;
+        deadline_exceeded += t.deadline_exceeded;
+        errors += t.errors;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+
+    Ok(Json::obj(vec![
+        ("target_qps", Json::num(qps)),
+        ("sent", Json::num(total as f64)),
+        ("ok", Json::num(latencies.len() as f64)),
+        ("busy", Json::num(busy as f64)),
+        ("deadline_exceeded", Json::num(deadline_exceeded as f64)),
+        ("errors", Json::num(errors as f64)),
+        ("achieved_qps", Json::num(latencies.len() as f64 / elapsed)),
+        ("latency_ms_mean", Json::num(mean)),
+        ("latency_ms_p50", Json::num(pct(50.0))),
+        ("latency_ms_p95", Json::num(pct(95.0))),
+        ("latency_ms_p99", Json::num(pct(99.0))),
+    ]))
+}
+
+fn sleep_until(t: Instant) {
+    let now = Instant::now();
+    if t > now {
+        std::thread::sleep(t - now);
+    }
+}
+
+/// Per-run report fields: `(name, must_be_number)`.
+pub const RUN_FIELDS: &[(&str, bool)] = &[
+    ("target_qps", true),
+    ("sent", true),
+    ("ok", true),
+    ("busy", true),
+    ("deadline_exceeded", true),
+    ("errors", true),
+    ("achieved_qps", true),
+    ("latency_ms_mean", true),
+    ("latency_ms_p50", true),
+    ("latency_ms_p95", true),
+    ("latency_ms_p99", true),
+];
+
+/// Structural validation of a serve report (schema, field presence and
+/// types, no query errors). Committed `BENCH_serve.json` files must pass.
+pub fn validate_report(report: &Json) -> Result<(), String> {
+    if report.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field missing or not {SCHEMA:?}"));
+    }
+    for key in ["server", "workload"] {
+        match report.get(key) {
+            Some(Json::Obj(_)) => {}
+            _ => return Err(format!("{key} must be an object")),
+        }
+    }
+    let runs = report
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "runs must be an array".to_string())?;
+    if runs.is_empty() {
+        return Err("runs must not be empty".to_string());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for &(field, is_number) in RUN_FIELDS {
+            let value = run.get(field).ok_or_else(|| format!("runs[{i}] missing {field:?}"))?;
+            match (is_number, value) {
+                (true, Json::Num(n)) if n.is_finite() && *n >= 0.0 => {}
+                (false, Json::Str(_)) => {}
+                _ => return Err(format!("runs[{i}].{field} has the wrong type: {value:?}")),
+            }
+        }
+        if run.get("errors").and_then(Json::as_num) != Some(0.0) {
+            return Err(format!("runs[{i}] recorded transport/query errors"));
+        }
+        let ok = run.get("ok").and_then(Json::as_num).unwrap_or(0.0);
+        if ok <= 0.0 {
+            return Err(format!("runs[{i}] answered no queries"));
+        }
+    }
+    Ok(())
+}
+
+/// Serialize, validate and write a serve report; returns the text.
+pub fn write_report(path: &Path, report: &Json) -> std::io::Result<String> {
+    validate_report(report).map_err(std::io::Error::other)?;
+    let text = report.to_pretty();
+    std::fs::write(path, &text)?;
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_run() -> Json {
+        Json::obj(vec![
+            ("target_qps", Json::num(100.0)),
+            ("sent", Json::num(500.0)),
+            ("ok", Json::num(500.0)),
+            ("busy", Json::num(0.0)),
+            ("deadline_exceeded", Json::num(0.0)),
+            ("errors", Json::num(0.0)),
+            ("achieved_qps", Json::num(99.4)),
+            ("latency_ms_mean", Json::num(1.2)),
+            ("latency_ms_p50", Json::num(1.0)),
+            ("latency_ms_p95", Json::num(2.5)),
+            ("latency_ms_p99", Json::num(4.0)),
+        ])
+    }
+
+    fn valid_report() -> Json {
+        Json::obj(vec![
+            ("schema", Json::str(SCHEMA)),
+            ("server", Json::obj(vec![("objects", Json::num(500.0))])),
+            ("workload", Json::obj(vec![("connections", Json::num(2.0))])),
+            ("runs", Json::Arr(vec![valid_run()])),
+        ])
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_reports() {
+        validate_report(&valid_report()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_defects() {
+        let mut bad = valid_report();
+        if let Json::Obj(fields) = &mut bad {
+            fields[0].1 = Json::str("fuzzy-knn/bench-serve/v0");
+        }
+        assert!(validate_report(&bad).is_err(), "wrong schema version");
+
+        let mut no_runs = valid_report();
+        if let Json::Obj(fields) = &mut no_runs {
+            fields[3].1 = Json::Arr(vec![]);
+        }
+        assert!(validate_report(&no_runs).is_err(), "empty runs");
+
+        let mut errored = valid_report();
+        if let Json::Obj(fields) = &mut errored {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    run.iter_mut().find(|(k, _)| k == "errors").unwrap().1 = Json::num(3.0);
+                }
+            }
+        }
+        assert!(validate_report(&errored).is_err(), "nonzero errors");
+    }
+}

@@ -81,6 +81,13 @@ pub struct AknnConfig {
     pub query_samples: usize,
     /// Seed for the deterministic query-point sampling.
     pub sample_seed: u64,
+    /// Abort the query with [`QueryError::DeadlineExceeded`] once this
+    /// instant passes. Checked at traversal expansion points (node reads,
+    /// object probes, refinement steps), so an overdue query stops burning
+    /// its worker within one expansion instead of running to completion.
+    /// `None` (the default) never expires. The deadline changes which
+    /// queries *finish*, never the answers of those that do.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for AknnConfig {
@@ -99,6 +106,7 @@ impl AknnConfig {
             seeded_probes: true,
             query_samples: 16,
             sample_seed: 0x5EED,
+            deadline: None,
         }
     }
 
@@ -122,6 +130,14 @@ impl AknnConfig {
     /// the equivalence tests; answers are identical either way.
     pub fn unseeded(self) -> Self {
         Self { seeded_probes: false, ..self }
+    }
+
+    /// This configuration with a deadline: the query aborts with
+    /// [`QueryError::DeadlineExceeded`] at the first expansion point past
+    /// `deadline`. The server derives one from each request's
+    /// `deadline_ms`; `None` clears it.
+    pub fn with_deadline(self, deadline: Option<Instant>) -> Self {
+        Self { deadline, ..self }
     }
 
     /// Human-readable variant name matching the paper's figures.
@@ -282,6 +298,21 @@ impl SeedTracker {
     }
 }
 
+/// Abort with [`QueryError::DeadlineExceeded`] once `deadline` has passed.
+/// Called at expansion points: each node read of the best-first search,
+/// each object probe of the RKNN candidate collection, and each critical-
+/// probability step of the refinement loops. Those are the units of work
+/// between which a traversal can soundly stop, and each is coarse enough
+/// (a page decode, a distance evaluation) that the `Instant::now()` call
+/// is noise.
+#[inline]
+pub(crate) fn check_deadline(deadline: Option<Instant>) -> Result<(), QueryError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(QueryError::DeadlineExceeded),
+        _ => Ok(()),
+    }
+}
+
 /// Inflate a squared upper bound by a few ulps so that seeding an exact
 /// evaluation with an object's *own* conservative bound can never lose the
 /// witness pair to floating-point rounding (the kernel's pruning compare
@@ -415,6 +446,7 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
         };
         match item {
             Item::Node(id) => {
+                check_deadline(cfg.deadline)?;
                 let read = tree.read_node(id)?;
                 stats.node_accesses += 1;
                 stats.node_disk_reads += read.disk_read as u64;
@@ -444,6 +476,7 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                 }
             }
             Item::Entry(idx) => {
+                check_deadline(cfg.deadline)?;
                 let id = entries[idx as usize].summary.id;
                 if !cfg.lazy_probe {
                     let tau_sq = if cfg.seeded_probes { seeds.tau_sq(k) } else { f64::INFINITY };

@@ -288,7 +288,7 @@ impl BatchExecutor {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(request) = requests.get(i) else { break };
-                            let res = execute(&engine, request, &mut scratch);
+                            let res = execute_caught(&engine, request, &mut scratch);
                             report.executed += 1;
                             if let Ok(r) = &res {
                                 report.stats += *r.stats();
@@ -334,7 +334,11 @@ impl BatchExecutor {
 
 /// Dispatch one request on the calling thread, reusing the worker's
 /// scratch.
-fn execute<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+///
+/// This is the single-request execution primitive shared by the batch
+/// workers and the resident query server — both hand it a long-lived
+/// [`QueryScratch`] so steady state allocates nothing.
+pub fn execute_one<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     engine: &QueryEngine<'_, A, S, D>,
     request: &BatchRequest<D>,
     scratch: &mut QueryScratch<D>,
@@ -346,6 +350,35 @@ fn execute<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
         BatchRequest::Rknn { query, k, alpha_start, alpha_end, algo, cfg } => engine
             .rknn_with_scratch(query, *k, *alpha_start, *alpha_end, *algo, cfg, scratch)
             .map(BatchResponse::Rknn),
+    }
+}
+
+/// Like [`execute_one`], but a panic inside the query is caught at this
+/// per-query boundary and surfaced as [`QueryError::Panicked`] in the
+/// request's own error slot, so one poisoned query cannot tear down the
+/// batch scope (or a server worker) and take the other answers with it.
+///
+/// Reusing the scratch afterwards is sound: every search resets the
+/// scratch on entry, so a half-filled heap or buffer from the unwound
+/// query cannot leak into the next one.
+pub fn execute_caught<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    engine: &QueryEngine<'_, A, S, D>,
+    request: &BatchRequest<D>,
+    scratch: &mut QueryScratch<D>,
+) -> Result<BatchResponse, QueryError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_one(engine, request, scratch)))
+        .unwrap_or_else(|payload| Err(QueryError::Panicked { message: panic_message(&*payload) }))
+}
+
+/// Extract a human-readable message from a panic payload, when it was a
+/// string (the common `panic!("…")` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -428,6 +461,84 @@ mod tests {
         let (idx, err) = outcome.errors().next().unwrap();
         assert_eq!(idx, 1);
         assert!(matches!(err, QueryError::InvalidProbability { .. }));
+    }
+
+    /// A store wrapper that panics when probing one designated id —
+    /// simulates a latent bug deep inside a single query's traversal.
+    struct PanickyStore<S> {
+        inner: S,
+        poison: ObjectId,
+    }
+
+    impl<S: fuzzy_store::ObjectStore<2>> fuzzy_store::ObjectStore<2> for PanickyStore<S> {
+        fn probe(
+            &self,
+            id: ObjectId,
+        ) -> Result<std::sync::Arc<FuzzyObject<2>>, fuzzy_store::StoreError> {
+            assert!(id != self.poison, "injected probe panic");
+            self.inner.probe(id)
+        }
+
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn summaries(&self) -> &[fuzzy_core::ObjectSummary<2>] {
+            self.inner.summaries()
+        }
+
+        fn stats(&self) -> fuzzy_store::IoStatsSnapshot {
+            self.inner.stats()
+        }
+
+        fn reset_stats(&self) {
+            self.inner.reset_stats()
+        }
+    }
+
+    #[test]
+    fn panicking_query_is_caught_per_slot() {
+        let store = MemStore::from_objects((0..12).map(|i| {
+            let x = (i % 4) as f64;
+            let y = (i / 4) as f64;
+            FuzzyObject::new(
+                ObjectId(i),
+                vec![Point::xy(x, y), Point::xy(x + 0.3, y + 0.3)],
+                vec![1.0, 0.5],
+            )
+            .unwrap()
+        }))
+        .unwrap();
+        let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
+        // Probing object 5 panics; `basic()` probes every popped entry,
+        // so a wide AKNN near object 5 is guaranteed to hit it.
+        let store = PanickyStore { inner: store, poison: ObjectId(5) };
+        let q5 = store.inner.probe(ObjectId(5)).unwrap().as_ref().clone();
+        let q0 = store.inner.probe(ObjectId(0)).unwrap().as_ref().clone();
+
+        let requests = vec![
+            BatchRequest::aknn(q0.clone(), 2, 0.5, AknnConfig::lb_lp_ub()),
+            BatchRequest::aknn(q5, 12, 0.5, AknnConfig::basic()),
+            BatchRequest::aknn(q0, 2, 0.5, AknnConfig::lb_lp_ub()),
+        ];
+        let outcome = BatchExecutor::new(2).run(&tree, &store, &requests);
+
+        assert_eq!(outcome.responses.len(), 3, "every slot answered");
+        assert_eq!(outcome.ok_count(), 2, "the other queries' answers survive");
+        let (idx, err) = outcome.errors().next().unwrap();
+        assert_eq!(idx, 1, "the panic lands in its own request's slot");
+        match err {
+            QueryError::Panicked { message } => {
+                assert!(message.contains("injected probe panic"), "payload preserved: {message}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The engine remains usable after the unwind (scratch reset at
+        // every search entry): both survivors found their own object.
+        for i in [0usize, 2] {
+            let r = outcome.responses[i].as_ref().unwrap().as_aknn().unwrap();
+            assert!(r.ids().contains(&ObjectId(0)));
+        }
     }
 
     #[test]

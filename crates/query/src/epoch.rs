@@ -65,8 +65,14 @@ impl<T: Clone> Versioned<T> {
     /// The currently published snapshot (an `Arc` bump — O(1)). The
     /// snapshot stays valid for as long as the handle is held, regardless
     /// of later commits.
+    ///
+    /// Never panics, even after a writer panicked: the published `Arc`
+    /// is only ever replaced wholesale (never mutated in place), so a
+    /// poisoned lock still guards a fully valid snapshot — the read
+    /// recovers through [`std::sync::PoisonError::into_inner`].
     pub fn snapshot(&self) -> Arc<T> {
-        Arc::clone(&self.published.read().expect("published lock poisoned"))
+        let guard = self.published.read().unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(&guard)
     }
 
     /// Apply `mutate` to the master copy and publish the result as a new
@@ -84,13 +90,26 @@ impl<T: Clone> Versioned<T> {
     /// (duplicate-id insert, delete of an absent id) from cloning a large
     /// index just to republish an identical tree.
     pub fn write_if<R>(&self, mutate: impl FnOnce(&mut T) -> (bool, R)) -> R {
-        let mut master = self.master.lock().expect("master lock poisoned");
+        let mut master = self.master.lock().unwrap_or_else(|poisoned| {
+            // A previous writer panicked mid-mutation, so the master copy
+            // may hold a half-applied change that was never published.
+            // Roll it back to the last published snapshot — master and
+            // published are identical at the end of every successful
+            // commit, so this restores exactly the committed state and
+            // gives `write` commit-or-rollback semantics.
+            let mut guard = poisoned.into_inner();
+            *guard = T::clone(&self.snapshot());
+            guard
+        });
         let (changed, out) = mutate(&mut master);
         if changed {
             let fresh = Arc::new(master.clone());
             // Publish while still holding the master lock so commit order
-            // and epoch order agree.
-            *self.published.write().expect("published lock poisoned") = fresh;
+            // and epoch order agree. Recover a poisoned published lock the
+            // same way `snapshot()` does: the Arc inside is always valid.
+            let mut published =
+                self.published.write().unwrap_or_else(|poisoned| poisoned.into_inner());
+            *published = fresh;
             self.epoch.fetch_add(1, Ordering::AcqRel);
         }
         out
@@ -304,6 +323,32 @@ mod tests {
         assert_eq!(engine.epoch(), 30 + 10);
         assert_eq!(engine.len(), 64 + 30 - 10);
         engine.versioned().snapshot().validate().unwrap();
+    }
+
+    #[test]
+    fn panicked_commit_leaves_readers_on_last_snapshot() {
+        let v = Versioned::new(vec![1, 2]);
+
+        // A writer that mutates the master copy and then panics before
+        // its commit: the mutation must never become visible.
+        let v_ref = &v;
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            v_ref.write(|xs| {
+                xs.push(9);
+                panic!("writer dies mid-mutation");
+            });
+        }));
+        assert!(unwound.is_err(), "the injected panic must propagate to the caller");
+
+        // Readers keep working and still see the last published state.
+        assert_eq!(*v.snapshot(), vec![1, 2], "readers serve the pre-panic snapshot");
+        assert_eq!(v.epoch(), 0, "the aborted commit published no epoch");
+
+        // A later writer succeeds and does not resurrect the half-applied
+        // mutation: master was rolled back to the published snapshot.
+        v.write(|xs| xs.push(3));
+        assert_eq!(*v.snapshot(), vec![1, 2, 3]);
+        assert_eq!(v.epoch(), 1);
     }
 
     #[test]

@@ -26,6 +26,18 @@ pub enum QueryError {
         /// Range end.
         end: f64,
     },
+    /// The query's deadline expired before the traversal finished. The
+    /// engine checks the deadline at expansion points (node reads, object
+    /// probes, refinement steps), so an overdue query aborts promptly
+    /// instead of burning its worker; partial results are discarded.
+    DeadlineExceeded,
+    /// The query panicked inside a batch/server worker. The unwind was
+    /// caught at the per-query boundary; the message is the panic payload
+    /// when it was a string.
+    Panicked {
+        /// The panic payload, if it was a `&str`/`String`.
+        message: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -40,6 +52,8 @@ impl fmt::Display for QueryError {
             Self::InvalidRange { start, end } => {
                 write!(f, "invalid probability range [{start}, {end}]")
             }
+            Self::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Self::Panicked { message } => write!(f, "query panicked: {message}"),
         }
     }
 }

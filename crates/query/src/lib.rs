@@ -44,7 +44,10 @@ pub mod stats;
 pub mod sweep;
 
 pub use aknn::{AknnConfig, QueryScratch};
-pub use batch::{BatchExecutor, BatchOutcome, BatchRequest, BatchResponse, ThreadStats};
+pub use batch::{
+    execute_caught, execute_one, BatchExecutor, BatchOutcome, BatchRequest, BatchResponse,
+    ThreadStats,
+};
 pub use engine::{QueryEngine, SharedQueryEngine};
 pub use epoch::{DynamicQueryEngine, Versioned};
 pub use error::QueryError;

@@ -17,7 +17,7 @@
 //!   within the (k+1)-th distance (Lemma 4), sharply cutting CPU work for
 //!   wide probability ranges.
 
-use crate::aknn::{search, AknnConfig, QueryScratch};
+use crate::aknn::{check_deadline, search, AknnConfig, QueryScratch};
 use crate::error::QueryError;
 use crate::interval::{Interval, IntervalSet};
 use crate::result::{RknnItem, RknnResult};
@@ -100,7 +100,7 @@ pub(crate) fn run<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     let start = Instant::now();
     let mut stats = QueryStats::default();
     let items = match algo {
-        RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, &mut stats)?,
+        RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, cfg, &mut stats)?,
         RknnAlgorithm::Basic => {
             basic(tree, store, q, k, alpha_start, alpha_end, cfg, &mut stats, scratch)?
         }
@@ -129,11 +129,13 @@ fn naive<S: ObjectStore<D>, const D: usize>(
     k: usize,
     alpha_start: f64,
     alpha_end: f64,
+    cfg: &AknnConfig,
     stats: &mut QueryStats,
 ) -> Result<Vec<RknnItem>, QueryError> {
     let ids: Vec<ObjectId> = store.summaries().iter().map(|s| s.id).collect();
     let mut profiles: Vec<(ObjectId, DistanceProfile)> = Vec::with_capacity(ids.len());
     for id in ids {
+        check_deadline(cfg.deadline)?;
         let probe = store.probe_traced(id)?;
         stats.object_accesses += probe.disk_read as u64;
         stats.profile_computations += 1;
@@ -163,6 +165,7 @@ fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     let mut t = Threshold::at(alpha_start);
 
     loop {
+        check_deadline(cfg.deadline)?;
         let out = search(tree, store, q, k, t, cfg, true, scratch)?;
         stats.aknn_calls += 1;
         stats.object_accesses += out.stats.object_accesses;
@@ -253,6 +256,7 @@ fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     let mut cache: ProfileCache<D> = ProfileCache::new();
     let mut candidate_ids: Vec<ObjectId> = Vec::with_capacity(range.hits.len());
     for hit in &range.hits {
+        check_deadline(cfg.deadline)?;
         let probe = store.probe_traced(hit.entry.id)?;
         stats.object_accesses += probe.disk_read as u64;
         cache.get_or_compute(&probe.object, q);
@@ -264,9 +268,9 @@ fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
 
     // Step 3 — in-memory refinement over the candidate profiles.
     let acc = if improved_refinement {
-        refine_icr(&cache, &candidate_ids, k, alpha_start, alpha_end, r, has_non_candidates)
+        refine_icr(&cache, &candidate_ids, k, alpha_start, alpha_end, r, has_non_candidates, cfg)?
     } else {
-        refine_basic(&cache, &candidate_ids, k, alpha_start, alpha_end)
+        refine_basic(&cache, &candidate_ids, k, alpha_start, alpha_end, cfg)?
     };
     stats.profile_computations += cache.computations;
     Ok(collect(acc))
@@ -280,11 +284,13 @@ fn refine_basic<const D: usize>(
     k: usize,
     alpha_start: f64,
     alpha_end: f64,
-) -> HashMap<ObjectId, IntervalSet> {
+    cfg: &AknnConfig,
+) -> Result<HashMap<ObjectId, IntervalSet>, QueryError> {
     let mut acc: HashMap<ObjectId, IntervalSet> = HashMap::new();
     let mut t = Threshold::at(alpha_start);
     let mut scratch: Vec<(f64, ObjectId)> = Vec::with_capacity(candidates.len());
     loop {
+        check_deadline(cfg.deadline)?;
         scratch.clear();
         for &id in candidates {
             if let Some(d) = cache.get(id).value_at(t) {
@@ -310,7 +316,7 @@ fn refine_basic<const D: usize>(
         }
         t = Threshold::above(alpha_star);
     }
-    acc
+    Ok(acc)
 }
 
 /// Improved candidate refinement (Algorithm 5 / Lemma 4): each member A of
@@ -322,6 +328,7 @@ fn refine_basic<const D: usize>(
 /// the pruning radius `r`: every non-candidate keeps a distance > r
 /// throughout the range, so `min(d̂_{k+1}, r)` is a sound (conservative)
 /// stand-in for the true global (k+1)-th distance.
+#[allow(clippy::too_many_arguments)]
 fn refine_icr<const D: usize>(
     cache: &ProfileCache<D>,
     candidates: &[ObjectId],
@@ -330,11 +337,13 @@ fn refine_icr<const D: usize>(
     alpha_end: f64,
     r: f64,
     has_non_candidates: bool,
-) -> HashMap<ObjectId, IntervalSet> {
+    cfg: &AknnConfig,
+) -> Result<HashMap<ObjectId, IntervalSet>, QueryError> {
     let mut acc: HashMap<ObjectId, IntervalSet> = HashMap::new();
     let mut t = Threshold::at(alpha_start);
     let mut scratch: Vec<(f64, ObjectId)> = Vec::with_capacity(candidates.len());
     loop {
+        check_deadline(cfg.deadline)?;
         scratch.clear();
         for &id in candidates {
             if let Some(d) = cache.get(id).value_at(t) {
@@ -369,7 +378,7 @@ fn refine_icr<const D: usize>(
         }
         t = Threshold::above(alpha_star);
     }
-    acc
+    Ok(acc)
 }
 
 fn collect(acc: HashMap<ObjectId, IntervalSet>) -> Vec<RknnItem> {

@@ -1,0 +1,94 @@
+//! A minimal blocking client for the FZQP protocol.
+
+use crate::protocol::{read_frame, Request, Response, WireError};
+use crate::server::ListenAddr;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// The client's transport: either socket family behind one type.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking FZQP client over one connection.
+///
+/// `call` writes a frame and reads until the response with the matching
+/// request id arrives, so it stays correct even if earlier fire-and-forget
+/// responses are still in flight on the connection.
+pub struct Client {
+    stream: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to `addr` (`unix:<path>` or TCP `host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Self::connect_to(&ListenAddr::parse(addr))
+    }
+
+    /// Connect to a parsed listen address.
+    pub fn connect_to(addr: &ListenAddr) -> std::io::Result<Self> {
+        let stream = match addr {
+            ListenAddr::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }
+            ListenAddr::Unix(p) => Stream::Unix(UnixStream::connect(p)?),
+        };
+        Ok(Self { stream, next_id: 1 })
+    }
+
+    /// Set a read timeout, so a dead server cannot hang the caller.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match &self.stream {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Send `request` and block for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&request.encode(id))?;
+        self.stream.flush()?;
+        loop {
+            let frame = read_frame(&mut self.stream)?.ok_or(WireError::Truncated)?;
+            let response = Response::decode(frame.frame_type, &frame.payload)?;
+            if frame.request_id == id {
+                return Ok(response);
+            }
+            // A response to an older request (e.g. a delayed worker write
+            // after a BUSY) — skip it and keep waiting for ours.
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! The resident query daemon.
+//!
+//! Data flow (see ARCHITECTURE.md for the diagram):
+//!
+//! * A **listener thread** accepts TCP or unix-socket connections and
+//!   spawns one **reader thread** per connection.
+//! * Reader threads decode frames. Control-plane requests (INFO, STATS,
+//!   SWAP, SHUTDOWN) are answered inline — they never queue behind
+//!   queries. Query requests are resolved to [`BatchRequest`]s and pushed
+//!   onto a **bounded job queue**; a full queue answers BUSY immediately
+//!   (admission control: the pool never builds unbounded backlog, it
+//!   sheds load at the door).
+//! * A fixed pool of **worker threads** drains the queue. Each worker
+//!   owns one [`QueryScratch`] reused across every query it answers, and
+//!   pins the published index snapshot *per query*, so a SWAP between two
+//!   requests is visible to the second while in-flight queries keep the
+//!   tree they started on ([`Versioned`] epoch semantics).
+//! * Each request carries a deadline. Workers check it before starting,
+//!   and the engine checks it at traversal expansion points, so an
+//!   overdue query aborts with DEADLINE_EXCEEDED within one expansion
+//!   instead of burning its worker; the connection stays usable.
+//!
+//! Responses are written frame-at-a-time under a per-connection writer
+//! lock, so concurrent workers never interleave bytes of two frames.
+
+use crate::protocol::{
+    inline_object, read_frame, ErrorCode, QuerySource, RawFrame, Request, Response, WireError,
+    WIRE_DIMS,
+};
+use fuzzy_index::{
+    delta_path_for, NodeAccess, NodeId, NodeRead, OverlayRTree, PagedRTree, RTree, RTreeConfig,
+};
+use fuzzy_query::{
+    execute_caught, BatchRequest, BatchResponse, QueryEngine, QueryError, QueryScratch, Versioned,
+};
+use fuzzy_store::{FileStore, ObjectStore, StoreError};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The index backend a server answers from: the in-memory tree or a
+/// disk-resident paged tree with its overlay. Both are cheap enough to
+/// clone for [`Versioned`] snapshot publishing (arena `Vec` / small delta
+/// plus an `Arc` bump on the base file).
+#[derive(Clone, Debug)]
+pub enum ServeIndex {
+    /// In-memory R-tree (bulk-loaded from the store's summaries).
+    Mem(RTree<WIRE_DIMS>),
+    /// Disk-resident paged tree, with any sidecar delta replayed.
+    Paged(OverlayRTree<WIRE_DIMS>),
+}
+
+impl ServeIndex {
+    /// Bulk-load an in-memory tree over a store's summaries.
+    pub fn mem_from_store(store: &FileStore<WIRE_DIMS>) -> Self {
+        Self::Mem(RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default()))
+    }
+
+    /// Open a persisted index (replaying its delta log if one exists).
+    pub fn open_paged(path: &str, cache_pages: usize) -> Result<Self, StoreError> {
+        if delta_path_for(path).exists() {
+            Ok(Self::Paged(OverlayRTree::open_with_cache(path, cache_pages)?))
+        } else {
+            let base = Arc::new(PagedRTree::open_with_cache(path, cache_pages)?);
+            Ok(Self::Paged(OverlayRTree::new(base)?))
+        }
+    }
+}
+
+impl NodeAccess<WIRE_DIMS> for ServeIndex {
+    fn root_id(&self) -> NodeId {
+        match self {
+            Self::Mem(t) => NodeAccess::root_id(t),
+            Self::Paged(t) => NodeAccess::root_id(t),
+        }
+    }
+
+    fn root_mbr(&self) -> fuzzy_geom::Mbr<WIRE_DIMS> {
+        match self {
+            Self::Mem(t) => t.root_mbr(),
+            Self::Paged(t) => t.root_mbr(),
+        }
+    }
+
+    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, WIRE_DIMS>, StoreError> {
+        match self {
+            Self::Mem(t) => t.read_node(id),
+            Self::Paged(t) => t.read_node(id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Mem(t) => NodeAccess::len(t),
+            Self::Paged(t) => NodeAccess::len(t),
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Self::Mem(t) => NodeAccess::height(t),
+            Self::Paged(t) => NodeAccess::height(t),
+        }
+    }
+}
+
+/// Where the server listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP socket address, e.g. `127.0.0.1:7878` (`:0` for ephemeral).
+    Tcp(String),
+    /// A unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parse an address string: `unix:<path>` selects a unix socket,
+    /// anything else is a TCP `host:port`.
+    pub fn parse(s: &str) -> Self {
+        match s.strip_prefix("unix:") {
+            Some(path) => Self::Unix(PathBuf::from(path)),
+            None => Self::Tcp(s.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp(a) => write!(f, "{a}"),
+            Self::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads; 0 means one per available CPU.
+    pub workers: usize,
+    /// Admission-control bound: queries queued but not yet running.
+    /// A full queue sheds new queries with BUSY.
+    pub queue_depth: usize,
+    /// Buffer-pool capacity for indexes opened by SWAP.
+    pub cache_pages: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self { workers: 0, queue_depth: 64, cache_pages: fuzzy_index::DEFAULT_CACHE_PAGES }
+    }
+}
+
+/// Monotonic counters, readable via STATS.
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    busy: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    errors: AtomicU64,
+    swaps: AtomicU64,
+}
+
+/// State shared by the listener, readers and workers.
+struct Shared {
+    index: Versioned<ServeIndex>,
+    store: Arc<FileStore<WIRE_DIMS>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    workers: u16,
+    cache_pages: usize,
+    /// The bound address, so a SHUTDOWN frame can wake the blocked
+    /// `accept` (see [`wake_listener`]).
+    addr: ListenAddr,
+}
+
+/// One admitted query, en route to a worker.
+struct Job {
+    request: BatchRequest<WIRE_DIMS>,
+    request_id: u64,
+    writer: SharedWriter,
+}
+
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// A running server. Dropping the handle does NOT stop the daemon; call
+/// [`ServerHandle::stop`] (or send a SHUTDOWN frame) for orderly exit.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: ListenAddr,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the ephemeral port resolved, for TCP).
+    pub fn addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// Current epoch of the published index snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.index.epoch()
+    }
+
+    /// True once SHUTDOWN was requested (frame or [`ServerHandle::stop`]).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Request shutdown and join the listener and worker threads.
+    /// Connection reader threads exit when their peers disconnect.
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        wake_listener(&self.addr);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the daemon exits (a SHUTDOWN frame arrived). Used by
+    /// `fkq serve` to park the main thread.
+    pub fn join(mut self) {
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Connect once to the bound address so a blocking `accept` observes the
+/// shutdown flag.
+fn wake_listener(addr: &ListenAddr) {
+    match addr {
+        ListenAddr::Tcp(a) => drop(TcpStream::connect(a)),
+        ListenAddr::Unix(p) => drop(UnixStream::connect(p)),
+    }
+}
+
+/// Start a server over an already-open store and index.
+///
+/// Binds the listen address, spawns the worker pool and the listener
+/// thread, and returns immediately with a [`ServerHandle`].
+pub fn serve(
+    store: FileStore<WIRE_DIMS>,
+    index: ServeIndex,
+    listen: &ListenAddr,
+    opts: &ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    } else {
+        opts.workers
+    };
+
+    // Bind before building `Shared`: the bound address (with any
+    // ephemeral port resolved) must be visible to connection handlers so
+    // a SHUTDOWN frame can wake the blocking `accept`.
+    enum Bound {
+        Tcp(TcpListener),
+        Unix(UnixListener, PathBuf),
+    }
+    let (bound, listener) = match listen {
+        ListenAddr::Tcp(a) => {
+            let listener = TcpListener::bind(a)?;
+            let bound = ListenAddr::Tcp(listener.local_addr()?.to_string());
+            (bound, Bound::Tcp(listener))
+        }
+        ListenAddr::Unix(path) => {
+            // A stale socket file from a dead server blocks rebinding.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            (ListenAddr::Unix(path.clone()), Bound::Unix(listener, path.clone()))
+        }
+    };
+
+    let shared = Arc::new(Shared {
+        index: Versioned::new(index),
+        store: Arc::new(store),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        workers: workers.min(u16::MAX as usize) as u16,
+        cache_pages: opts.cache_pages,
+        addr: bound.clone(),
+    });
+
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(opts.queue_depth);
+    let rx = Arc::new(Mutex::new(rx));
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || worker_loop(&shared, &rx))
+        })
+        .collect();
+
+    let listener_handle = match listener {
+        Bound::Tcp(listener) => {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    spawn_tcp_reader(&shared, &tx, stream);
+                }
+            })
+        }
+        Bound::Unix(listener, socket_path) => {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    spawn_unix_reader(&shared, &tx, stream);
+                }
+                let _ = std::fs::remove_file(&socket_path);
+            })
+        }
+    };
+
+    Ok(ServerHandle {
+        shared,
+        addr: bound,
+        listener: Some(listener_handle),
+        workers: worker_handles,
+    })
+}
+
+fn spawn_tcp_reader(shared: &Arc<Shared>, tx: &SyncSender<Job>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let shared = Arc::clone(shared);
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        connection_loop(&shared, &tx, stream, Box::new(write_half));
+    });
+}
+
+fn spawn_unix_reader(shared: &Arc<Shared>, tx: &SyncSender<Job>, stream: UnixStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let shared = Arc::clone(shared);
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        connection_loop(&shared, &tx, stream, Box::new(write_half));
+    });
+}
+
+/// Per-connection reader: decode frames, answer control requests inline,
+/// enqueue queries. Exits on EOF, transport error, or server shutdown.
+fn connection_loop<R: std::io::Read>(
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    mut reader: R,
+    writer: Box<dyn Write + Send>,
+) {
+    let writer: SharedWriter = Arc::new(Mutex::new(writer));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean disconnect
+            Err(WireError::Io(_)) | Err(WireError::Truncated) => return,
+            Err(e) => {
+                // Framing is unrecoverable after a malformed envelope —
+                // report once and drop the connection.
+                let resp = Response::Error { code: ErrorCode::Malformed, message: e.to_string() };
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                write_response(&writer, 0, &resp);
+                return;
+            }
+        };
+        if !handle_frame(shared, tx, &writer, frame) {
+            return;
+        }
+    }
+}
+
+/// Dispatch one verified frame. Returns false when the connection (or the
+/// whole server) should wind down.
+fn handle_frame(
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    writer: &SharedWriter,
+    frame: RawFrame,
+) -> bool {
+    let id = frame.request_id;
+    let request = match Request::decode(frame.frame_type, &frame.payload) {
+        Ok(r) => r,
+        Err(WireError::UnknownType { found }) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Error {
+                code: ErrorCode::Unsupported,
+                message: format!("frame type 0x{found:02x}"),
+            };
+            write_response(writer, id, &resp);
+            return true;
+        }
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Error { code: ErrorCode::Malformed, message: e.to_string() };
+            write_response(writer, id, &resp);
+            return true;
+        }
+    };
+
+    match request {
+        Request::Info => {
+            let snap = shared.index.snapshot();
+            let resp = Response::Info {
+                objects: NodeAccess::len(snap.as_ref()) as u64,
+                epoch: shared.index.epoch(),
+                workers: shared.workers,
+            };
+            write_response(writer, id, &resp);
+            true
+        }
+        Request::Stats => {
+            let c = &shared.counters;
+            let resp = Response::Stats {
+                served: c.served.load(Ordering::Relaxed),
+                busy: c.busy.load(Ordering::Relaxed),
+                deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+                errors: c.errors.load(Ordering::Relaxed),
+                swaps: c.swaps.load(Ordering::Relaxed),
+            };
+            write_response(writer, id, &resp);
+            true
+        }
+        Request::Swap { index_path } => {
+            let resp = match open_swap_index(shared, &index_path) {
+                Ok(new_index) => {
+                    let objects = NodeAccess::len(&new_index) as u64;
+                    shared.index.write(|ix| *ix = new_index);
+                    shared.counters.swaps.fetch_add(1, Ordering::Relaxed);
+                    Response::Swapped { epoch: shared.index.epoch(), objects }
+                }
+                Err(e) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error { code: ErrorCode::SwapFailed, message: e }
+                }
+            };
+            write_response(writer, id, &resp);
+            true
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            // The listener is parked in a blocking `accept`; poke it so
+            // it observes the flag and `ServerHandle::join` returns.
+            wake_listener(&shared.addr);
+            write_response(writer, id, &Response::ShutdownAck);
+            false
+        }
+        Request::Aknn { query, k, alpha, variant, deadline_ms } => {
+            let admitted = Instant::now();
+            let deadline = deadline_of(admitted, deadline_ms);
+            let q = match resolve_query(shared, &query) {
+                Ok(q) => q,
+                Err(resp) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_response(writer, id, &resp);
+                    return true;
+                }
+            };
+            let cfg = variant.config().with_deadline(deadline);
+            let request = BatchRequest::aknn(q, k as usize, alpha, cfg);
+            enqueue(shared, tx, writer, id, request);
+            true
+        }
+        Request::Rknn { query, k, alpha_start, alpha_end, algo, variant, deadline_ms } => {
+            let admitted = Instant::now();
+            let deadline = deadline_of(admitted, deadline_ms);
+            let q = match resolve_query(shared, &query) {
+                Ok(q) => q,
+                Err(resp) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_response(writer, id, &resp);
+                    return true;
+                }
+            };
+            let cfg = variant.config().with_deadline(deadline);
+            let request = BatchRequest::rknn(q, k as usize, (alpha_start, alpha_end), algo, cfg);
+            enqueue(shared, tx, writer, id, request);
+            true
+        }
+    }
+}
+
+fn deadline_of(admitted: Instant, deadline_ms: u32) -> Option<Instant> {
+    (deadline_ms > 0).then(|| admitted + Duration::from_millis(deadline_ms as u64))
+}
+
+/// Materialize the request's query object: probe the store for stored-id
+/// sources, validate inline ones.
+fn resolve_query(
+    shared: &Shared,
+    source: &QuerySource,
+) -> Result<fuzzy_core::FuzzyObject<WIRE_DIMS>, Response> {
+    match source {
+        QuerySource::Stored(id) => match shared.store.probe(*id) {
+            Ok(obj) => Ok(obj.as_ref().clone()),
+            Err(e @ StoreError::UnknownObject(_)) => {
+                Err(Response::Error { code: ErrorCode::NotFound, message: e.to_string() })
+            }
+            Err(e) => Err(Response::Error { code: ErrorCode::Store, message: e.to_string() }),
+        },
+        QuerySource::Inline { id, rows } => inline_object(*id, rows)
+            .map_err(|message| Response::Error { code: ErrorCode::InvalidArgument, message }),
+    }
+}
+
+/// Admission control: try to hand the job to the pool; a full queue means
+/// an immediate BUSY, the request is never buffered.
+fn enqueue(
+    shared: &Shared,
+    tx: &SyncSender<Job>,
+    writer: &SharedWriter,
+    request_id: u64,
+    request: BatchRequest<WIRE_DIMS>,
+) {
+    let job = Job { request, request_id, writer: Arc::clone(writer) };
+    match tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(job)) => {
+            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            write_response(&job.writer, job.request_id, &Response::Busy);
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            write_response(
+                &job.writer,
+                job.request_id,
+                &Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "server is shutting down".to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Worker: drain the queue with one long-lived scratch; poll the shutdown
+/// flag between jobs.
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    let mut scratch = QueryScratch::new();
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match job {
+            Ok(job) => run_job(shared, &mut scratch, job),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Execute one admitted query against the currently published snapshot
+/// and write its response.
+fn run_job(shared: &Arc<Shared>, scratch: &mut QueryScratch<WIRE_DIMS>, job: Job) {
+    // Pin the snapshot per query: a SWAP published while this job queued
+    // is picked up here; a SWAP landing mid-query is not (epoch
+    // isolation).
+    let snapshot = shared.index.snapshot();
+    let engine = QueryEngine::new(snapshot.as_ref(), shared.store.as_ref());
+    let resp = match execute_caught(&engine, &job.request, scratch) {
+        Ok(BatchResponse::Aknn(r)) => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            Response::Aknn { stats: (&r.stats).into(), neighbors: r.neighbors }
+        }
+        Ok(BatchResponse::Rknn(r)) => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            Response::Rknn { stats: (&r.stats).into(), items: r.items }
+        }
+        Err(e) => {
+            let (code, counter) = classify(&e);
+            counter_of(shared, counter).fetch_add(1, Ordering::Relaxed);
+            Response::Error { code, message: e.to_string() }
+        }
+    };
+    write_response(&job.writer, job.request_id, &resp);
+}
+
+enum CounterKind {
+    Deadline,
+    Error,
+}
+
+fn counter_of(shared: &Shared, kind: CounterKind) -> &AtomicU64 {
+    match kind {
+        CounterKind::Deadline => &shared.counters.deadline_exceeded,
+        CounterKind::Error => &shared.counters.errors,
+    }
+}
+
+fn classify(e: &QueryError) -> (ErrorCode, CounterKind) {
+    match e {
+        QueryError::DeadlineExceeded => (ErrorCode::DeadlineExceeded, CounterKind::Deadline),
+        QueryError::Panicked { .. } => (ErrorCode::Panicked, CounterKind::Error),
+        QueryError::Store(StoreError::UnknownObject(_)) => {
+            (ErrorCode::NotFound, CounterKind::Error)
+        }
+        QueryError::Store(_) => (ErrorCode::Store, CounterKind::Error),
+        QueryError::EmptyQueryCut
+        | QueryError::ZeroK
+        | QueryError::InvalidProbability { .. }
+        | QueryError::InvalidRange { .. } => (ErrorCode::InvalidArgument, CounterKind::Error),
+    }
+}
+
+/// Open the index a SWAP names. `:mem:` bulk-reloads from the store.
+fn open_swap_index(shared: &Shared, index_path: &str) -> Result<ServeIndex, String> {
+    if index_path == ":mem:" {
+        return Ok(ServeIndex::mem_from_store(shared.store.as_ref()));
+    }
+    ServeIndex::open_paged(index_path, shared.cache_pages).map_err(|e| e.to_string())
+}
+
+/// Serialize and write one whole frame under the connection's writer
+/// lock. Write errors are ignored: the reader side notices the dead
+/// connection and winds it down.
+fn write_response(writer: &SharedWriter, request_id: u64, resp: &Response) {
+    let bytes = resp.encode(request_id);
+    let mut guard = writer.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _ = guard.write_all(&bytes);
+    let _ = guard.flush();
+}
