@@ -20,15 +20,19 @@ use crate::json::Json;
 use crate::kernel::{self, KernelOptions};
 use crate::{DatasetSpec, Env};
 use fuzzy_datagen::DatasetKind;
-use fuzzy_index::{NodeAccess, PagedRTree};
+use fuzzy_index::{NodeAccess, PagedRTree, ShardedIndex, StrCenterAssign};
 use fuzzy_query::{AknnConfig, BatchExecutor, BatchOutcome, BatchRequest};
 use fuzzy_store::{FileStore, ObjectStore};
 use std::path::Path;
 
 /// Schema identifier embedded in every report. v3 added per-query latency
 /// percentiles (`wall_ms_p50/p95/p99`) to every run and the top-level
-/// `kernel` microbench section.
-pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v3";
+/// `kernel` microbench section. v4 adds a `shards` field to every run
+/// (`0` = the classic single-tree path) and a `shards` sweep that runs
+/// the default workload through the scatter-gather engine at each
+/// configured shard count — the shared-τ bound makes per-query object
+/// probes at S shards comparable to (and no worse than) one shard.
+pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v4";
 
 /// Which index backend a bench run queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +70,9 @@ pub struct BenchOptions {
     pub alphas: Vec<f64>,
     /// Worker counts of the thread sweep.
     pub thread_counts: Vec<usize>,
+    /// Shard counts of the `shards` sweep (scatter-gather engine over an
+    /// STR-tiled [`ShardedIndex`]); empty skips the sweep.
+    pub shard_counts: Vec<usize>,
     /// Index backend the sweeps query.
     pub backend: IndexBackend,
     /// Page size of the paged index file (ignored for `Mem`).
@@ -101,6 +108,7 @@ impl BenchOptions {
             ks: vec![1, 5, 10, 20, 50],
             alphas: vec![0.2, 0.5, 0.8],
             thread_counts: vec![1, 2, 4, 8],
+            shard_counts: vec![1, 2, 4],
             backend: IndexBackend::Paged,
             page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
             cache_pages: fuzzy_index::DEFAULT_CACHE_PAGES,
@@ -126,6 +134,7 @@ impl BenchOptions {
             ks: vec![1, 3],
             alphas: vec![0.5],
             thread_counts: vec![1, 2],
+            shard_counts: vec![1, 2],
             backend: IndexBackend::Paged,
             page_size: fuzzy_index::DEFAULT_PAGE_SIZE,
             cache_pages: 64,
@@ -139,7 +148,8 @@ impl BenchOptions {
 /// One measured cell of a sweep, flattened into the report's `runs` array.
 /// `cache` records the buffer-pool state the batch started from: `cold`
 /// (cleared), `warm` (left over from a previous batch) or `none` (the
-/// in-memory backend has no pool).
+/// in-memory backend has no pool). `shards` is the shard count of the
+/// scatter-gather path, or `0` for the classic single-tree path.
 #[allow(clippy::too_many_arguments)]
 fn record(
     sweep: &str,
@@ -147,6 +157,7 @@ fn record(
     k: usize,
     alpha: f64,
     threads: usize,
+    shards: usize,
     cache: &str,
     outcome: &BatchOutcome,
 ) -> Json {
@@ -176,6 +187,7 @@ fn record(
         ("k", Json::num(k as f64)),
         ("alpha", Json::num(alpha)),
         ("threads", Json::num(threads as f64)),
+        ("shards", Json::num(shards as f64)),
         ("cache", Json::str(cache)),
         ("queries", Json::num(outcome.responses.len() as f64)),
         ("errors", Json::num(outcome.error_count() as f64)),
@@ -204,6 +216,7 @@ const RUN_FIELDS: &[(&str, bool)] = &[
     ("k", true),
     ("alpha", true),
     ("threads", true),
+    ("shards", true),
     ("cache", false),
     ("queries", true),
     ("errors", true),
@@ -260,6 +273,7 @@ fn sweeps<A: NodeAccess<2> + Sync>(
                 opts.default_k,
                 opts.default_alpha,
                 resolved,
+                0,
                 cache_label,
                 &outcome,
             ));
@@ -272,13 +286,22 @@ fn sweeps<A: NodeAccess<2> + Sync>(
     let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
     for &k in &opts.ks {
         let (outcome, resolved) = batch(&best, k, opts.default_alpha, max_threads);
-        runs.push(record("k", &best, k, opts.default_alpha, resolved, cache_label, &outcome));
+        runs.push(record("k", &best, k, opts.default_alpha, resolved, 0, cache_label, &outcome));
     }
 
     // Sweep 3 — α (Fig. 13/14) with the best variant.
     for &alpha in &opts.alphas {
         let (outcome, resolved) = batch(&best, opts.default_k, alpha, max_threads);
-        runs.push(record("alpha", &best, opts.default_k, alpha, resolved, cache_label, &outcome));
+        runs.push(record(
+            "alpha",
+            &best,
+            opts.default_k,
+            alpha,
+            resolved,
+            0,
+            cache_label,
+            &outcome,
+        ));
     }
 
     // Sweep 4 — cold vs warm buffer pool on the default workload (§6 cost
@@ -292,6 +315,7 @@ fn sweeps<A: NodeAccess<2> + Sync>(
         opts.default_k,
         opts.default_alpha,
         resolved,
+        0,
         cache_label,
         &cold,
     ));
@@ -307,6 +331,7 @@ fn sweeps<A: NodeAccess<2> + Sync>(
         opts.default_k,
         opts.default_alpha,
         executor.threads(),
+        0,
         "warm",
         &warm,
     ));
@@ -341,6 +366,7 @@ fn mutation_sweep<A: NodeAccess<2> + Sync>(
         opts.default_k,
         opts.default_alpha,
         executor.threads(),
+        0,
         cache_label,
         &outcome,
     );
@@ -355,12 +381,63 @@ fn mutation_count(opts: &BenchOptions, available: usize) -> usize {
     ((available as f64 * opts.mutation_rate).ceil() as usize).min(available)
 }
 
+/// The `shards` sweep: the default workload through the scatter-gather
+/// engine over an STR-tiled [`ShardedIndex`] at every configured shard
+/// count. Every per-shard best-first search runs force-exact and shares
+/// one τ bound, so the S=1 row is the baseline the multi-shard rows must
+/// not exceed in total object probes (CI checks exactly that on the
+/// committed report). Shard files are always paged, independent of the
+/// sweep backend; every batch starts from cold buffer pools.
+fn shard_sweep(
+    env: &Env,
+    queries: &[fuzzy_core::FuzzyObject<2>],
+    opts: &BenchOptions,
+) -> Vec<Json> {
+    let best = AknnConfig::lb_lp_ub();
+    let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    let requests: Vec<BatchRequest<2>> = queries
+        .iter()
+        .map(|q| BatchRequest::aknn(q.clone(), opts.default_k, opts.default_alpha, best))
+        .collect();
+    let mut runs = Vec::new();
+    for &s in &opts.shard_counts {
+        let manifest_path = opts.dataset.path().with_extension(format!("s{s}.fzsm"));
+        ShardedIndex::<2>::build(
+            env.store.summaries().to_vec(),
+            s,
+            &StrCenterAssign,
+            fuzzy_index::RTreeConfig::default(),
+            &manifest_path,
+            opts.page_size,
+        )
+        .expect("build sharded index");
+        let (_, shards) = ShardedIndex::<2>::open_overlays(&manifest_path, opts.cache_pages)
+            .expect("open sharded index");
+        for shard in &shards {
+            shard.base().clear_cache();
+        }
+        let executor = BatchExecutor::new(max_threads);
+        let outcome = executor.run_sharded(&shards, &env.store, &requests);
+        runs.push(record(
+            "shards",
+            &best,
+            opts.default_k,
+            opts.default_alpha,
+            executor.threads(),
+            s,
+            "cold",
+            &outcome,
+        ));
+    }
+    runs
+}
+
 /// Run every sweep and assemble the report.
 pub fn run(opts: &BenchOptions) -> Json {
     let env = Env::prepare(&opts.dataset);
     let queries = opts.dataset.queries(opts.queries);
 
-    let (runs, index_meta) = match opts.backend {
+    let (mut runs, index_meta) = match opts.backend {
         IndexBackend::Mem => {
             let mut runs = sweeps(&env.tree, &env.store, &queries, opts, &|| {}, "none");
             if opts.mutation_rate > 0.0 {
@@ -424,6 +501,10 @@ pub fn run(opts: &BenchOptions) -> Json {
         }
     };
 
+    if !opts.shard_counts.is_empty() {
+        runs.extend(shard_sweep(&env, &queries, opts));
+    }
+
     let kernel_rows = kernel::run(&opts.kernel);
 
     let threads_available =
@@ -462,6 +543,10 @@ pub fn run(opts: &BenchOptions) -> Json {
                 (
                     "thread_counts",
                     Json::Arr(opts.thread_counts.iter().map(|&t| Json::num(t as f64)).collect()),
+                ),
+                (
+                    "shard_counts",
+                    Json::Arr(opts.shard_counts.iter().map(|&s| Json::num(s as f64)).collect()),
                 ),
             ]),
         ),
@@ -547,7 +632,7 @@ mod tests {
         // All five sweeps are present (smoke sets a nonzero mutation
         // rate precisely so the dynamic-update path cannot rot unnoticed).
         let runs = reparsed.get("runs").unwrap().as_arr().unwrap();
-        for sweep in ["variant_threads", "k", "alpha", "cold_warm", "mutation"] {
+        for sweep in ["variant_threads", "k", "alpha", "cold_warm", "mutation", "shards"] {
             assert!(
                 runs.iter().any(|r| r.get("sweep").and_then(Json::as_str) == Some(sweep)),
                 "missing sweep {sweep}"
@@ -576,6 +661,24 @@ mod tests {
         };
         assert!(leg("cold") > 0.0, "cold runs must hit the disk");
         assert_eq!(leg("warm"), 0.0, "warm pool must serve every node");
+        // The shared-τ bound keeps scatter-gather probe totals flat in the
+        // shard count: the highest-S row must not probe more objects than
+        // the S=1 baseline (same criterion CI applies to the full report).
+        let shard_probes = |s: f64| -> f64 {
+            runs.iter()
+                .find(|r| {
+                    r.get("sweep").and_then(Json::as_str) == Some("shards")
+                        && r.get("shards").and_then(Json::as_num) == Some(s)
+                })
+                .expect("shards row present")
+                .get("object_accesses_total")
+                .and_then(Json::as_num)
+                .unwrap()
+        };
+        assert!(
+            shard_probes(2.0) <= shard_probes(1.0),
+            "τ sharing must keep S=2 probes within the S=1 baseline"
+        );
     }
 
     #[test]

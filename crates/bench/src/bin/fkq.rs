@@ -4,7 +4,9 @@
 //! fkq generate --kind cell --n 1000 --ppo 200 --out cells.fzkn
 //! fkq info cells.fzkn
 //! fkq build-index cells.fzkn --out cells.fzpt
+//! fkq build-index cells.fzkn --out cells.fzsm --shards 4
 //! fkq aknn cells.fzkn --k 10 --alpha 0.5 --index-file cells.fzpt
+//! fkq aknn cells.fzkn --k 10 --alpha 0.5 --index-file cells.fzsm
 //! fkq rknn cells.fzkn --k 10 --start 0.3 --end 0.7 --algo rss-icr
 //! fkq insert cells.fzkn --index-file cells.fzpt --ids 7,8,9
 //! fkq delete --index-file cells.fzpt --ids 3,4
@@ -19,6 +21,11 @@
 //! Query subcommands bulk-load an in-memory R-tree by default; pass
 //! `--index-file` to run against a persisted paged index built with
 //! `build-index` instead (see `docs/FORMAT.md` for the file layout).
+//! A `.fzsm` index file selects a **sharded** index: `build-index
+//! --shards S` partitions the dataset into S paged trees behind one
+//! checksummed manifest, and every query subcommand then scatter-gathers
+//! across the shards with a shared τ bound — answers are byte-identical
+//! to the single-tree layout.
 //! The index file is immutable until compaction: `insert`/`delete`
 //! accumulate changes in a checksummed sidecar delta log
 //! (`<index>.fzdl`) which every query subcommand replays automatically;
@@ -33,12 +40,13 @@
 use fuzzy_core::FuzzyObject;
 use fuzzy_datagen::{CellConfig, SyntheticConfig};
 use fuzzy_index::{
-    delta_path_for, NodeAccess, NodeId, NodeRead, OverlayRTree, PagedRTree, RTree, RTreeConfig,
+    delta_path_for, MassClassAssign, NodeAccess, NodeId, NodeRead, OverlayRTree, PagedRTree, RTree,
+    RTreeConfig, ShardAssign, ShardManifest, ShardedIndex, StrCenterAssign,
 };
-use fuzzy_query::{AknnConfig, QueryEngine, RknnAlgorithm};
+use fuzzy_query::{AknnConfig, QueryEngine, RknnAlgorithm, ShardedQueryEngine};
 use fuzzy_server::{
-    serve, Client, ListenAddr, QuerySource, Request, Response, ServeIndex, ServeOptions,
-    WireVariant,
+    is_sharded_path, serve, Client, ListenAddr, QuerySource, Request, Response, ServeIndex,
+    ServeOptions, WireVariant,
 };
 use fuzzy_store::{FileStore, ObjectStore, StoreError};
 use std::collections::HashMap;
@@ -48,7 +56,7 @@ const USAGE: &str = "usage:
   fkq generate --kind <synthetic|cell> --n <count> [--ppo <points>] [--seed <u64>] --out <path>
   fkq info <path> [--index-file <path>]
   fkq build-index <path> --out <index-path> [--page-size <bytes>] [--max-entries <n>] \
-[--min-fill <f>]
+[--min-fill <f>] [--shards <n>] [--shard-strategy <str|mass>]
   fkq aknn <path> --k <k> --alpha <a> [--variant <basic|lb|lb-lp|lb-lp-ub>] [--query-seed <u64>] \
 [--index-file <path>] [--cache-pages <n>] [--server <addr>] [--deadline-ms <n>]
   fkq rknn <path> --k <k> --start <a> --end <a> [--algo <naive|basic|rss|rss-icr>] \
@@ -59,7 +67,8 @@ const USAGE: &str = "usage:
   fkq compact --index-file <index> [--page-size <bytes>] [--cache-pages <n>]
   fkq bench [--out <path=BENCH_aknn.json>] [--smoke <true|false>] [--kind <synthetic|cell>] \
 [--n <count>] [--ppo <points>] [--seed <u64>] [--queries <count>] [--k <k>] [--alpha <a>] \
-[--ks <csv>] [--alphas <csv>] [--threads <csv>] [--backend <mem|paged>] [--page-size <bytes>] \
+[--ks <csv>] [--alphas <csv>] [--threads <csv>] [--shard-counts <csv>] \
+[--backend <mem|paged>] [--page-size <bytes>] \
 [--cache-pages <n>] [--mutation-rate <f>]
   fkq serve <path> [--listen <host:port|unix:path>] [--index-file <path>] [--workers <n>] \
 [--queue-depth <n>] [--cache-pages <n>]
@@ -228,6 +237,9 @@ fn bench(flags: &HashMap<String, String>) {
     if let Some(threads) = csv_list(flags, "threads") {
         opts.thread_counts = threads;
     }
+    if let Some(shards) = csv_list(flags, "shard-counts") {
+        opts.shard_counts = shards;
+    }
 
     let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_aknn.json".into());
     eprintln!(
@@ -345,12 +357,60 @@ fn open_overlay(path: &str, flags: &HashMap<String, String>) -> OverlayRTree<2> 
     })
 }
 
+/// Open a `.fzsm` shard forest: the manifest plus one overlay per shard
+/// (each with its sidecar delta replayed).
+fn open_sharded(
+    path: &str,
+    flags: &HashMap<String, String>,
+) -> (ShardManifest<2>, Vec<OverlayRTree<2>>) {
+    ShardedIndex::open_overlays(path, cache_pages(flags)).unwrap_or_else(|e| {
+        eprintln!("cannot open sharded index {path}: {e}");
+        exit(1)
+    })
+}
+
 /// Insert summaries of store objects (by id) into a persisted index's
-/// overlay.
+/// overlay. Against a `.fzsm` forest each summary routes to the shard
+/// with the nearest build-time region; only touched shards write deltas.
 fn insert_cmd(path: &str, flags: &HashMap<String, String>) {
     let store = open(path);
     let ix = flags.get("index-file").cloned().unwrap_or_else(|| usage());
     let ids: Vec<u64> = csv_list(flags, "ids").unwrap_or_else(|| usage());
+    if is_sharded_path(&ix) {
+        let (manifest, mut shards) = open_sharded(&ix, flags);
+        let mut inserted = 0usize;
+        let mut touched = vec![false; shards.len()];
+        for id in ids {
+            let Some(summary) = store.summaries().iter().find(|s| s.id.0 == id) else {
+                eprintln!("{path} stores no object {id}");
+                exit(1)
+            };
+            if shards.iter().any(|s| s.contains_id(summary.id)) {
+                eprintln!("id {id} is already indexed; skipped");
+                continue;
+            }
+            let target = manifest.route(&summary.support_mbr);
+            if shards[target].insert(*summary) {
+                inserted += 1;
+                touched[target] = true;
+                println!("  {id} -> shard {target}");
+            }
+        }
+        for (i, shard) in shards.iter().enumerate() {
+            if touched[i] {
+                shard.save_delta().unwrap_or_else(|e| {
+                    eprintln!("cannot write delta log for shard {i}: {e}");
+                    exit(1)
+                });
+            }
+        }
+        let live: usize = shards.iter().map(NodeAccess::len).sum();
+        println!(
+            "inserted {inserted} into {ix}: {live} live objects across {} shards",
+            shards.len()
+        );
+        return;
+    }
     let mut overlay = open_overlay(&ix, flags);
     let mut inserted = 0usize;
     for id in ids {
@@ -375,10 +435,39 @@ fn insert_cmd(path: &str, flags: &HashMap<String, String>) {
     );
 }
 
-/// Tombstone ids out of a persisted index's overlay.
+/// Tombstone ids out of a persisted index's overlay. Against a `.fzsm`
+/// forest every shard is consulted (routing is only a placement
+/// heuristic); the owning shard takes the tombstone.
 fn delete_cmd(flags: &HashMap<String, String>) {
     let ix = flags.get("index-file").cloned().unwrap_or_else(|| usage());
     let ids: Vec<u64> = csv_list(flags, "ids").unwrap_or_else(|| usage());
+    if is_sharded_path(&ix) {
+        let (_, mut shards) = open_sharded(&ix, flags);
+        let mut deleted = 0usize;
+        let mut touched = vec![false; shards.len()];
+        for id in ids {
+            let id = fuzzy_core::ObjectId(id);
+            match shards.iter_mut().position(|s| s.delete(id)) {
+                Some(owner) => {
+                    deleted += 1;
+                    touched[owner] = true;
+                    println!("  {id} <- shard {owner}");
+                }
+                None => eprintln!("id {id} is not indexed; skipped"),
+            }
+        }
+        for (i, shard) in shards.iter().enumerate() {
+            if touched[i] {
+                shard.save_delta().unwrap_or_else(|e| {
+                    eprintln!("cannot write delta log for shard {i}: {e}");
+                    exit(1)
+                });
+            }
+        }
+        let live: usize = shards.iter().map(NodeAccess::len).sum();
+        println!("deleted {deleted} from {ix}: {live} live objects across {} shards", shards.len());
+        return;
+    }
     let mut overlay = open_overlay(&ix, flags);
     let mut deleted = 0usize;
     for id in ids {
@@ -400,8 +489,68 @@ fn delete_cmd(flags: &HashMap<String, String>) {
 }
 
 /// Fold a persisted index's overlay back into the file (STR bulk reload).
+/// Against a `.fzsm` forest each dirty shard compacts on its own thread
+/// (per-shard locks: no shard waits on another), then the manifest rows
+/// are rewritten so the new base-file object counts and regions verify.
 fn compact_cmd(flags: &HashMap<String, String>) {
     let ix = flags.get("index-file").cloned().unwrap_or_else(|| usage());
+    if is_sharded_path(&ix) {
+        let (mut manifest, shards) = open_sharded(&ix, flags);
+        let started = std::time::Instant::now();
+        let compacted: Vec<Option<(usize, u64, fuzzy_geom::Mbr<2>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, overlay)| {
+                        let page_size: u32 =
+                            get(flags, "page-size").unwrap_or(overlay.base().page_size());
+                        scope.spawn(move || {
+                            if overlay.is_clean() {
+                                return None;
+                            }
+                            let pending = (overlay.pending_inserts(), overlay.pending_tombstones());
+                            let tree = overlay.compact(page_size).unwrap_or_else(|e| {
+                                eprintln!("compaction of shard {i} failed: {e}");
+                                exit(1)
+                            });
+                            println!(
+                                "  shard {i}: folded +{} -{} into {} pages, {} objects",
+                                pending.0,
+                                pending.1,
+                                tree.page_count(),
+                                tree.len()
+                            );
+                            let region = if tree.len() == 0 {
+                                fuzzy_geom::Mbr::empty()
+                            } else {
+                                tree.root_mbr()
+                            };
+                            Some((i, tree.len() as u64, region))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("compaction thread panicked")).collect()
+            });
+        // Compaction changed base-file object counts; rewrite the
+        // manifest rows so `ShardedIndex::open` verifies again.
+        let mut dirty = 0usize;
+        for (i, objects, region) in compacted.into_iter().flatten() {
+            dirty += 1;
+            manifest.shards[i].objects = objects;
+            manifest.shards[i].region = region;
+        }
+        manifest.save(&ix).unwrap_or_else(|e| {
+            eprintln!("cannot rewrite manifest: {e}");
+            exit(1)
+        });
+        println!(
+            "compacted {ix}: {dirty} of {} shards dirty, {:?}",
+            manifest.shards.len(),
+            started.elapsed()
+        );
+        return;
+    }
     let overlay = open_overlay(&ix, flags);
     let page_size: u32 = get(flags, "page-size").unwrap_or(overlay.base().page_size());
     let pending = (overlay.pending_inserts(), overlay.pending_tombstones());
@@ -433,6 +582,27 @@ fn info(path: &str, flags: &HashMap<String, String>) {
     }
     println!("  bounding box: {bbox:?}");
     if let Some(ix) = flags.get("index-file") {
+        if is_sharded_path(ix) {
+            let (manifest, shards) = open_sharded(ix, flags);
+            println!(
+                "  sharded index {ix}: {} shards ({}), {} objects at build",
+                manifest.shards.len(),
+                manifest.strategy_name(),
+                manifest.object_count()
+            );
+            for (i, (row, ov)) in manifest.shards.iter().zip(&shards).enumerate() {
+                println!(
+                    "    shard {i}: {} — {} live (overlay +{} -{}), height {}, region {:?}",
+                    row.path,
+                    NodeAccess::len(ov),
+                    ov.pending_inserts(),
+                    ov.pending_tombstones(),
+                    NodeAccess::height(ov.base()),
+                    row.region,
+                );
+            }
+            return;
+        }
         match open_index(ix, flags) {
             CliIndex::Paged(tree) => println!(
                 "  paged index {ix}: height {}, {} pages x {} bytes, C_max {}",
@@ -464,7 +634,10 @@ fn info(path: &str, flags: &HashMap<String, String>) {
     }
 }
 
-/// Build a persistent paged index over a store's summaries.
+/// Build a persistent paged index over a store's summaries. With
+/// `--shards > 1` (or a `.fzsm` output path) the summaries are
+/// partitioned and one paged tree is written per shard, described by a
+/// checksummed `.fzsm` manifest (see `docs/FORMAT.md`).
 fn build_index(path: &str, flags: &HashMap<String, String>) {
     let store = open(path);
     let out = flags.get("out").cloned().unwrap_or_else(|| usage());
@@ -474,7 +647,46 @@ fn build_index(path: &str, flags: &HashMap<String, String>) {
         max_entries: get(flags, "max-entries").unwrap_or(defaults.max_entries),
         min_fill: get(flags, "min-fill").unwrap_or(defaults.min_fill),
     };
+    let shards: usize = get(flags, "shards").unwrap_or(1);
     let started = std::time::Instant::now();
+    if shards > 1 || is_sharded_path(&out) {
+        let assign: Box<dyn ShardAssign<2>> =
+            match flags.get("shard-strategy").map(String::as_str).unwrap_or("str") {
+                "str" => Box::new(StrCenterAssign),
+                "mass" => Box::new(MassClassAssign),
+                other => {
+                    eprintln!("unknown shard strategy {other}");
+                    usage()
+                }
+            };
+        if !is_sharded_path(&out) {
+            eprintln!("--shards needs a .fzsm output path (got {out})");
+            exit(1)
+        }
+        let index = ShardedIndex::build(
+            store.summaries().to_vec(),
+            shards.max(1),
+            assign.as_ref(),
+            config,
+            &out,
+            page_size,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot build sharded index: {e}");
+            exit(1)
+        });
+        println!(
+            "wrote {out}: {} objects across {} shards ({}), {:?}",
+            index.len(),
+            index.shard_count(),
+            index.manifest().strategy_name(),
+            started.elapsed()
+        );
+        for (i, row) in index.manifest().shards.iter().enumerate() {
+            println!("  shard {i}: {} objects -> {}", row.objects, row.path);
+        }
+        return;
+    }
     let tree = PagedRTree::bulk_write(store.summaries().to_vec(), config, &out, page_size)
         .unwrap_or_else(|e| {
             eprintln!("cannot build index: {e}");
@@ -558,6 +770,25 @@ fn aknn(path: &str, flags: &HashMap<String, String>) {
     }
     store.reset_stats();
     match flags.get("index-file") {
+        Some(ix) if is_sharded_path(ix) => {
+            let (_, shards) = open_sharded(ix, flags);
+            let engine = ShardedQueryEngine::new(&shards, &store);
+            let res = engine.aknn(&q, k, alpha, &variant(flags)).unwrap_or_else(|e| {
+                eprintln!("query failed: {e}");
+                exit(1)
+            });
+            println!("{k}NN of {} at α = {alpha} ({} shards):", q.id(), shards.len());
+            for n in &res.neighbors {
+                println!("  {n}");
+            }
+            println!(
+                "cost: {} object accesses, {} node accesses ({} from disk), {:?}",
+                res.stats.object_accesses,
+                res.stats.node_accesses,
+                res.stats.node_disk_reads,
+                res.stats.wall
+            );
+        }
         Some(ix) => run_aknn(&open_index(ix, flags), &store, &q, k, alpha, &variant(flags)),
         None => {
             let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
@@ -614,6 +845,28 @@ fn rknn(path: &str, flags: &HashMap<String, String>) {
     }
     store.reset_stats();
     match flags.get("index-file") {
+        Some(ix) if is_sharded_path(ix) => {
+            let (_, shards) = open_sharded(ix, flags);
+            let engine = ShardedQueryEngine::new(&shards, &store);
+            let res =
+                engine.rknn(&q, k, start, end, algo, &AknnConfig::lb_lp_ub()).unwrap_or_else(|e| {
+                    eprintln!("query failed: {e}");
+                    exit(1)
+                });
+            println!(
+                "range {k}NN of {} over [{start}, {end}] ({}, {} shards):",
+                q.id(),
+                algo.name(),
+                shards.len()
+            );
+            for item in &res.items {
+                println!("  {item}");
+            }
+            println!(
+                "cost: {} object accesses, {} candidates, {:?}",
+                res.stats.object_accesses, res.stats.candidates, res.stats.wall
+            );
+        }
         Some(ix) => run_rknn(&open_index(ix, flags), &store, &q, k, start, end, algo),
         None => {
             let tree = RTree::bulk_load(store.summaries().to_vec(), RTreeConfig::default());
@@ -737,7 +990,7 @@ fn server_rknn(
 fn serve_cmd(path: &str, flags: &HashMap<String, String>) {
     let store = open(path);
     let index = match flags.get("index-file") {
-        Some(ix) => ServeIndex::open_paged(ix, cache_pages(flags)).unwrap_or_else(|e| {
+        Some(ix) => ServeIndex::open(ix, cache_pages(flags)).unwrap_or_else(|e| {
             eprintln!("cannot open index {ix}: {e}");
             exit(1)
         }),

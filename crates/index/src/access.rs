@@ -172,6 +172,36 @@ pub trait NodeAccess<const D: usize> {
     fn height(&self) -> usize;
 }
 
+/// Shared-ownership delegation: a shard forest is naturally a
+/// `Vec<Arc<Tree>>` (clones of a sharded index share file handles), and
+/// query code generic over `A: NodeAccess<D>` should accept the `Arc`s
+/// directly.
+impl<A: NodeAccess<D> + ?Sized, const D: usize> NodeAccess<D> for Arc<A> {
+    fn root_id(&self) -> NodeId {
+        (**self).root_id()
+    }
+
+    fn root_mbr(&self) -> Mbr<D> {
+        (**self).root_mbr()
+    }
+
+    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, D>, StoreError> {
+        (**self).read_node(id)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn height(&self) -> usize {
+        (**self).height()
+    }
+}
+
 impl<const D: usize> NodeAccess<D> for RTree<D> {
     fn root_id(&self) -> NodeId {
         RTree::root_id(self)

@@ -53,6 +53,7 @@ pub mod node;
 pub mod overlay;
 pub mod paged;
 pub mod query;
+pub mod shard;
 pub mod validate;
 
 pub use access::{
@@ -63,6 +64,9 @@ pub use node::{Children, NodeId, RTree, RTreeConfig};
 pub use overlay::{delta_path_for, OverlayRTree};
 pub use paged::{PagedRTree, DEFAULT_CACHE_PAGES, DEFAULT_PAGE_SIZE};
 pub use query::{EntryHit, RangeResult};
+pub use shard::{
+    MassClassAssign, ShardAssign, ShardManifest, ShardMeta, ShardedIndex, StrCenterAssign,
+};
 pub use validate::ValidationError;
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,168 @@
+//! The `.fzsm` corruption matrix: a manifest damaged in **any** way —
+//! truncated at every byte boundary, any single bit flipped, rows
+//! pointing at missing or lying shard files — must surface as a typed
+//! [`StoreError`], never a panic and never a silently wrong manifest.
+//! The decoder is fed every mutation through `catch_unwind` so a panic
+//! shows up as its own failure, not a test abort.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary};
+use fuzzy_geom::Point;
+use fuzzy_index::{RTreeConfig, ShardManifest, ShardedIndex, StrCenterAssign};
+use fuzzy_store::StoreError;
+
+fn summary(id: u64, x: f64, y: f64) -> ObjectSummary<2> {
+    let pts = vec![Point::new([x, y]), Point::new([x + 0.4, y + 0.3]), Point::new([x - 0.2, y])];
+    let mus = vec![1.0, 0.6, 0.3];
+    ObjectSummary::from_object(&FuzzyObject::new(ObjectId(id), pts, mus).unwrap())
+}
+
+fn grid(n: u64) -> Vec<ObjectSummary<2>> {
+    (0..n).map(|i| summary(i, (i % 8) as f64 * 2.0, (i / 8) as f64 * 2.0)).collect()
+}
+
+/// A fresh directory holding a real 3-shard build over `n` objects;
+/// returns the manifest path (everything lives under one removable dir).
+fn build_fixture_n(tag: &str, n: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fz-fzsm-corrupt-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("ix.fzsm");
+    ShardedIndex::<2>::build(
+        grid(n),
+        3,
+        &StrCenterAssign,
+        RTreeConfig { max_entries: 8, min_fill: 0.4 },
+        &manifest,
+        4096,
+    )
+    .unwrap();
+    manifest
+}
+
+fn build_fixture(tag: &str) -> PathBuf {
+    build_fixture_n(tag, 30)
+}
+
+fn cleanup(manifest: &Path) {
+    std::fs::remove_dir_all(manifest.parent().unwrap()).ok();
+}
+
+/// Decode a mutated image; a panic is converted into a test failure
+/// with the mutation's coordinates.
+fn decode_must_error(bytes: &[u8], what: &str) -> StoreError {
+    let out = catch_unwind(AssertUnwindSafe(|| ShardManifest::<2>::decode(bytes)));
+    match out {
+        Err(_) => panic!("decode panicked on {what}"),
+        Ok(Ok(_)) => panic!("decode accepted {what}"),
+        Ok(Err(e)) => e,
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_a_typed_error() {
+    let manifest = build_fixture("trunc");
+    let bytes = std::fs::read(&manifest).unwrap();
+    assert!(ShardManifest::<2>::decode(&bytes).is_ok(), "fixture must decode clean");
+
+    for len in 0..bytes.len() {
+        let e = decode_must_error(&bytes[..len], &format!("truncation to {len} bytes"));
+        // Every truncation error must render (Display is part of the
+        // typed contract — the CLI prints these verbatim).
+        assert!(!e.to_string().is_empty());
+    }
+    cleanup(&manifest);
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let manifest = build_fixture("flip");
+    let bytes = std::fs::read(&manifest).unwrap();
+
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut evil = bytes.clone();
+            evil[byte] ^= 1 << bit;
+            decode_must_error(&evil, &format!("bit {bit} of byte {byte} flipped"));
+        }
+    }
+    cleanup(&manifest);
+}
+
+#[test]
+fn garbage_and_degenerate_images_are_rejected() {
+    // Not even a header.
+    decode_must_error(b"", "an empty image");
+    decode_must_error(b"FZSM", "a bare magic");
+    // A plausible length of uniform noise.
+    for fill in [0x00u8, 0xFF, 0x5A] {
+        decode_must_error(&vec![fill; 256], &format!("256 bytes of 0x{fill:02x}"));
+    }
+}
+
+#[test]
+fn stale_shard_paths_fail_open_not_panic() {
+    let manifest = build_fixture("stale");
+
+    // Remove one shard file: the manifest is pristine, the open must
+    // fail with a typed error naming the missing file.
+    let loaded = ShardManifest::<2>::load(&manifest).unwrap();
+    let victim = manifest.parent().unwrap().join(&loaded.shards[1].path);
+    std::fs::remove_file(&victim).unwrap();
+    let out = catch_unwind(AssertUnwindSafe(|| ShardedIndex::<2>::open(&manifest)));
+    match out {
+        Err(_) => panic!("open panicked on a missing shard file"),
+        Ok(Ok(_)) => panic!("open accepted a manifest whose shard file is gone"),
+        Ok(Err(e)) => assert!(!e.to_string().is_empty()),
+    }
+    cleanup(&manifest);
+}
+
+#[test]
+fn lying_row_counts_fail_open() {
+    let manifest = build_fixture("liar");
+
+    // Rewrite the manifest claiming one extra object in row 0. The
+    // image itself is self-consistent (checksums recomputed by save),
+    // so only the cross-check against the shard file can catch it.
+    let mut loaded = ShardManifest::<2>::load(&manifest).unwrap();
+    loaded.shards[0].objects += 1;
+    loaded.save(&manifest).unwrap();
+    assert!(
+        ShardManifest::<2>::load(&manifest).is_ok(),
+        "the lying manifest must be structurally valid — that's the point"
+    );
+
+    let out = catch_unwind(AssertUnwindSafe(|| ShardedIndex::<2>::open(&manifest)));
+    match out {
+        Err(_) => panic!("open panicked on a lying row count"),
+        Ok(Ok(_)) => panic!("open trusted a row count the shard file contradicts"),
+        Ok(Err(e)) => assert!(!e.to_string().is_empty()),
+    }
+    cleanup(&manifest);
+}
+
+#[test]
+fn swapped_shard_files_fail_open() {
+    // 31 objects over 3 shards → an 11/10/10 split, so row 0's claimed
+    // count contradicts row 1's file.
+    let manifest = build_fixture_n("swap", 31);
+
+    // Point row 0 at row 1's file (a stale-path variant where the file
+    // exists but belongs to another shard): counts differ → typed error.
+    let mut loaded = ShardManifest::<2>::load(&manifest).unwrap();
+    assert_ne!(loaded.shards[0].objects, loaded.shards[1].objects);
+    let row1 = loaded.shards[1].path.clone();
+    loaded.shards[0].path = row1;
+    loaded.save(&manifest).unwrap();
+
+    let out = catch_unwind(AssertUnwindSafe(|| ShardedIndex::<2>::open(&manifest)));
+    match out {
+        Err(_) => panic!("open panicked on a swapped shard path"),
+        Ok(Ok(_)) => panic!("open accepted two rows sharing one shard file"),
+        Ok(Err(e)) => assert!(!e.to_string().is_empty()),
+    }
+    cleanup(&manifest);
+}

@@ -28,6 +28,7 @@ use crate::engine::{QueryEngine, SharedQueryEngine};
 use crate::error::QueryError;
 use crate::result::{AknnResult, RknnResult};
 use crate::rknn::RknnAlgorithm;
+use crate::shard::{ShardScratch, ShardedQueryEngine};
 use crate::stats::QueryStats;
 use fuzzy_core::FuzzyObject;
 use fuzzy_index::NodeAccess;
@@ -330,6 +331,76 @@ impl BatchExecutor {
     {
         self.run(engine.tree(), engine.store(), requests)
     }
+
+    /// Run a workload against a shard forest: same worker pool, same
+    /// cursor, same ordering and accounting guarantees as
+    /// [`BatchExecutor::run`], but each query fans out across the shards
+    /// with a shared τ bound ([`crate::shard`]). Every worker owns one
+    /// [`ShardScratch`] — a scratch lane per shard — so steady state
+    /// allocates nothing here either. AKNN answers come back in
+    /// canonical exact form — byte-identical to the single-tree
+    /// *exact* engine (`QueryEngine::aknn_exact`), not the lazy
+    /// confirmation-order results `run` returns for the same request.
+    pub fn run_sharded<A, S, const D: usize>(
+        &self,
+        shards: &[A],
+        store: &S,
+        requests: &[BatchRequest<D>],
+    ) -> BatchOutcome
+    where
+        A: NodeAccess<D> + Sync,
+        S: ObjectStore<D> + Sync,
+    {
+        let started = Instant::now();
+        let workers = self.threads.min(requests.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+
+        let mut responses: Vec<Option<Result<BatchResponse, QueryError>>> = Vec::new();
+        responses.resize_with(requests.len(), || None);
+        let mut per_thread = vec![ThreadStats::default(); workers];
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let engine = ShardedQueryEngine::new(shards, store);
+                        let mut scratch = ShardScratch::new();
+                        let mut report = ThreadStats::default();
+                        let mut answered: Vec<(usize, Result<BatchResponse, QueryError>)> =
+                            Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(request) = requests.get(i) else { break };
+                            let res = execute_caught_sharded(&engine, request, &mut scratch);
+                            report.executed += 1;
+                            if let Ok(r) = &res {
+                                report.stats += *r.stats();
+                            }
+                            answered.push((i, res));
+                        }
+                        (report, answered)
+                    })
+                })
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                let (report, answered) = handle.join().expect("batch worker panicked");
+                per_thread[w] = report;
+                for (i, res) in answered {
+                    responses[i] = Some(res);
+                }
+            }
+        });
+
+        BatchOutcome {
+            responses: responses
+                .into_iter()
+                .map(|slot| slot.expect("every request index was claimed exactly once"))
+                .collect(),
+            per_thread,
+            wall: started.elapsed(),
+        }
+    }
 }
 
 /// Dispatch one request on the calling thread, reusing the worker's
@@ -368,6 +439,37 @@ pub fn execute_caught<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
 ) -> Result<BatchResponse, QueryError> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_one(engine, request, scratch)))
         .unwrap_or_else(|payload| Err(QueryError::Panicked { message: panic_message(&*payload) }))
+}
+
+/// [`execute_one`] over a shard forest: the same request dispatch, but
+/// AKNN runs scatter-gather with the shared τ bound and RKNN's inner
+/// searches route through the forest backend.
+pub fn execute_one_sharded<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    engine: &ShardedQueryEngine<'_, A, S, D>,
+    request: &BatchRequest<D>,
+    scratch: &mut ShardScratch<D>,
+) -> Result<BatchResponse, QueryError> {
+    match request {
+        BatchRequest::Aknn { query, k, alpha, cfg } => {
+            engine.aknn_with_scratch(query, *k, *alpha, cfg, scratch).map(BatchResponse::Aknn)
+        }
+        BatchRequest::Rknn { query, k, alpha_start, alpha_end, algo, cfg } => engine
+            .rknn_with_scratch(query, *k, *alpha_start, *alpha_end, *algo, cfg, scratch)
+            .map(BatchResponse::Rknn),
+    }
+}
+
+/// [`execute_caught`] over a shard forest: a panic inside one sharded
+/// query surfaces as [`QueryError::Panicked`] in that request's slot.
+pub fn execute_caught_sharded<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    engine: &ShardedQueryEngine<'_, A, S, D>,
+    request: &BatchRequest<D>,
+    scratch: &mut ShardScratch<D>,
+) -> Result<BatchResponse, QueryError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_one_sharded(engine, request, scratch)
+    }))
+    .unwrap_or_else(|payload| Err(QueryError::Panicked { message: panic_message(&*payload) }))
 }
 
 /// Extract a human-readable message from a panic payload, when it was a

@@ -8,9 +8,9 @@
 //! implementing [`ObjectStore`]), so the same query code serves a fully
 //! in-memory setup, a disk-resident one, or any mix.
 
-use crate::aknn::{aknn_at, AknnConfig, QueryScratch};
+use crate::aknn::{aknn_at, search, AknnConfig, QueryScratch, SearchMode};
 use crate::error::QueryError;
-use crate::result::{AknnResult, RknnResult};
+use crate::result::{AknnResult, Neighbor, RknnResult};
 use crate::rknn::{self, RknnAlgorithm};
 use fuzzy_core::{FuzzyObject, Threshold};
 use fuzzy_index::NodeAccess;
@@ -127,6 +127,56 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         aknn_at(self.tree, self.store, q, k, t, cfg, scratch)
     }
 
+    /// Canonical exact AKNN: every neighbour probed to an exact distance,
+    /// sorted by (distance, id) regardless of confirmation order. This is
+    /// the single-tree reference the cross-shard determinism suite
+    /// compares scatter-gather answers against byte for byte — the lazy
+    /// variants may legitimately return `Bounded` knowledge and
+    /// confirmation order, so they are *not* directly comparable across
+    /// execution layouts; this one is.
+    pub fn aknn_exact(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        self.aknn_exact_with_scratch(q, k, alpha, cfg, &mut QueryScratch::new())
+    }
+
+    /// [`QueryEngine::aknn_exact`] with caller-provided scratch.
+    pub fn aknn_exact_with_scratch(
+        &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<AknnResult, QueryError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(QueryError::InvalidProbability { value: alpha });
+        }
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        let out = search(
+            self.tree,
+            self.store,
+            q,
+            k,
+            Threshold::at(alpha),
+            cfg,
+            SearchMode::Exact,
+            scratch,
+            None,
+            &[],
+        )?;
+        let mut neighbors: Vec<Neighbor> =
+            out.neighbors.into_iter().map(|n| Neighbor { id: n.id, dist: n.dist }).collect();
+        neighbors.sort_by(|a, b| a.dist.hi().total_cmp(&b.dist.hi()).then(a.id.cmp(&b.id)));
+        Ok(AknnResult { neighbors, stats: out.stats })
+    }
+
     /// Range kNN query (Definition 5): every object belonging to the kNN
     /// set at some `α ∈ [alpha_start, alpha_end]`, with its qualifying
     /// range.
@@ -167,7 +217,16 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         if alpha_start > alpha_end {
             return Err(QueryError::InvalidRange { start: alpha_start, end: alpha_end });
         }
-        rknn::run(self.tree, self.store, q, k, alpha_start, alpha_end, algo, cfg, scratch)
+        rknn::run(
+            &mut rknn::SingleTreeBackend { tree: self.tree, scratch },
+            self.store,
+            q,
+            k,
+            alpha_start,
+            alpha_end,
+            algo,
+            cfg,
+        )
     }
 }
 

@@ -28,6 +28,14 @@
 //!   (`fuzzy_index::MutableIndex`: insert/delete/update on the in-memory
 //!   tree or the paged-overlay backend) safe under concurrent reads —
 //!   writers publish frozen snapshots, in-flight queries keep theirs.
+//! * **Shard forests** ([`shard`]): scatter-gather over a
+//!   `fuzzy_index::ShardedIndex` partition — per-shard bound-only
+//!   searches under a shared τ bound ([`SharedTau`]), then one global
+//!   gather phase that probes pooled candidates in the same
+//!   nearest-first order a single tree would. Answers are
+//!   byte-identical to the single-tree exact engine at every shard
+//!   count, with identical object-probe counts; [`ShardedDynamicEngine`]
+//!   adds per-shard mutation locks and shard-parallel compaction.
 
 #![warn(missing_docs)]
 
@@ -40,13 +48,14 @@ pub mod interval;
 pub mod join;
 pub mod result;
 pub mod rknn;
+pub mod shard;
 pub mod stats;
 pub mod sweep;
 
 pub use aknn::{AknnConfig, QueryScratch};
 pub use batch::{
-    execute_caught, execute_one, BatchExecutor, BatchOutcome, BatchRequest, BatchResponse,
-    ThreadStats,
+    execute_caught, execute_caught_sharded, execute_one, execute_one_sharded, BatchExecutor,
+    BatchOutcome, BatchRequest, BatchResponse, ThreadStats,
 };
 pub use engine::{QueryEngine, SharedQueryEngine};
 pub use epoch::{DynamicQueryEngine, Versioned};
@@ -55,4 +64,8 @@ pub use interval::{Interval, IntervalSet};
 pub use join::{alpha_distance_join, JoinPair, JoinResult};
 pub use result::{AknnResult, DistBound, Neighbor, RknnItem, RknnResult};
 pub use rknn::RknnAlgorithm;
+pub use shard::{
+    sharded_alpha_distance_join, ContainsId, ShardScratch, ShardedDynamicEngine,
+    ShardedQueryEngine, SharedTau,
+};
 pub use stats::QueryStats;

@@ -17,17 +17,151 @@
 //!   within the (k+1)-th distance (Lemma 4), sharply cutting CPU work for
 //!   wide probability ranges.
 
-use crate::aknn::{check_deadline, search, AknnConfig, QueryScratch};
+use crate::aknn::{check_deadline, search, AknnConfig, QueryScratch, SearchMode, SearchOutcome};
 use crate::error::QueryError;
 use crate::interval::{Interval, IntervalSet};
 use crate::result::{RknnItem, RknnResult};
+use crate::shard::{sharded_search, ShardScratch};
 use crate::stats::QueryStats;
 use crate::sweep::{exact_sweep, ProfiledCandidate};
 use fuzzy_core::{DistanceProfile, FuzzyObject, ObjectId, Threshold};
+use fuzzy_geom::Mbr;
 use fuzzy_index::NodeAccess;
 use fuzzy_store::ObjectStore;
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// The index-touching half of the RKNN algorithms, abstracted so
+/// Algorithms 3–5 run unchanged over a single tree or a shard forest.
+///
+/// Two primitives reach the index: the force-exact AKNN call (Algorithms
+/// 3–5, step 1) and the RSS range scan (Algorithm 4, step 2). Everything
+/// else — critical-probability stepping, profile refinement — is
+/// in-memory and backend-agnostic, which is exactly why sharded RKNN is
+/// byte-identical: the forest backend returns the same exact top-k
+/// (canonical merge) and the same candidate *set* (shards partition the
+/// data; the caller sorts ids before refinement).
+pub(crate) trait SearchBackend<S: ObjectStore<D>, const D: usize> {
+    /// Force-exact AKNN: the k nearest objects at `t`, every distance
+    /// probed exact.
+    fn search_exact(
+        &mut self,
+        store: &S,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+    ) -> Result<SearchOutcome<D>, QueryError>;
+
+    /// RSS candidate collection: ids of every object whose lower-bound
+    /// distance from `q_cut` at `t_start` is within `r_sq` (squared).
+    /// Charges node/bound costs to `stats`; the caller sorts the ids.
+    fn range_candidates(
+        &mut self,
+        q_cut: &Mbr<D>,
+        t_start: Threshold,
+        r_sq: f64,
+        cfg: &AknnConfig,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<ObjectId>, QueryError>;
+}
+
+/// The classic backend: one tree, one scratch.
+pub(crate) struct SingleTreeBackend<'a, A, const D: usize> {
+    pub tree: &'a A,
+    pub scratch: &'a mut QueryScratch<D>,
+}
+
+impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SearchBackend<S, D>
+    for SingleTreeBackend<'_, A, D>
+{
+    fn search_exact(
+        &mut self,
+        store: &S,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+    ) -> Result<SearchOutcome<D>, QueryError> {
+        search(self.tree, store, q, k, t, cfg, SearchMode::Exact, self.scratch, None, &[])
+    }
+
+    fn range_candidates(
+        &mut self,
+        q_cut: &Mbr<D>,
+        t_start: Threshold,
+        r_sq: f64,
+        cfg: &AknnConfig,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<ObjectId>, QueryError> {
+        range_candidates_one(self.tree, q_cut, t_start, r_sq, cfg, stats)
+    }
+}
+
+/// The scatter-gather backend: the AKNN primitive fans out across the
+/// shards with the shared τ bound; the range scan unions per-shard range
+/// searches (shards partition the entries, so the union is exact).
+pub(crate) struct ForestBackend<'a, A, const D: usize> {
+    pub shards: &'a [A],
+    pub scratch: &'a mut ShardScratch<D>,
+}
+
+impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SearchBackend<S, D>
+    for ForestBackend<'_, A, D>
+{
+    fn search_exact(
+        &mut self,
+        store: &S,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+    ) -> Result<SearchOutcome<D>, QueryError> {
+        sharded_search(self.shards, store, q, k, t, cfg, true, self.scratch)
+    }
+
+    fn range_candidates(
+        &mut self,
+        q_cut: &Mbr<D>,
+        t_start: Threshold,
+        r_sq: f64,
+        cfg: &AknnConfig,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<ObjectId>, QueryError> {
+        let mut ids = Vec::new();
+        for shard in self.shards {
+            ids.extend(range_candidates_one(shard, q_cut, t_start, r_sq, cfg, stats)?);
+        }
+        Ok(ids)
+    }
+}
+
+/// One tree's share of the Lemma-3 range scan (Algorithm 4, step 2).
+fn range_candidates_one<A: NodeAccess<D>, const D: usize>(
+    tree: &A,
+    q_cut: &Mbr<D>,
+    t_start: Threshold,
+    r_sq: f64,
+    cfg: &AknnConfig,
+    stats: &mut QueryStats,
+) -> Result<Vec<ObjectId>, QueryError> {
+    let range = fuzzy_index::range_search(
+        tree,
+        r_sq,
+        |mbr| mbr.min_dist_sq(q_cut),
+        |e| {
+            if cfg.improved_lower_bound {
+                e.lower_bound_dist_sq(q_cut, t_start)
+            } else {
+                e.support_mbr.min_dist_sq(q_cut)
+            }
+        },
+    )?;
+    stats.node_accesses += range.node_accesses;
+    stats.node_disk_reads += range.node_disk_reads;
+    stats.bound_evals += range.hits.len() as u64;
+    Ok(range.hits.iter().map(|hit| hit.entry.id).collect())
+}
 
 /// RKNN algorithm selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,8 +220,8 @@ impl<const D: usize> ProfileCache<D> {
 }
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
-    tree: &A,
+pub(crate) fn run<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+    backend: &mut B,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -95,17 +229,16 @@ pub(crate) fn run<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     alpha_end: f64,
     algo: RknnAlgorithm,
     cfg: &AknnConfig,
-    scratch: &mut QueryScratch<D>,
 ) -> Result<RknnResult, QueryError> {
     let start = Instant::now();
     let mut stats = QueryStats::default();
     let items = match algo {
         RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, cfg, &mut stats)?,
         RknnAlgorithm::Basic => {
-            basic(tree, store, q, k, alpha_start, alpha_end, cfg, &mut stats, scratch)?
+            basic(backend, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?
         }
         RknnAlgorithm::Rss | RknnAlgorithm::RssIcr => rss(
-            tree,
+            backend,
             store,
             q,
             k,
@@ -114,7 +247,6 @@ pub(crate) fn run<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
             cfg,
             algo == RknnAlgorithm::RssIcr,
             &mut stats,
-            scratch,
         )?,
     };
 
@@ -149,8 +281,8 @@ fn naive<S: ObjectStore<D>, const D: usize>(
 
 /// Algorithm 3: step through critical probabilities with one AKNN each.
 #[allow(clippy::too_many_arguments)]
-fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
-    tree: &A,
+fn basic<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+    backend: &mut B,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -158,7 +290,6 @@ fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     alpha_end: f64,
     cfg: &AknnConfig,
     stats: &mut QueryStats,
-    scratch: &mut QueryScratch<D>,
 ) -> Result<Vec<RknnItem>, QueryError> {
     let mut cache: ProfileCache<D> = ProfileCache::new();
     let mut acc: HashMap<ObjectId, IntervalSet> = HashMap::new();
@@ -166,7 +297,7 @@ fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
 
     loop {
         check_deadline(cfg.deadline)?;
-        let out = search(tree, store, q, k, t, cfg, true, scratch)?;
+        let out = backend.search_exact(store, q, k, t, cfg)?;
         stats.aknn_calls += 1;
         stats.object_accesses += out.stats.object_accesses;
         stats.node_accesses += out.stats.node_accesses;
@@ -200,8 +331,8 @@ fn basic<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
 
 /// Algorithms 4/5: reduce the search space, refine candidates in memory.
 #[allow(clippy::too_many_arguments)]
-fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
-    tree: &A,
+fn rss<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+    backend: &mut B,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -210,11 +341,10 @@ fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     cfg: &AknnConfig,
     improved_refinement: bool,
     stats: &mut QueryStats,
-    scratch: &mut QueryScratch<D>,
 ) -> Result<Vec<RknnItem>, QueryError> {
     // Step 1 — AKNN at α_e gives the pruning radius r = d_k(α_e).
     let t_end = Threshold::at(alpha_end);
-    let out_end = search(tree, store, q, k, t_end, cfg, true, scratch)?;
+    let out_end = backend.search_exact(store, q, k, t_end, cfg)?;
     stats.aknn_calls += 1;
     stats.object_accesses += out_end.stats.object_accesses;
     stats.node_accesses += out_end.stats.node_accesses;
@@ -236,31 +366,15 @@ fn rss<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     let t_start = Threshold::at(alpha_start);
     let q_cut = q.cut_mbr(t_start).ok_or(QueryError::EmptyQueryCut)?;
     let r_sq = if r.is_finite() { r * r * (1.0 + 4.0 * f64::EPSILON) } else { f64::INFINITY };
-    let range = fuzzy_index::range_search(
-        tree,
-        r_sq,
-        |mbr| mbr.min_dist_sq(&q_cut),
-        |e| {
-            if cfg.improved_lower_bound {
-                e.lower_bound_dist_sq(&q_cut, t_start)
-            } else {
-                e.support_mbr.min_dist_sq(&q_cut)
-            }
-        },
-    )?;
-    stats.node_accesses += range.node_accesses;
-    stats.node_disk_reads += range.node_disk_reads;
-    stats.bound_evals += range.hits.len() as u64;
+    let mut candidate_ids = backend.range_candidates(&q_cut, t_start, r_sq, cfg, stats)?;
 
     // Probe every candidate once and build its profile.
     let mut cache: ProfileCache<D> = ProfileCache::new();
-    let mut candidate_ids: Vec<ObjectId> = Vec::with_capacity(range.hits.len());
-    for hit in &range.hits {
+    for &id in &candidate_ids {
         check_deadline(cfg.deadline)?;
-        let probe = store.probe_traced(hit.entry.id)?;
+        let probe = store.probe_traced(id)?;
         stats.object_accesses += probe.disk_read as u64;
         cache.get_or_compute(&probe.object, q);
-        candidate_ids.push(hit.entry.id);
     }
     candidate_ids.sort_unstable();
     stats.candidates = candidate_ids.len() as u64;

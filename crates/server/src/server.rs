@@ -28,10 +28,11 @@ use crate::protocol::{
     WIRE_DIMS,
 };
 use fuzzy_index::{
-    delta_path_for, NodeAccess, NodeId, NodeRead, OverlayRTree, PagedRTree, RTree, RTreeConfig,
+    delta_path_for, NodeAccess, OverlayRTree, PagedRTree, RTree, RTreeConfig, ShardedIndex,
 };
 use fuzzy_query::{
-    execute_caught, BatchRequest, BatchResponse, QueryEngine, QueryError, QueryScratch, Versioned,
+    execute_caught, execute_caught_sharded, BatchRequest, BatchResponse, QueryEngine, QueryError,
+    QueryScratch, ShardScratch, ShardedQueryEngine, Versioned,
 };
 use fuzzy_store::{FileStore, ObjectStore, StoreError};
 use std::io::Write;
@@ -45,16 +46,23 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The index backend a server answers from: the in-memory tree or a
-/// disk-resident paged tree with its overlay. Both are cheap enough to
-/// clone for [`Versioned`] snapshot publishing (arena `Vec` / small delta
-/// plus an `Arc` bump on the base file).
+/// The index backend a server answers from: the in-memory tree, a
+/// disk-resident paged tree with its overlay, or a sharded forest opened
+/// from a `.fzsm` manifest. All are cheap enough to clone for
+/// [`Versioned`] snapshot publishing (arena `Vec` / small deltas plus
+/// `Arc` bumps on the base files).
 #[derive(Clone, Debug)]
 pub enum ServeIndex {
     /// In-memory R-tree (bulk-loaded from the store's summaries).
     Mem(RTree<WIRE_DIMS>),
     /// Disk-resident paged tree, with any sidecar delta replayed.
     Paged(OverlayRTree<WIRE_DIMS>),
+    /// A shard forest from a `.fzsm` manifest, each shard with its own
+    /// delta replayed. Queries scatter-gather across the shards with a
+    /// shared τ bound and answer in canonical (distance, id) order, so a
+    /// live SWAP between shardings of the same data is invisible on the
+    /// wire.
+    Sharded(Vec<OverlayRTree<WIRE_DIMS>>),
 }
 
 impl ServeIndex {
@@ -72,43 +80,45 @@ impl ServeIndex {
             Ok(Self::Paged(OverlayRTree::new(base)?))
         }
     }
+
+    /// Open a shard forest from its `.fzsm` manifest, replaying each
+    /// shard's delta log if one exists.
+    pub fn open_sharded(path: &str, cache_pages: usize) -> Result<Self, StoreError> {
+        let (_, shards) = ShardedIndex::open_overlays(path, cache_pages)?;
+        Ok(Self::Sharded(shards))
+    }
+
+    /// Open whatever `path` names: a `.fzsm` manifest becomes a sharded
+    /// forest, anything else a paged tree.
+    pub fn open(path: &str, cache_pages: usize) -> Result<Self, StoreError> {
+        if is_sharded_path(path) {
+            Self::open_sharded(path, cache_pages)
+        } else {
+            Self::open_paged(path, cache_pages)
+        }
+    }
+
+    /// Live objects across the whole index (all shards).
+    pub fn object_count(&self) -> u64 {
+        match self {
+            Self::Mem(t) => NodeAccess::len(t) as u64,
+            Self::Paged(t) => NodeAccess::len(t) as u64,
+            Self::Sharded(shards) => shards.iter().map(|s| NodeAccess::len(s) as u64).sum(),
+        }
+    }
+
+    /// Number of shards (1 for the single-tree backends).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            Self::Mem(_) | Self::Paged(_) => 1,
+            Self::Sharded(shards) => shards.len(),
+        }
+    }
 }
 
-impl NodeAccess<WIRE_DIMS> for ServeIndex {
-    fn root_id(&self) -> NodeId {
-        match self {
-            Self::Mem(t) => NodeAccess::root_id(t),
-            Self::Paged(t) => NodeAccess::root_id(t),
-        }
-    }
-
-    fn root_mbr(&self) -> fuzzy_geom::Mbr<WIRE_DIMS> {
-        match self {
-            Self::Mem(t) => t.root_mbr(),
-            Self::Paged(t) => t.root_mbr(),
-        }
-    }
-
-    fn read_node(&self, id: NodeId) -> Result<NodeRead<'_, WIRE_DIMS>, StoreError> {
-        match self {
-            Self::Mem(t) => t.read_node(id),
-            Self::Paged(t) => t.read_node(id),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Self::Mem(t) => NodeAccess::len(t),
-            Self::Paged(t) => NodeAccess::len(t),
-        }
-    }
-
-    fn height(&self) -> usize {
-        match self {
-            Self::Mem(t) => NodeAccess::height(t),
-            Self::Paged(t) => NodeAccess::height(t),
-        }
-    }
+/// Does `path` name a shard manifest (by extension)?
+pub fn is_sharded_path(path: &str) -> bool {
+    std::path::Path::new(path).extension().is_some_and(|e| e.eq_ignore_ascii_case("fzsm"))
 }
 
 /// Where the server listens.
@@ -427,7 +437,7 @@ fn handle_frame(
         Request::Info => {
             let snap = shared.index.snapshot();
             let resp = Response::Info {
-                objects: NodeAccess::len(snap.as_ref()) as u64,
+                objects: snap.object_count(),
                 epoch: shared.index.epoch(),
                 workers: shared.workers,
             };
@@ -449,7 +459,7 @@ fn handle_frame(
         Request::Swap { index_path } => {
             let resp = match open_swap_index(shared, &index_path) {
                 Ok(new_index) => {
-                    let objects = NodeAccess::len(&new_index) as u64;
+                    let objects = new_index.object_count();
                     shared.index.write(|ix| *ix = new_index);
                     shared.counters.swaps.fetch_add(1, Ordering::Relaxed);
                     Response::Swapped { epoch: shared.index.epoch(), objects }
@@ -557,10 +567,18 @@ fn enqueue(
     }
 }
 
+/// One worker's long-lived scratch: the single-tree lane plus the
+/// sharded lanes, so a SWAP between index layouts never costs the worker
+/// its warmed allocations for either path.
+struct WorkerScratch {
+    single: QueryScratch<WIRE_DIMS>,
+    sharded: ShardScratch<WIRE_DIMS>,
+}
+
 /// Worker: drain the queue with one long-lived scratch; poll the shutdown
 /// flag between jobs.
 fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
-    let mut scratch = QueryScratch::new();
+    let mut scratch = WorkerScratch { single: QueryScratch::new(), sharded: ShardScratch::new() };
     loop {
         let job = {
             let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -580,13 +598,27 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
 
 /// Execute one admitted query against the currently published snapshot
 /// and write its response.
-fn run_job(shared: &Arc<Shared>, scratch: &mut QueryScratch<WIRE_DIMS>, job: Job) {
+fn run_job(shared: &Arc<Shared>, scratch: &mut WorkerScratch, job: Job) {
     // Pin the snapshot per query: a SWAP published while this job queued
     // is picked up here; a SWAP landing mid-query is not (epoch
-    // isolation).
+    // isolation). Single-tree snapshots answer through the classic
+    // engine; shard forests scatter-gather with the shared τ bound.
     let snapshot = shared.index.snapshot();
-    let engine = QueryEngine::new(snapshot.as_ref(), shared.store.as_ref());
-    let resp = match execute_caught(&engine, &job.request, scratch) {
+    let store = shared.store.as_ref();
+    let executed = match snapshot.as_ref() {
+        ServeIndex::Mem(tree) => {
+            execute_caught(&QueryEngine::new(tree, store), &job.request, &mut scratch.single)
+        }
+        ServeIndex::Paged(tree) => {
+            execute_caught(&QueryEngine::new(tree, store), &job.request, &mut scratch.single)
+        }
+        ServeIndex::Sharded(shards) => execute_caught_sharded(
+            &ShardedQueryEngine::new(shards, store),
+            &job.request,
+            &mut scratch.sharded,
+        ),
+    };
+    let resp = match executed {
         Ok(BatchResponse::Aknn(r)) => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             Response::Aknn { stats: (&r.stats).into(), neighbors: r.neighbors }
@@ -631,12 +663,13 @@ fn classify(e: &QueryError) -> (ErrorCode, CounterKind) {
     }
 }
 
-/// Open the index a SWAP names. `:mem:` bulk-reloads from the store.
+/// Open the index a SWAP names. `:mem:` bulk-reloads from the store; a
+/// `.fzsm` path opens a shard forest, anything else a paged tree.
 fn open_swap_index(shared: &Shared, index_path: &str) -> Result<ServeIndex, String> {
     if index_path == ":mem:" {
         return Ok(ServeIndex::mem_from_store(shared.store.as_ref()));
     }
-    ServeIndex::open_paged(index_path, shared.cache_pages).map_err(|e| e.to_string())
+    ServeIndex::open(index_path, shared.cache_pages).map_err(|e| e.to_string())
 }
 
 /// Serialize and write one whole frame under the connection's writer

@@ -79,13 +79,17 @@ fn workload(n: u64) -> Vec<(u64, u32, f64, fuzzy_server::WireVariant)> {
 }
 
 /// One-shot reference answers through the exact engine path the server
-/// workers use (`execute_one` with a reused scratch).
+/// workers use (`execute_one` with a reused scratch) over the same
+/// bulk-loaded tree a `ServeIndex::mem_from_store` holds.
 fn reference_answers(
     store: &FileStore<2>,
     work: &[(u64, u32, f64, fuzzy_server::WireVariant)],
 ) -> Vec<String> {
-    let index = ServeIndex::mem_from_store(store);
-    let engine = QueryEngine::new(&index, store);
+    let tree = fuzzy_index::RTree::bulk_load(
+        store.summaries().to_vec(),
+        fuzzy_index::RTreeConfig::default(),
+    );
+    let engine = QueryEngine::new(&tree, store);
     let mut scratch = QueryScratch::new();
     work.iter()
         .map(|&(id, k, alpha, variant)| {
@@ -191,6 +195,128 @@ fn served_answers_are_byte_identical_across_connections_and_a_live_swap() {
     }
 
     handle.stop();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Serving a shard forest: a live SWAP from a 1-shard `.fzsm` to a
+/// 4-shard `.fzsm` of the same dataset lands mid-run, and every answer —
+/// before, during and after, at 1, 2 and 8 connections — is
+/// byte-identical to the one-shot canonical engine. The sharded path
+/// resolves every answer exactly (scatter-gather arbitrates candidates
+/// globally), so the reference is `QueryEngine::aknn_exact`, not the
+/// lazy confirmation-order path the single-tree snapshots serve.
+#[test]
+fn sharded_swap_mid_run_is_byte_identical() {
+    let (path, store) = store_file("shard-swap", 60);
+    let work = workload(60);
+
+    // Canonical exact reference over the same store.
+    let tree = fuzzy_index::RTree::bulk_load(
+        store.summaries().to_vec(),
+        fuzzy_index::RTreeConfig { max_entries: 8, min_fill: 0.4 },
+    );
+    let engine = QueryEngine::new(&tree, &store);
+    let expected: Vec<String> = work
+        .iter()
+        .map(|&(id, k, alpha, variant)| {
+            let q = store.probe(ObjectId(id)).unwrap().as_ref().clone();
+            let r = engine.aknn_exact(&q, k as usize, alpha, &variant.config()).unwrap();
+            fingerprint(&r.neighbors)
+        })
+        .collect();
+
+    // Two manifests over the same objects, 1 and 4 shards.
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut manifests = Vec::new();
+    for shards in [1usize, 4] {
+        let manifest = base.join(format!("fuzzy-serve-shard-swap-{pid}-s{shards}.fzsm"));
+        fuzzy_index::ShardedIndex::<2>::build(
+            store.summaries().to_vec(),
+            shards,
+            &fuzzy_index::StrCenterAssign,
+            fuzzy_index::RTreeConfig { max_entries: 8, min_fill: 0.4 },
+            &manifest,
+            4096,
+        )
+        .unwrap();
+        manifests.push(manifest);
+    }
+
+    let opts = ServeOptions { workers: 2, ..ServeOptions::default() };
+    let index = ServeIndex::open(manifests[0].to_str().unwrap(), 8).unwrap();
+    let handle = serve(store, index, &ListenAddr::parse("127.0.0.1:0"), &opts).unwrap();
+    let addr = handle.addr().to_string();
+
+    for (round, connections) in [1usize, 2, 8].into_iter().enumerate() {
+        // Odd rounds swap back to the 1-shard forest, even rounds to the
+        // 4-shard one — every round crosses a shard-count change mid-run.
+        let target = &manifests[(round + 1) % 2];
+        let answers = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for conn in 0..connections {
+                let addr = addr.clone();
+                let work = &work;
+                handles.push(scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                    let mut out = Vec::new();
+                    for (i, &(id, k, alpha, variant)) in work.iter().enumerate() {
+                        if i % connections != conn {
+                            continue;
+                        }
+                        match client.call(&aknn_request(id, k, alpha, variant)).unwrap() {
+                            Response::Aknn { neighbors, .. } => {
+                                out.push((i, fingerprint(&neighbors)));
+                            }
+                            other => panic!("query {i}: {other:?}"),
+                        }
+                    }
+                    out
+                }));
+            }
+            let mut swapper = Client::connect(&addr).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            match swapper.call(&Request::Swap { index_path: target.display().to_string() }).unwrap()
+            {
+                Response::Swapped { objects, .. } => assert_eq!(objects, 60),
+                other => panic!("SWAP round {round}: {other:?}"),
+            }
+
+            let mut merged = vec![String::new(); work.len()];
+            for h in handles {
+                for (i, print) in h.join().unwrap() {
+                    merged[i] = print;
+                }
+            }
+            merged
+        });
+        assert_eq!(
+            answers, expected,
+            "{connections}-connection run diverged across the shard-count swap"
+        );
+    }
+
+    let mut control = Client::connect(&addr).unwrap();
+    match control.call(&Request::Stats).unwrap() {
+        Response::Stats { served, swaps, errors, .. } => {
+            assert_eq!(served, 3 * work.len() as u64);
+            assert_eq!(swaps, 3);
+            assert_eq!(errors, 0);
+        }
+        other => panic!("STATS: {other:?}"),
+    }
+
+    handle.stop();
+    for manifest in &manifests {
+        let meta = fuzzy_index::ShardManifest::<2>::load(manifest).unwrap();
+        for row in &meta.shards {
+            let p = fuzzy_index::shard::resolve_shard_path(manifest, &row.path);
+            std::fs::remove_file(fuzzy_index::delta_path_for(&p)).ok();
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(manifest).ok();
+    }
     std::fs::remove_file(&path).ok();
 }
 
