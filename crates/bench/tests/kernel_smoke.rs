@@ -33,6 +33,20 @@ fn kernel_sweep_rows_are_complete_and_reparsable() {
     }
 }
 
+/// The full (non-smoke) sweep, including the 480-points-per-object cells
+/// whose brute pass is quadratic — too slow for debug `cargo test`, so it
+/// is ignored by default and run by the `kernel-regress` CI job with
+/// `--release -- --ignored`. `kernel::run` panics if any optimized
+/// algorithm's checksum diverges from the brute oracle.
+#[test]
+#[ignore = "release-only full sweep; run by the kernel-regress CI job"]
+fn full_sweep_checksums_match_the_brute_oracle() {
+    let rows = kernel::run(&KernelOptions::full());
+    let opts = KernelOptions::full();
+    // One row per (algorithm, ppo, α) cell, 4 algorithms.
+    assert_eq!(rows.len(), opts.points_per_object.len() * opts.alphas.len() * 4);
+}
+
 #[test]
 fn kernel_sweep_is_deterministic_in_checksums() {
     let a = kernel::run(&KernelOptions::smoke());

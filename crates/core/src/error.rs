@@ -29,6 +29,12 @@ pub enum ModelError {
         /// Number of membership values supplied.
         memberships: usize,
     },
+    /// A membership-descending columnar record violated its layout
+    /// contract (bad permutation, unsorted memberships, short columns).
+    InvalidColumnarLayout {
+        /// What was wrong with the layout.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -48,6 +54,9 @@ impl fmt::Display for ModelError {
             ),
             Self::LengthMismatch { points, memberships } => {
                 write!(f, "length mismatch: {points} points vs {memberships} membership values")
+            }
+            Self::InvalidColumnarLayout { reason } => {
+                write!(f, "invalid columnar layout: {reason}")
             }
         }
     }

@@ -56,9 +56,15 @@ pub struct MembershipPrefix<const D: usize> {
     pts: Vec<Point<D>>,
     mus: Vec<f64>,
     /// Dimension-major coordinate columns (`cols[d*len + j]` is coordinate
-    /// `d` of sorted point `j`): the dense distance kernels stream these
-    /// contiguously, which lets the compiler vectorize the inner loop.
+    /// `d` of sorted point `j`): the distance kernels stream these
+    /// contiguously through the unrolled lane reduction of
+    /// [`fuzzy_geom::kernel`].
     cols: Vec<f64>,
+    /// `orig[j]` is the construction-order index of sorted point `j` — the
+    /// permutation that undoes the membership sort. Serialized with format
+    /// v3 records so decoding can restore the original order without
+    /// re-sorting.
+    orig: Vec<u32>,
 }
 
 impl<const D: usize> MembershipPrefix<D> {
@@ -79,6 +85,7 @@ impl<const D: usize> MembershipPrefix<D> {
             pts: keyed.iter().map(|&(_, i)| points[i as usize]).collect(),
             mus: keyed.iter().map(|&(mu, _)| mu).collect(),
             cols,
+            orig: keyed.iter().map(|&(_, i)| i).collect(),
         }
     }
 
@@ -99,6 +106,14 @@ impl<const D: usize> MembershipPrefix<D> {
     #[inline]
     pub fn coord_column(&self, d: usize) -> &[f64] {
         &self.cols[d * self.pts.len()..(d + 1) * self.pts.len()]
+    }
+
+    /// Construction-order index of each sorted point — the permutation
+    /// that undoes the membership sort, parallel to
+    /// [`MembershipPrefix::points`].
+    #[inline]
+    pub fn source_indices(&self) -> &[u32] {
+        &self.orig
     }
 
     /// Length of the prefix selected by `t`: the cut `{a : t accepts µ(a)}`
@@ -125,29 +140,14 @@ impl<const D: usize> MembershipPrefix<D> {
     }
 
     /// The smallest **squared** distance from `p` to a point of the
-    /// prefix `0..n`, computed as a branchless columnar min-reduction
-    /// (auto-vectorizes). `+∞` for an empty prefix.
+    /// prefix `0..n`, via the unrolled columnar min-reduction kernel of
+    /// [`fuzzy_geom::kernel`] (explicit multi-accumulator lanes; bitwise
+    /// identical to the scalar evaluators). `+∞` for an empty prefix.
     #[inline]
-    #[allow(clippy::needless_range_loop)] // index loops keep the reduction vectorizable
     pub fn min_dist_sq_to_prefix(&self, p: &Point<D>, n: usize) -> f64 {
         let len = self.pts.len();
-        // Per-dimension column slices, hoisted so the inner loop indexes
-        // equal-length slices (lets the compiler drop bounds checks and
-        // vectorize the min-reduction).
         let cols: [&[f64]; D] = std::array::from_fn(|d| &self.cols[d * len..d * len + n]);
-        let mut row_min = f64::INFINITY;
-        // Per-point accumulation in dimension order matches
-        // `Point::dist_sq` exactly, so results are bitwise-identical to
-        // the scalar evaluators.
-        for j in 0..n {
-            let mut acc = 0.0;
-            for d in 0..D {
-                let diff = cols[d][j] - p.coords()[d];
-                acc += diff * diff;
-            }
-            row_min = row_min.min(acc);
-        }
-        row_min
+        fuzzy_geom::kernel::min_dist_sq_cols(&cols, p.coords())
     }
 }
 
@@ -182,6 +182,91 @@ impl<const D: usize> FuzzyObject<D> {
             return Err(ModelError::EmptyKernel);
         }
         Ok(Self { id, points, memberships, kd: OnceLock::new(), prefix: OnceLock::new() })
+    }
+
+    /// Validate and construct from the membership-descending **columnar**
+    /// layout that format v3 records store directly: `orig[j]` is the
+    /// construction-order index of sorted slot `j`, `mus` descends (ties
+    /// by `orig`), and `cols[d·n + j]` is coordinate `d` of slot `j`.
+    ///
+    /// The original point order is restored by scattering through `orig`,
+    /// so the observable object (points, memberships, iteration order,
+    /// sampling) is identical to [`FuzzyObject::new`] on the source data —
+    /// and the [`MembershipPrefix`] cache is pre-filled from the given
+    /// columns, so probed objects skip the membership sort entirely.
+    pub fn from_columnar(
+        id: ObjectId,
+        orig: Vec<u32>,
+        mus: Vec<f64>,
+        cols: Vec<f64>,
+    ) -> Result<Self, ModelError> {
+        let n = orig.len();
+        if mus.len() != n {
+            return Err(ModelError::LengthMismatch { points: n, memberships: mus.len() });
+        }
+        if n == 0 {
+            return Err(ModelError::EmptyObject);
+        }
+        if cols.len() != D * n {
+            return Err(ModelError::InvalidColumnarLayout {
+                reason: "coordinate columns do not cover every point",
+            });
+        }
+        // `orig` must be a permutation of 0..n.
+        let mut seen = vec![false; n];
+        for &i in &orig {
+            if i as usize >= n || seen[i as usize] {
+                return Err(ModelError::InvalidColumnarLayout {
+                    reason: "source indices are not a permutation",
+                });
+            }
+            seen[i as usize] = true;
+        }
+        // Memberships descend with the canonical orig tie-break — the
+        // exact order `MembershipPrefix::build` would have produced.
+        for j in 1..n {
+            let ord = mus[j - 1].total_cmp(&mus[j]).then(orig[j].cmp(&orig[j - 1]));
+            if ord == std::cmp::Ordering::Less {
+                return Err(ModelError::InvalidColumnarLayout {
+                    reason: "memberships are not membership-descending",
+                });
+            }
+        }
+        // Scatter back to construction order, validating as we go.
+        let mut points = vec![Point::origin(); n];
+        let mut memberships = vec![0.0; n];
+        for (j, &i) in orig.iter().enumerate() {
+            let mu = mus[j];
+            if !(mu > 0.0 && mu <= 1.0) {
+                return Err(ModelError::InvalidMembership { index: i as usize, value: mu });
+            }
+            let mut c = [0.0; D];
+            for d in 0..D {
+                c[d] = cols[d * n + j];
+            }
+            let p = Point::new(c);
+            if !p.is_finite() {
+                return Err(ModelError::NonFiniteCoordinate { index: i as usize });
+            }
+            points[i as usize] = p;
+            memberships[i as usize] = mu;
+        }
+        // Descending order makes the kernel check O(1).
+        if mus[0] != 1.0 {
+            return Err(ModelError::EmptyKernel);
+        }
+        let pts_sorted: Vec<Point<D>> = (0..n)
+            .map(|j| {
+                let mut c = [0.0; D];
+                for d in 0..D {
+                    c[d] = cols[d * n + j];
+                }
+                Point::new(c)
+            })
+            .collect();
+        let prefix = OnceLock::new();
+        let _ = prefix.set(MembershipPrefix { pts: pts_sorted, mus, cols, orig });
+        Ok(Self { id, points, memberships, kd: OnceLock::new(), prefix })
     }
 
     /// Object identifier.
@@ -239,6 +324,13 @@ impl<const D: usize> FuzzyObject<D> {
     /// probed a single time.
     pub fn by_membership(&self) -> &MembershipPrefix<D> {
         self.prefix.get_or_init(|| MembershipPrefix::build(&self.points, &self.memberships))
+    }
+
+    /// True when the membership-descending prefix layout is already built
+    /// (always the case for objects decoded from format v3 records).
+    #[inline]
+    pub fn prefix_ready(&self) -> bool {
+        self.prefix.get().is_some()
     }
 
     /// MBR of the support set (`M_A` = `M_A(0)` in the paper's notation).
@@ -535,5 +627,125 @@ mod tests {
         let t2 = a.kd_tree() as *const _;
         assert_eq!(t1, t2);
         assert_eq!(a.kd_tree().len(), a.len());
+    }
+
+    /// Decompose `a` into the columnar triple a v3 record stores.
+    fn columnar_parts(a: &FuzzyObject<2>) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
+        let pb = a.by_membership();
+        let n = a.len();
+        let mut cols = Vec::with_capacity(2 * n);
+        for d in 0..2 {
+            cols.extend_from_slice(pb.coord_column(d));
+        }
+        (pb.source_indices().to_vec(), pb.memberships().to_vec(), cols)
+    }
+
+    #[test]
+    fn from_columnar_round_trips_construction_order() {
+        let a = obj();
+        let (orig, mus, cols) = columnar_parts(&a);
+        let b = FuzzyObject::from_columnar(a.id(), orig, mus, cols).unwrap();
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.memberships(), b.memberships());
+        // The prefix cache is pre-filled and bitwise-identical to the one
+        // a lazy build would produce.
+        assert!(b.prefix_ready());
+        let pa = a.by_membership();
+        let pb = b.by_membership();
+        assert_eq!(pa.points(), pb.points());
+        assert_eq!(pa.memberships(), pb.memberships());
+        assert_eq!(pa.source_indices(), pb.source_indices());
+        for d in 0..2 {
+            assert_eq!(pa.coord_column(d), pb.coord_column(d));
+        }
+    }
+
+    #[test]
+    fn from_columnar_rejects_malformed_layouts() {
+        let a = obj();
+        let (orig, mus, cols) = columnar_parts(&a);
+
+        // Length mismatch between permutation and memberships.
+        assert!(matches!(
+            FuzzyObject::<2>::from_columnar(a.id(), orig.clone(), mus[1..].to_vec(), cols.clone())
+                .unwrap_err(),
+            ModelError::LengthMismatch { .. }
+        ));
+        // Empty record.
+        assert_eq!(
+            FuzzyObject::<2>::from_columnar(a.id(), vec![], vec![], vec![]).unwrap_err(),
+            ModelError::EmptyObject
+        );
+        // Short coordinate columns.
+        assert!(matches!(
+            FuzzyObject::<2>::from_columnar(
+                a.id(),
+                orig.clone(),
+                mus.clone(),
+                cols[..cols.len() - 1].to_vec()
+            )
+            .unwrap_err(),
+            ModelError::InvalidColumnarLayout { .. }
+        ));
+        // Duplicate source index (not a permutation).
+        let mut bad = orig.clone();
+        bad[1] = bad[0];
+        assert!(matches!(
+            FuzzyObject::<2>::from_columnar(a.id(), bad, mus.clone(), cols.clone()).unwrap_err(),
+            ModelError::InvalidColumnarLayout { .. }
+        ));
+        // Out-of-range source index.
+        let mut bad = orig.clone();
+        bad[0] = orig.len() as u32;
+        assert!(matches!(
+            FuzzyObject::<2>::from_columnar(a.id(), bad, mus.clone(), cols.clone()).unwrap_err(),
+            ModelError::InvalidColumnarLayout { .. }
+        ));
+        // Ascending memberships violate the sort contract.
+        let mut bad = mus.clone();
+        bad.swap(0, mus.len() - 1);
+        assert!(matches!(
+            FuzzyObject::<2>::from_columnar(a.id(), orig.clone(), bad, cols.clone()).unwrap_err(),
+            ModelError::InvalidColumnarLayout { .. }
+        ));
+        // Equal memberships with the wrong orig order are also rejected
+        // (the canonical layout breaks ties by ascending source index).
+        let swapped = {
+            let pb = a.by_membership();
+            let mut o = pb.source_indices().to_vec();
+            // Slots 1..=4 all carry µ=0.5 in `obj()`.
+            o.swap(1, 2);
+            o
+        };
+        assert!(matches!(
+            FuzzyObject::<2>::from_columnar(a.id(), swapped, mus.clone(), cols.clone())
+                .unwrap_err(),
+            ModelError::InvalidColumnarLayout { .. }
+        ));
+        // Membership out of (0, 1] reports the *original* index.
+        let mut bad = mus.clone();
+        let last = bad.len() - 1;
+        bad[last] = 0.0;
+        match FuzzyObject::<2>::from_columnar(a.id(), orig.clone(), bad, cols.clone()).unwrap_err()
+        {
+            ModelError::InvalidMembership { index, .. } => {
+                assert_eq!(index, orig[last] as usize)
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Missing kernel: scale every µ below 1 (keep order valid).
+        let scaled: Vec<f64> = mus.iter().map(|&m| m * 0.5).collect();
+        assert_eq!(
+            FuzzyObject::<2>::from_columnar(a.id(), orig.clone(), scaled, cols.clone())
+                .unwrap_err(),
+            ModelError::EmptyKernel
+        );
+        // Non-finite coordinate.
+        let mut bad = cols.clone();
+        bad[0] = f64::NAN;
+        assert!(matches!(
+            FuzzyObject::<2>::from_columnar(a.id(), orig, mus, bad).unwrap_err(),
+            ModelError::NonFiniteCoordinate { .. }
+        ));
     }
 }

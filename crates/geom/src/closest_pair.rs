@@ -3,12 +3,21 @@
 //! This is the computational core of the α-distance (Definition 3):
 //! `d_α(A, B) = min_{a ∈ A_α, b ∈ B_α} ‖a − b‖` is exactly the closest pair
 //! between the two α-cuts. The dual-tree branch-and-bound below descends two
-//! kd-trees simultaneously, pruning node pairs whose boxes are farther apart
-//! than the best pair found so far and subtrees whose maximum membership
-//! fails the level filter — the classical approach of Corral et al.
-//! (ref. \[9\] of the paper) adapted to fuzzy cuts.
+//! implicit kd-trees simultaneously, pruning node pairs whose boxes are
+//! farther apart than the best pair found so far and subtrees whose maximum
+//! membership fails the level filter — the classical approach of Corral et
+//! al. (ref. \[9\] of the paper) adapted to fuzzy cuts.
+//!
+//! Leaf×leaf base cases run the columnar min-reduction kernel: for each
+//! accepted point of the first leaf, one kernel sweep over the second
+//! leaf's accepted column prefix replaces the inner scalar loop.
+//!
+//! Winning pairs are canonical: ties on distance resolve to the
+//! lexicographically smallest `(i, j)` of original indices, so the result
+//! is independent of traversal order and tree shape.
 
 use crate::kdtree::{KdTree, LevelFilter};
+use crate::kernel;
 
 /// Result of a closest-pair computation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,86 +75,135 @@ pub fn bichromatic_closest_pair_sq<const D: usize>(
     filter_b: LevelFilter,
     upper_bound_sq: f64,
 ) -> Option<PairResultSq> {
-    let mut best_sq = upper_bound_sq;
-    let mut best: Option<(u32, u32)> = None;
-    descend(a, b, a.root_id(), b.root_id(), filter_a, filter_b, &mut best_sq, &mut best);
-    best.map(|(i, j)| PairResultSq { dist_sq: best_sq, i: i as usize, j: j as usize })
+    let mut state = SearchState { best_sq: upper_bound_sq, best: None };
+    descend(a, b, a.root_ref(), b.root_ref(), filter_a, filter_b, &mut state);
+    state.best.map(|(i, j)| PairResultSq { dist_sq: state.best_sq, i: i as usize, j: j as usize })
 }
 
-#[allow(clippy::too_many_arguments)]
+struct SearchState {
+    best_sq: f64,
+    best: Option<(u32, u32)>,
+}
+
+impl SearchState {
+    /// Canonical update: strictly smaller distance wins; an equal distance
+    /// wins only with a lexicographically smaller `(i, j)`. The initial
+    /// cap is exclusive (no pair yet ⇒ only strictly closer qualifies).
+    #[inline]
+    fn consider(&mut self, d2: f64, i: u32, j: u32) {
+        let wins = match self.best {
+            None => d2 < self.best_sq,
+            Some(cur) => d2 < self.best_sq || (d2 == self.best_sq && (i, j) < cur),
+        };
+        if wins {
+            self.best_sq = d2;
+            self.best = Some((i, j));
+        }
+    }
+
+    /// Node pairs whose box gap exceeds the best distance can never win;
+    /// with a pair in hand, a gap exactly at the best distance must still
+    /// be explored for a lexicographically smaller witness.
+    #[inline]
+    fn prunable(&self, gap: f64) -> bool {
+        match self.best {
+            Some(_) => gap > self.best_sq,
+            None => gap >= self.best_sq,
+        }
+    }
+}
+
 fn descend<const D: usize>(
     a: &KdTree<D>,
     b: &KdTree<D>,
-    na: u32,
-    nb: u32,
+    na: crate::kdtree::NodeRef,
+    nb: crate::kdtree::NodeRef,
     fa: LevelFilter,
     fb: LevelFilter,
-    best_sq: &mut f64,
-    best: &mut Option<(u32, u32)>,
+    state: &mut SearchState,
 ) {
     if !fa.accepts(a.node_max_mu(na)) || !fb.accepts(b.node_max_mu(nb)) {
         return;
     }
-    let gap = a.node_mbr(na).min_dist_sq(b.node_mbr(nb));
-    if gap >= *best_sq {
+    if state.prunable(a.box_gap_sq(na, b, nb)) {
         return;
     }
-    match (a.node_children(na), b.node_children(nb)) {
-        (None, None) => {
-            // Leaf x leaf: scan the accepted prefixes (leaf slots are
-            // membership-descending, so the first rejection on either
-            // side ends that side's accepted range).
-            let (sa, ea) = a.node_points(na).expect("leaf");
-            let (sb, eb) = b.node_points(nb).expect("leaf");
-            for ia in sa..ea {
-                let (pa, mua, oa) = a.point_at(ia);
-                if !fa.accepts(mua) {
-                    break;
+    match (na.is_leaf(), nb.is_leaf()) {
+        (true, true) => {
+            // Leaf x leaf: the accepted ranges are contiguous prefixes
+            // (membership-descending leaf slots). For every accepted point
+            // of `a`, one columnar kernel sweep over `b`'s prefix gives the
+            // row minimum; only improvements pay for the canonical argmin
+            // rescan.
+            let pa = a.leaf_prefix_len(na, fa);
+            let pb = b.leaf_prefix_len(nb, fb);
+            if pb == 0 {
+                return;
+            }
+            let sb = nb.start() as usize;
+            let bcols = b.col_slices(sb, pb);
+            for ia in na.start() as usize..na.start() as usize + pa {
+                let (qa, _, oa) = a.point_at(ia);
+                let m = kernel::min_dist_sq_cols(&bcols, qa.coords());
+                if m == f64::INFINITY {
+                    continue;
                 }
-                for ib in sb..eb {
-                    let (pb, mub, ob) = b.point_at(ib);
-                    if !fb.accepts(mub) {
-                        break;
-                    }
-                    let d2 = pa.dist_sq(pb);
-                    if d2 < *best_sq {
-                        *best_sq = d2;
-                        *best = Some((oa, ob));
+                let improves = match state.best {
+                    None => m < state.best_sq,
+                    Some(_) => m <= state.best_sq,
+                };
+                if !improves {
+                    continue;
+                }
+                // Canonical witness on `b`'s side: smallest original index
+                // among the rows achieving the kernel minimum.
+                let mut ob = u32::MAX;
+                for jb in sb..sb + pb {
+                    if b.row_dist_sq(&qa, jb).to_bits() == m.to_bits() {
+                        ob = ob.min(b.orig_at(jb));
                     }
                 }
+                debug_assert_ne!(ob, u32::MAX, "kernel min must come from a row");
+                state.consider(m, oa, ob);
             }
         }
-        (Some((l, r)), None) => {
+        (false, true) => {
+            let (l, r) = na.children();
             let mut kids = [(l, nb), (r, nb)];
             order_by_gap(a, b, &mut kids);
             for (ca, cb) in kids {
-                descend(a, b, ca, cb, fa, fb, best_sq, best);
+                descend(a, b, ca, cb, fa, fb, state);
             }
         }
-        (None, Some((l, r))) => {
+        (true, false) => {
+            let (l, r) = nb.children();
             let mut kids = [(na, l), (na, r)];
             order_by_gap(a, b, &mut kids);
             for (ca, cb) in kids {
-                descend(a, b, ca, cb, fa, fb, best_sq, best);
+                descend(a, b, ca, cb, fa, fb, state);
             }
         }
-        (Some((al, ar)), Some((bl, br))) => {
+        (false, false) => {
+            let (al, ar) = na.children();
+            let (bl, br) = nb.children();
             let mut kids = [(al, bl), (al, br), (ar, bl), (ar, br)];
             order_by_gap(a, b, &mut kids);
             for (ca, cb) in kids {
-                descend(a, b, ca, cb, fa, fb, best_sq, best);
+                descend(a, b, ca, cb, fa, fb, state);
             }
         }
     }
 }
 
-/// Visit the most promising node pairs first: descending by box gap gives
-/// the branch-and-bound its tight early bound.
-fn order_by_gap<const D: usize>(a: &KdTree<D>, b: &KdTree<D>, pairs: &mut [(u32, u32)]) {
+/// Visit the most promising node pairs first: ascending box gap gives the
+/// branch-and-bound its tight early bound.
+fn order_by_gap<const D: usize>(
+    a: &KdTree<D>,
+    b: &KdTree<D>,
+    pairs: &mut [(crate::kdtree::NodeRef, crate::kdtree::NodeRef)],
+) {
     pairs.sort_by(|&(xa, xb), &(ya, yb)| {
-        a.node_mbr(xa)
-            .min_dist_sq(b.node_mbr(xb))
-            .total_cmp(&a.node_mbr(ya).min_dist_sq(b.node_mbr(yb)))
+        a.box_gap_sq(xa, b, xb).total_cmp(&a.box_gap_sq(ya, b, yb))
     });
 }
 
@@ -283,5 +341,19 @@ mod tests {
         .unwrap();
         assert_eq!(r.dist, 0.0);
         assert_eq!((r.i, r.j), (0, 1));
+    }
+
+    #[test]
+    fn tied_pairs_resolve_lexicographically() {
+        // Two pairs at the same distance; the canonical winner is the
+        // lexicographically smallest (i, j).
+        let a = (vec![Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)], vec![1.0, 1.0]);
+        let b = (vec![Point::xy(1.0, 0.0), Point::xy(9.0, 0.0)], vec![1.0, 1.0]);
+        let ta = KdTree::build(&a.0, &a.1);
+        let tb = KdTree::build(&b.0, &b.1);
+        let f = LevelFilter::support();
+        let r = bichromatic_closest_pair(&ta, &tb, f, f, f64::INFINITY).unwrap();
+        assert_eq!(r.dist, 1.0);
+        assert_eq!((r.i, r.j), (0, 0));
     }
 }

@@ -1,4 +1,4 @@
-//! A bulk-loaded kd-tree over weighted points.
+//! An implicit, bulk-loaded kd-tree over weighted points.
 //!
 //! Every point carries a *membership* weight `µ ∈ (0, 1]` and every node is
 //! annotated with the maximum membership of its subtree, so spatial queries
@@ -8,13 +8,38 @@
 //! α-distance evaluators, because the fraction of an object participating in
 //! a query is unknown until the query arrives (Section 1 of the paper).
 //!
-//! **Leaf prefix invariant:** within every leaf the points are stored in
-//! membership-descending order, so the subset passing any [`LevelFilter`]
-//! is a *contiguous prefix* of the leaf range. Leaf scans therefore stop
-//! at the first rejected membership instead of testing every point — the
-//! per-point filter closure of the original implementation becomes a
-//! single early exit.
+//! **Implicit layout.** There is no node arena and there are no child ids:
+//! the tree is the median order itself. A subtree *is* a subrange
+//! `[start, end)` of the flat point storage — recursion always splits at
+//! `mid = start + (end − start) / 2`, so child ranges are derived, not
+//! stored. Node annotations (subtree max-µ and exact bounding boxes) live in
+//! flat arrays addressed by the breadth-first heap rule `root = 0`,
+//! `children(i) = 2i+1, 2i+2`. Compared to the previous arena tree this
+//! removes a pointer chase and a cache line per visited node, and the whole
+//! structure is three flat slices — trivially relocatable.
+//!
+//! **Columnar storage.** Coordinates are stored as dim-major columns
+//! (`cols[d·len + j]` is coordinate `d` of slot `j`), so leaf scans run the
+//! unrolled min-reduction kernel of [`crate::kernel`] over contiguous
+//! per-dimension lanes instead of gathering row-major points.
+//!
+//! **Leaf prefix invariant.** Within every leaf range the points are stored
+//! in membership-descending order (ties by original index), so the subset
+//! passing any [`LevelFilter`] is a *contiguous prefix* of the leaf. Leaf
+//! scans stop at the first rejected membership instead of testing every
+//! point.
+//!
+//! **Canonical answers.** All queries break distance ties by the smallest
+//! original index, so results are a pure function of the input point set —
+//! independent of tree shape, traversal order, and kernel lane count. The
+//! retained reference tree ([`crate::reference::ArenaKdTree`]) implements
+//! the same contract; the differential suite in `crates/geom/tests` holds
+//! both to bit-identical `(distance², index)` answers against a brute
+//! oracle.
 
+#![allow(clippy::needless_range_loop)] // per-dimension index loops read clearer
+
+use crate::kernel;
 use crate::mbr::Mbr;
 use crate::point::Point;
 
@@ -62,32 +87,80 @@ impl LevelFilter {
     }
 }
 
-const LEAF_SIZE: usize = 12;
+/// Maximum number of points in an implicit leaf range. A multiple of the
+/// kernel lane width so full leaves stream through the unrolled reduction
+/// without a remainder pass.
+const LEAF_SIZE: usize = 16;
 
-#[derive(Clone, Debug)]
-enum NodeKind {
-    Leaf { start: u32, end: u32 },
-    Internal { left: u32, right: u32 },
+/// An implicit node: a heap id (for the annotation arrays) plus the point
+/// subrange it covers. Never stored — derived on the way down.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NodeRef {
+    id: u32,
+    start: u32,
+    end: u32,
 }
 
-#[derive(Clone, Debug)]
-struct Node<const D: usize> {
-    mbr: Mbr<D>,
-    max_mu: f64,
-    kind: NodeKind,
+impl NodeRef {
+    #[inline]
+    fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// First slot of the covered range.
+    #[inline]
+    pub(crate) fn start(self) -> u32 {
+        self.start
+    }
+
+    #[inline]
+    pub(crate) fn is_leaf(self) -> bool {
+        self.len() <= LEAF_SIZE
+    }
+
+    /// Child ranges under the fixed `mid = start + len/2` split rule.
+    #[inline]
+    pub(crate) fn children(self) -> (NodeRef, NodeRef) {
+        debug_assert!(!self.is_leaf());
+        let mid = self.start + (self.end - self.start) / 2;
+        (
+            NodeRef { id: 2 * self.id + 1, start: self.start, end: mid },
+            NodeRef { id: 2 * self.id + 2, start: mid, end: self.end },
+        )
+    }
 }
 
-/// Bulk-loaded, immutable kd-tree over `(point, membership)` pairs.
+/// One point during construction; kept AoS so `select_nth_unstable_by`
+/// permutes coordinates, membership and original index in lockstep.
+#[derive(Clone, Copy)]
+struct BuildItem<const D: usize> {
+    pt: Point<D>,
+    mu: f64,
+    orig: u32,
+}
+
+/// Bulk-loaded, immutable implicit kd-tree over `(point, membership)` pairs.
 ///
 /// Construction permutes the points internally; query results refer to the
-/// *original* input indices.
+/// *original* input indices. See the module docs for the layout.
 #[derive(Clone, Debug)]
 pub struct KdTree<const D: usize> {
-    pts: Vec<Point<D>>,
-    mus: Vec<f64>,
-    orig: Vec<u32>,
-    nodes: Vec<Node<D>>,
-    root: u32,
+    len: usize,
+    /// Dim-major coordinate columns over the median order.
+    cols: Box<[f64]>,
+    /// Memberships in median order (descending within each leaf range).
+    mus: Box<[f64]>,
+    /// Original input index of each slot.
+    orig: Box<[u32]>,
+    /// Heap-indexed subtree max-membership annotations.
+    max_mu: Box<[f64]>,
+    /// Heap-indexed exact subtree bounds: `2·D` values per node, lows then
+    /// highs. Unused heap slots keep an inverted sentinel and are never
+    /// read.
+    bounds: Box<[f64]>,
+    /// Number of real (visited) nodes, for diagnostics.
+    node_count: usize,
+    root_mbr: Mbr<D>,
 }
 
 impl<const D: usize> KdTree<D> {
@@ -99,105 +172,73 @@ impl<const D: usize> KdTree<D> {
         assert_eq!(points.len(), memberships.len(), "points/memberships length mismatch");
         assert!(!points.is_empty(), "cannot build a kd-tree over no points");
         let n = points.len();
-        let mut tree = Self {
-            pts: points.to_vec(),
-            mus: memberships.to_vec(),
-            orig: (0..n as u32).collect(),
-            nodes: Vec::with_capacity(2 * n / LEAF_SIZE + 2),
-            root: 0,
-        };
-        tree.root = tree.build_range(0, n);
-        tree
-    }
+        let mut items: Vec<BuildItem<D>> = points
+            .iter()
+            .zip(memberships)
+            .enumerate()
+            .map(|(i, (&pt, &mu))| BuildItem { pt, mu, orig: i as u32 })
+            .collect();
 
-    fn build_range(&mut self, start: usize, end: usize) -> u32 {
-        let mbr = Mbr::from_points(self.pts[start..end].iter()).expect("non-empty range");
-        let max_mu = self.mus[start..end].iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        if end - start <= LEAF_SIZE {
-            // Establish the leaf prefix invariant: membership descending
-            // (ties by original index, for determinism), so any level
-            // filter selects a contiguous prefix of the leaf.
-            let mut idx: Vec<usize> = (start..end).collect();
-            idx.sort_by(|&a, &b| {
-                self.mus[b].total_cmp(&self.mus[a]).then(self.orig[a].cmp(&self.orig[b]))
-            });
-            self.apply_permutation(start, &idx);
-            let id = self.nodes.len() as u32;
-            self.nodes.push(Node {
-                mbr,
-                max_mu,
-                kind: NodeKind::Leaf { start: start as u32, end: end as u32 },
-            });
-            return id;
-        }
-        // Split on the widest dimension at the median.
-        let mut dim = 0;
-        let mut widest = -1.0;
-        for i in 0..D {
-            let e = mbr.extent(i);
-            if e > widest {
-                widest = e;
-                dim = i;
+        // Computed before any permutation, so the expansion order (and with
+        // it any NaN-coordinate quirk) matches a plain scan of the input.
+        let root_mbr = Mbr::from_points(points.iter()).expect("non-empty input");
+        let mut ann = Annotations { max_mu: Vec::new(), bounds: Vec::new(), nodes: 0 };
+        build_range(&mut items, &mut ann, 0, 0, n);
+
+        let mut cols = vec![0.0; D * n].into_boxed_slice();
+        let mut mus = vec![0.0; n].into_boxed_slice();
+        let mut orig = vec![0u32; n].into_boxed_slice();
+        for (j, it) in items.iter().enumerate() {
+            for d in 0..D {
+                cols[d * n + j] = it.pt.coords()[d];
             }
+            mus[j] = it.mu;
+            orig[j] = it.orig;
         }
-        let mid = start + (end - start) / 2;
-        // Select the median, permuting pts/mus/orig in lockstep via an index
-        // sort of the subrange.
-        let mut idx: Vec<usize> = (start..end).collect();
-        idx.select_nth_unstable_by(mid - start, |&a, &b| {
-            self.pts[a][dim].total_cmp(&self.pts[b][dim])
-        });
-        self.apply_permutation(start, &idx);
-
-        let left = self.build_range(start, mid);
-        let right = self.build_range(mid, end);
-        let id = self.nodes.len() as u32;
-        self.nodes.push(Node { mbr, max_mu, kind: NodeKind::Internal { left, right } });
-        id
-    }
-
-    /// Reorder `pts`, `mus`, `orig` in `start..start+idx.len()` so that
-    /// position `start + i` holds what was at `idx[i]`.
-    fn apply_permutation(&mut self, start: usize, idx: &[usize]) {
-        let new_pts: Vec<Point<D>> = idx.iter().map(|&i| self.pts[i]).collect();
-        let new_mus: Vec<f64> = idx.iter().map(|&i| self.mus[i]).collect();
-        let new_orig: Vec<u32> = idx.iter().map(|&i| self.orig[i]).collect();
-        self.pts[start..start + idx.len()].copy_from_slice(&new_pts);
-        self.mus[start..start + idx.len()].copy_from_slice(&new_mus);
-        self.orig[start..start + idx.len()].copy_from_slice(&new_orig);
+        Self {
+            len: n,
+            cols,
+            mus,
+            orig,
+            max_mu: ann.max_mu.into_boxed_slice(),
+            bounds: ann.bounds.into_boxed_slice(),
+            node_count: ann.nodes,
+            root_mbr,
+        }
     }
 
     /// Number of points.
     #[inline]
     pub fn len(&self) -> usize {
-        self.pts.len()
+        self.len
     }
 
     /// Always false: construction rejects empty input.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.pts.is_empty()
+        self.len == 0
     }
 
     /// Bounding box of all points.
     #[inline]
     pub fn mbr(&self) -> &Mbr<D> {
-        &self.nodes[self.root as usize].mbr
+        &self.root_mbr
     }
 
     /// Largest membership in the tree.
     #[inline]
     pub fn max_mu(&self) -> f64 {
-        self.nodes[self.root as usize].max_mu
+        self.max_mu[0]
     }
 
-    /// Number of internal + leaf nodes (diagnostics).
+    /// Number of implicit nodes the structure decomposes into (diagnostics).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.node_count
     }
 
     /// Nearest neighbour of `q` among points passing `filter`; returns the
     /// original index and the distance, or `None` when no point passes.
+    /// Distance ties are broken by the smallest original index.
     pub fn nn_filtered(&self, q: &Point<D>, filter: LevelFilter) -> Option<(usize, f64)> {
         self.nn_sq_within(q, filter, f64::INFINITY).map(|(i, d2)| (i, d2.sqrt()))
     }
@@ -209,6 +250,7 @@ impl<const D: usize> KdTree<D> {
     /// without the final square root. The seed lets chained searches (one
     /// per activated point in the α-distance evaluators) start each probe
     /// from the running best, pruning most of the tree immediately.
+    /// Distance ties are broken by the smallest original index.
     pub fn nn_sq_within(
         &self,
         q: &Point<D>,
@@ -216,60 +258,51 @@ impl<const D: usize> KdTree<D> {
         cap_sq: f64,
     ) -> Option<(usize, f64)> {
         let mut best = cap_sq;
-        let mut best_idx: Option<usize> = None;
-        self.nn_rec(self.root, q, filter, &mut best, &mut best_idx);
-        best_idx.map(|i| (i, best))
+        let mut best_orig: Option<u32> = None;
+        self.nn_rec(self.root_ref(), q, filter, &mut best, &mut best_orig);
+        best_orig.map(|o| (o as usize, best))
     }
 
     fn nn_rec(
         &self,
-        node_id: u32,
+        node: NodeRef,
         q: &Point<D>,
         filter: LevelFilter,
         best_sq: &mut f64,
-        best_idx: &mut Option<usize>,
+        best_orig: &mut Option<u32>,
     ) {
-        let node = &self.nodes[node_id as usize];
-        if !filter.accepts(node.max_mu) {
+        if !filter.accepts(self.max_mu[node.id as usize]) {
             return;
         }
-        let d2 = q.dist_sq_to_box(node.mbr.lo_coords(), node.mbr.hi_coords());
-        if d2 >= *best_sq {
+        let d2 = self.box_dist_sq(node, q);
+        // With a candidate in hand, subtrees at exactly the best distance
+        // must still be visited: they may hold an equal-distance point with
+        // a smaller original index (the canonical winner). Without one, the
+        // cap is exclusive — only strictly closer points qualify.
+        let prunable = match best_orig {
+            Some(_) => d2 > *best_sq,
+            None => d2 >= *best_sq,
+        };
+        if prunable {
             return;
         }
-        match node.kind {
-            NodeKind::Leaf { start, end } => {
-                for i in start as usize..end as usize {
-                    // Leaf prefix invariant: memberships descend, so the
-                    // first rejection ends the accepted prefix.
-                    if !filter.accepts(self.mus[i]) {
-                        break;
-                    }
-                    let d2 = q.dist_sq(&self.pts[i]);
-                    if d2 < *best_sq {
-                        *best_sq = d2;
-                        *best_idx = Some(self.orig[i] as usize);
-                    }
-                }
+        if node.is_leaf() {
+            let p = self.leaf_prefix_len(node, filter);
+            if let Some(cand) = self.leaf_candidate(node.start as usize, p, q) {
+                consider(cand, best_sq, best_orig);
             }
-            NodeKind::Internal { left, right } => {
-                let dl = q.dist_sq_to_box(
-                    self.nodes[left as usize].mbr.lo_coords(),
-                    self.nodes[left as usize].mbr.hi_coords(),
-                );
-                let dr = q.dist_sq_to_box(
-                    self.nodes[right as usize].mbr.lo_coords(),
-                    self.nodes[right as usize].mbr.hi_coords(),
-                );
-                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
-                self.nn_rec(first, q, filter, best_sq, best_idx);
-                self.nn_rec(second, q, filter, best_sq, best_idx);
-            }
+            return;
         }
+        let (left, right) = node.children();
+        let dl = self.box_dist_sq(left, q);
+        let dr = self.box_dist_sq(right, q);
+        let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+        self.nn_rec(first, q, filter, best_sq, best_orig);
+        self.nn_rec(second, q, filter, best_sq, best_orig);
     }
 
     /// Collect the original indices of all points passing `filter` that lie
-    /// within `radius` of `q`.
+    /// within `radius` of `q`, in ascending original-index order.
     pub fn within_radius_filtered(
         &self,
         q: &Point<D>,
@@ -278,75 +311,238 @@ impl<const D: usize> KdTree<D> {
     ) -> Vec<usize> {
         let mut out = Vec::new();
         let r2 = radius * radius;
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            let node = &self.nodes[id as usize];
-            if !filter.accepts(node.max_mu) {
+        let mut stack = vec![self.root_ref()];
+        while let Some(node) = stack.pop() {
+            if !filter.accepts(self.max_mu[node.id as usize]) {
                 continue;
             }
-            if q.dist_sq_to_box(node.mbr.lo_coords(), node.mbr.hi_coords()) > r2 {
+            if self.box_dist_sq(node, q) > r2 {
                 continue;
             }
-            match node.kind {
-                NodeKind::Leaf { start, end } => {
-                    for i in start as usize..end as usize {
-                        if !filter.accepts(self.mus[i]) {
-                            break; // leaf prefix invariant
-                        }
-                        if q.dist_sq(&self.pts[i]) <= r2 {
-                            out.push(self.orig[i] as usize);
-                        }
+            if node.is_leaf() {
+                let p = self.leaf_prefix_len(node, filter);
+                for j in node.start as usize..node.start as usize + p {
+                    if self.row_dist_sq(q, j) <= r2 {
+                        out.push(self.orig[j] as usize);
                     }
                 }
-                NodeKind::Internal { left, right } => {
-                    stack.push(left);
-                    stack.push(right);
-                }
+            } else {
+                let (left, right) = node.children();
+                stack.push(left);
+                stack.push(right);
             }
         }
+        // Canonical order: tree shape must not leak into the answer.
+        out.sort_unstable();
         out
     }
 
-    // ----- internals exposed to the closest-pair module -----
+    // ----- internals shared with the closest-pair module -----
 
     #[inline]
-    pub(crate) fn node_mbr(&self, id: u32) -> &Mbr<D> {
-        &self.nodes[id as usize].mbr
+    pub(crate) fn root_ref(&self) -> NodeRef {
+        NodeRef { id: 0, start: 0, end: self.len as u32 }
     }
 
     #[inline]
-    pub(crate) fn node_max_mu(&self, id: u32) -> f64 {
-        self.nodes[id as usize].max_mu
+    pub(crate) fn node_max_mu(&self, node: NodeRef) -> f64 {
+        self.max_mu[node.id as usize]
     }
 
+    /// Squared point-to-node-box distance, matching
+    /// [`Point::dist_sq_to_box`] bit for bit.
     #[inline]
-    pub(crate) fn node_children(&self, id: u32) -> Option<(u32, u32)> {
-        match self.nodes[id as usize].kind {
-            NodeKind::Internal { left, right } => Some((left, right)),
-            NodeKind::Leaf { .. } => None,
+    pub(crate) fn box_dist_sq(&self, node: NodeRef, q: &Point<D>) -> f64 {
+        let b = node.id as usize * 2 * D;
+        let (lo, hi) = (&self.bounds[b..b + D], &self.bounds[b + D..b + 2 * D]);
+        let mut acc = 0.0;
+        for i in 0..D {
+            let c = q.coords()[i];
+            let d = if c < lo[i] {
+                lo[i] - c
+            } else if c > hi[i] {
+                c - hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared node-box-to-node-box gap across two trees, matching
+    /// [`Mbr::min_dist_sq`] bit for bit.
+    #[inline]
+    pub(crate) fn box_gap_sq(&self, node: NodeRef, other: &Self, onode: NodeRef) -> f64 {
+        let a = node.id as usize * 2 * D;
+        let b = onode.id as usize * 2 * D;
+        let (alo, ahi) = (&self.bounds[a..a + D], &self.bounds[a + D..a + 2 * D]);
+        let (blo, bhi) = (&other.bounds[b..b + D], &other.bounds[b + D..b + 2 * D]);
+        let mut acc = 0.0;
+        for i in 0..D {
+            let l = if alo[i] > bhi[i] {
+                alo[i] - bhi[i]
+            } else if blo[i] > ahi[i] {
+                blo[i] - ahi[i]
+            } else {
+                0.0
+            };
+            acc += l * l;
+        }
+        acc
+    }
+
+    /// Length of the membership-accepted prefix of a leaf range (the leaf
+    /// prefix invariant: memberships descend, so the first rejection ends
+    /// the accepted set).
+    #[inline]
+    pub(crate) fn leaf_prefix_len(&self, node: NodeRef, filter: LevelFilter) -> usize {
+        let (start, end) = (node.start as usize, node.end as usize);
+        let mut p = 0;
+        for j in start..end {
+            if !filter.accepts(self.mus[j]) {
+                break;
+            }
+            p += 1;
+        }
+        p
+    }
+
+    /// Dim-major column views over the slot range `[start, start + n)`.
+    #[inline]
+    pub(crate) fn col_slices(&self, start: usize, n: usize) -> [&[f64]; D] {
+        std::array::from_fn(|d| &self.cols[d * self.len + start..d * self.len + start + n])
+    }
+
+    /// Point, membership and original index stored at `slot`.
+    #[inline]
+    pub(crate) fn point_at(&self, slot: usize) -> (Point<D>, f64, u32) {
+        let mut c = [0.0; D];
+        for d in 0..D {
+            c[d] = self.cols[d * self.len + slot];
+        }
+        (Point::new(c), self.mus[slot], self.orig[slot])
+    }
+
+    /// Original input index of the point stored at `slot`.
+    #[inline]
+    pub(crate) fn orig_at(&self, slot: usize) -> u32 {
+        self.orig[slot]
+    }
+
+    /// Squared distance from `q` to the point at `slot`, with the same
+    /// arithmetic (dimension order, one accumulator) as the kernels and
+    /// [`Point::dist_sq`].
+    #[inline]
+    pub(crate) fn row_dist_sq(&self, q: &Point<D>, slot: usize) -> f64 {
+        let mut s = 0.0;
+        for d in 0..D {
+            let diff = self.cols[d * self.len + slot] - q.coords()[d];
+            s += diff * diff;
+        }
+        s
+    }
+
+    /// Canonical best candidate of the first `p` slots of a leaf: the
+    /// kernel min-reduction over the columns, then the smallest original
+    /// index achieving it. `None` when the prefix is empty or contains no
+    /// comparable (non-NaN, finite-min) candidate.
+    fn leaf_candidate(&self, start: usize, p: usize, q: &Point<D>) -> Option<(f64, u32)> {
+        if p == 0 {
+            return None;
+        }
+        let m = kernel::min_dist_sq_cols(&self.col_slices(start, p), q.coords());
+        if m == f64::INFINITY {
+            return None; // every candidate was NaN
+        }
+        let mut best_orig = u32::MAX;
+        for j in start..start + p {
+            if self.row_dist_sq(q, j).to_bits() == m.to_bits() {
+                best_orig = best_orig.min(self.orig[j]);
+            }
+        }
+        debug_assert_ne!(best_orig, u32::MAX, "kernel min must come from a row");
+        Some((m, best_orig))
+    }
+}
+
+/// Canonical update rule shared by the tree traversals: a candidate wins on
+/// strictly smaller distance, or on equal distance with a smaller original
+/// index — but only once a real point holds the best slot (the initial cap
+/// is exclusive).
+#[inline]
+fn consider(cand: (f64, u32), best_sq: &mut f64, best_orig: &mut Option<u32>) {
+    let (d2, o) = cand;
+    let wins = match *best_orig {
+        None => d2 < *best_sq,
+        Some(bo) => d2 < *best_sq || (d2 == *best_sq && o < bo),
+    };
+    if wins {
+        *best_sq = d2;
+        *best_orig = Some(o);
+    }
+}
+
+/// Growable heap-indexed annotation storage used during construction.
+struct Annotations {
+    max_mu: Vec<f64>,
+    /// `2·D` values per heap slot: lows then highs.
+    bounds: Vec<f64>,
+    nodes: usize,
+}
+
+impl Annotations {
+    fn ensure<const D: usize>(&mut self, id: usize) {
+        let need = (id + 1) * 2 * D;
+        if self.bounds.len() < need {
+            self.bounds.resize(need, 0.0);
+            self.max_mu.resize(id + 1, f64::NEG_INFINITY);
         }
     }
+}
 
-    /// Leaf slot ranges are membership-descending (the leaf prefix
-    /// invariant), so callers may stop scanning at the first slot whose
-    /// membership fails their filter.
-    #[inline]
-    pub(crate) fn node_points(&self, id: u32) -> Option<(usize, usize)> {
-        match self.nodes[id as usize].kind {
-            NodeKind::Leaf { start, end } => Some((start as usize, end as usize)),
-            NodeKind::Internal { .. } => None,
+/// Recursive construction over `items[start..end)` for heap node `id`:
+/// records the subtree annotations, establishes the leaf prefix invariant
+/// at the leaves, and median-partitions internal ranges in place.
+fn build_range<const D: usize>(
+    items: &mut [BuildItem<D>],
+    ann: &mut Annotations,
+    id: usize,
+    start: usize,
+    end: usize,
+) {
+    ann.ensure::<D>(id);
+    ann.nodes += 1;
+    let range = &items[start..end];
+    let mbr = Mbr::from_points(range.iter().map(|it| &it.pt)).expect("non-empty range");
+    let max_mu = range.iter().map(|it| it.mu).fold(f64::NEG_INFINITY, f64::max);
+    {
+        let b = id * 2 * D;
+        ann.bounds[b..b + D].copy_from_slice(mbr.lo_coords());
+        ann.bounds[b + D..b + 2 * D].copy_from_slice(mbr.hi_coords());
+        ann.max_mu[id] = max_mu;
+    }
+    if end - start <= LEAF_SIZE {
+        // Leaf prefix invariant: membership descending, ties by original
+        // index for determinism.
+        items[start..end].sort_by(|a, b| b.mu.total_cmp(&a.mu).then(a.orig.cmp(&b.orig)));
+        return;
+    }
+    // Split on the widest dimension at the median; the split position is
+    // implied by the range, never stored.
+    let mut dim = 0;
+    let mut widest = -1.0;
+    for i in 0..D {
+        let e = mbr.extent(i);
+        if e > widest {
+            widest = e;
+            dim = i;
         }
     }
-
-    #[inline]
-    pub(crate) fn root_id(&self) -> u32 {
-        self.root
-    }
-
-    #[inline]
-    pub(crate) fn point_at(&self, slot: usize) -> (&Point<D>, f64, u32) {
-        (&self.pts[slot], self.mus[slot], self.orig[slot])
-    }
+    let mid = start + (end - start) / 2;
+    items[start..end].select_nth_unstable_by(mid - start, |a, b| a.pt[dim].total_cmp(&b.pt[dim]));
+    build_range(items, ann, 2 * id + 1, start, mid);
+    build_range(items, ann, 2 * id + 2, mid, end);
 }
 
 #[cfg(test)]
@@ -407,7 +603,8 @@ mod tests {
                     let want = brute_nn(&pts, &mus, &q, f);
                     match (got, want) {
                         (None, None) => {}
-                        (Some((_, dg)), Some((_, dw))) => {
+                        (Some((ig, dg)), Some((iw, dw))) => {
+                            assert_eq!(ig, iw, "q={q:?} lvl={lvl} strict={strict}");
                             assert!(
                                 (dg - dw).abs() < 1e-12,
                                 "q={q:?} lvl={lvl} strict={strict}: {dg} vs {dw}"
@@ -421,6 +618,21 @@ mod tests {
     }
 
     #[test]
+    fn nn_ties_resolve_to_smallest_original_index() {
+        // Four copies of the same point: the canonical winner is index 0,
+        // whatever the leaf order or lane assignment.
+        let pts = vec![Point::xy(1.0, 1.0); 4];
+        let mus = vec![0.5, 1.0, 0.7, 0.9];
+        let tree = KdTree::build(&pts, &mus);
+        let (i, d) = tree.nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::support()).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 2.0f64.sqrt()).abs() < 1e-12);
+        // Filtering out index 0 moves the canonical winner to index 1.
+        let (i, _) = tree.nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::at_least(0.9)).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
     fn filter_excluding_everything_returns_none() {
         let (_, _, tree) = grid_tree();
         assert!(tree.nn_filtered(&Point::xy(0.0, 0.0), LevelFilter::above(1.0)).is_none());
@@ -431,8 +643,7 @@ mod tests {
         let (pts, mus, tree) = grid_tree();
         let q = Point::xy(5.0, 5.0);
         let f = LevelFilter::at_least(0.4);
-        let mut got = tree.within_radius_filtered(&q, 2.5, f);
-        got.sort_unstable();
+        let got = tree.within_radius_filtered(&q, 2.5, f);
         let mut want: Vec<usize> = pts
             .iter()
             .zip(&mus)
@@ -441,6 +652,7 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         want.sort_unstable();
+        // Already sorted: the output order is canonical.
         assert_eq!(got, want);
     }
 
@@ -460,6 +672,19 @@ mod tests {
         let want = mus.iter().copied().fold(f64::MIN, f64::max);
         assert_eq!(tree.max_mu(), want);
         assert!(tree.node_count() >= 1);
+    }
+
+    #[test]
+    fn strictly_closer_cap_semantics_survive_ties() {
+        // A point exactly at the cap distance must not be returned, even
+        // though equal distances are otherwise tie-broken by index.
+        let pts = vec![Point::xy(3.0, 4.0), Point::xy(6.0, 8.0)];
+        let mus = vec![1.0, 1.0];
+        let tree = KdTree::build(&pts, &mus);
+        let q = Point::origin();
+        assert!(tree.nn_sq_within(&q, LevelFilter::support(), 25.0).is_none());
+        let (i, d2) = tree.nn_sq_within(&q, LevelFilter::support(), 25.0 + 1e-9).unwrap();
+        assert_eq!((i, d2), (0, 25.0));
     }
 
     #[test]

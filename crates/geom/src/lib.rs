@@ -12,9 +12,15 @@
 //!   boundary function (Definition 6): a line `y = m·x + t` that stays above
 //!   every sample while minimising the summed squared error, found by the
 //!   Achtert-style anchor bisection over the UCH.
-//! * [`kdtree`] — a bulk-loaded kd-tree whose nodes are annotated with the
-//!   maximum membership value of their subtree, supporting level-filtered
-//!   nearest-neighbour queries.
+//! * [`kdtree`] — an implicit, bulk-loaded kd-tree (the tree *is* one
+//!   median-ordered flat slice; subtree = subrange) whose nodes are
+//!   annotated with the maximum membership value of their subtree,
+//!   supporting level-filtered nearest-neighbour queries over dim-major
+//!   coordinate columns.
+//! * [`kernel`] — the columnar min-reduction distance kernels (unrolled
+//!   multi-accumulator and scalar reference paths, bitwise-identical).
+//! * [`mod@reference`] — the previous arena-based kd-tree, retained as the
+//!   differential oracle for the implicit layout.
 //! * [`closest_pair`] — dual-tree bichromatic closest pair with level
 //!   pruning; this is the evaluator for the α-distance
 //!   `d_α(A,B) = min_{a∈A_α, b∈B_α} ‖a−b‖`.
@@ -25,8 +31,10 @@ pub mod closest_pair;
 pub mod conservative;
 pub mod hull;
 pub mod kdtree;
+pub mod kernel;
 pub mod mbr;
 pub mod point;
+pub mod reference;
 
 pub use closest_pair::{
     bichromatic_closest_pair, bichromatic_closest_pair_sq, PairResult, PairResultSq,

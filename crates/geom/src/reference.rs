@@ -1,0 +1,286 @@
+//! The previous arena-based kd-tree, retained as a differential oracle.
+//!
+//! [`ArenaKdTree`] is the node-arena implementation that
+//! [`crate::kdtree::KdTree`] replaced: explicit `Node` records with child
+//! ids, row-major point storage, and per-point scalar distance evaluation.
+//! It is deliberately kept — structure, leaf size (12 vs 16) and traversal
+//! shape all differ from the implicit tree, so agreement between the two is
+//! strong evidence that neither layout leaks into the answers. The
+//! differential suite in `crates/geom/tests` drives both against a brute
+//! oracle and requires bit-identical `(distance², index)` results.
+//!
+//! Same contracts as the implicit tree: the membership-descending leaf
+//! prefix invariant, strictly-closer-than-cap seeding, and canonical
+//! smallest-original-index tie-breaking.
+
+use crate::kdtree::LevelFilter;
+use crate::mbr::Mbr;
+use crate::point::Point;
+
+const LEAF_SIZE: usize = 12;
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf { start: u32, end: u32 },
+    Internal { left: u32, right: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct Node<const D: usize> {
+    mbr: Mbr<D>,
+    max_mu: f64,
+    kind: NodeKind,
+}
+
+/// Bulk-loaded, immutable arena kd-tree over `(point, membership)` pairs.
+///
+/// Construction permutes the points internally; query results refer to the
+/// *original* input indices. See the module docs for why this type exists.
+#[derive(Clone, Debug)]
+pub struct ArenaKdTree<const D: usize> {
+    pts: Vec<Point<D>>,
+    mus: Vec<f64>,
+    orig: Vec<u32>,
+    nodes: Vec<Node<D>>,
+    root: u32,
+}
+
+impl<const D: usize> ArenaKdTree<D> {
+    /// Build a tree from parallel slices of points and memberships.
+    ///
+    /// # Panics
+    /// When the slices differ in length or are empty.
+    pub fn build(points: &[Point<D>], memberships: &[f64]) -> Self {
+        assert_eq!(points.len(), memberships.len(), "points/memberships length mismatch");
+        assert!(!points.is_empty(), "cannot build a kd-tree over no points");
+        let n = points.len();
+        let mut tree = Self {
+            pts: points.to_vec(),
+            mus: memberships.to_vec(),
+            orig: (0..n as u32).collect(),
+            nodes: Vec::with_capacity(2 * n / LEAF_SIZE + 2),
+            root: 0,
+        };
+        tree.root = tree.build_range(0, n);
+        tree
+    }
+
+    fn build_range(&mut self, start: usize, end: usize) -> u32 {
+        let mbr = Mbr::from_points(self.pts[start..end].iter()).expect("non-empty range");
+        let max_mu = self.mus[start..end].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if end - start <= LEAF_SIZE {
+            // Leaf prefix invariant: membership descending (ties by
+            // original index), so any level filter selects a contiguous
+            // prefix of the leaf.
+            let mut idx: Vec<usize> = (start..end).collect();
+            idx.sort_by(|&a, &b| {
+                self.mus[b].total_cmp(&self.mus[a]).then(self.orig[a].cmp(&self.orig[b]))
+            });
+            self.apply_permutation(start, &idx);
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                mbr,
+                max_mu,
+                kind: NodeKind::Leaf { start: start as u32, end: end as u32 },
+            });
+            return id;
+        }
+        // Split on the widest dimension at the median.
+        let mut dim = 0;
+        let mut widest = -1.0;
+        for i in 0..D {
+            let e = mbr.extent(i);
+            if e > widest {
+                widest = e;
+                dim = i;
+            }
+        }
+        let mid = start + (end - start) / 2;
+        let mut idx: Vec<usize> = (start..end).collect();
+        idx.select_nth_unstable_by(mid - start, |&a, &b| {
+            self.pts[a][dim].total_cmp(&self.pts[b][dim])
+        });
+        self.apply_permutation(start, &idx);
+
+        let left = self.build_range(start, mid);
+        let right = self.build_range(mid, end);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { mbr, max_mu, kind: NodeKind::Internal { left, right } });
+        id
+    }
+
+    /// Reorder `pts`, `mus`, `orig` in `start..start+idx.len()` so that
+    /// position `start + i` holds what was at `idx[i]`.
+    fn apply_permutation(&mut self, start: usize, idx: &[usize]) {
+        let new_pts: Vec<Point<D>> = idx.iter().map(|&i| self.pts[i]).collect();
+        let new_mus: Vec<f64> = idx.iter().map(|&i| self.mus[i]).collect();
+        let new_orig: Vec<u32> = idx.iter().map(|&i| self.orig[i]).collect();
+        self.pts[start..start + idx.len()].copy_from_slice(&new_pts);
+        self.mus[start..start + idx.len()].copy_from_slice(&new_mus);
+        self.orig[start..start + idx.len()].copy_from_slice(&new_orig);
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Always false: construction rejects empty input.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Bounding box of all points.
+    #[inline]
+    pub fn mbr(&self) -> &Mbr<D> {
+        &self.nodes[self.root as usize].mbr
+    }
+
+    /// Largest membership in the tree.
+    #[inline]
+    pub fn max_mu(&self) -> f64 {
+        self.nodes[self.root as usize].max_mu
+    }
+
+    /// Nearest neighbour of `q` among points passing `filter`; returns the
+    /// original index and the distance, or `None` when no point passes.
+    /// Distance ties are broken by the smallest original index.
+    pub fn nn_filtered(&self, q: &Point<D>, filter: LevelFilter) -> Option<(usize, f64)> {
+        self.nn_sq_within(q, filter, f64::INFINITY).map(|(i, d2)| (i, d2.sqrt()))
+    }
+
+    /// Seeded nearest-neighbour search in **squared** space, identical in
+    /// contract to [`crate::kdtree::KdTree::nn_sq_within`]: strictly closer
+    /// than `cap_sq`, distance ties broken by the smallest original index.
+    pub fn nn_sq_within(
+        &self,
+        q: &Point<D>,
+        filter: LevelFilter,
+        cap_sq: f64,
+    ) -> Option<(usize, f64)> {
+        let mut best = cap_sq;
+        let mut best_orig: Option<u32> = None;
+        self.nn_rec(self.root, q, filter, &mut best, &mut best_orig);
+        best_orig.map(|o| (o as usize, best))
+    }
+
+    fn nn_rec(
+        &self,
+        node_id: u32,
+        q: &Point<D>,
+        filter: LevelFilter,
+        best_sq: &mut f64,
+        best_orig: &mut Option<u32>,
+    ) {
+        let node = &self.nodes[node_id as usize];
+        if !filter.accepts(node.max_mu) {
+            return;
+        }
+        let d2 = q.dist_sq_to_box(node.mbr.lo_coords(), node.mbr.hi_coords());
+        // Same canonical pruning rule as the implicit tree: equal-distance
+        // boxes stay visitable once a candidate holds the best slot.
+        let prunable = match best_orig {
+            Some(_) => d2 > *best_sq,
+            None => d2 >= *best_sq,
+        };
+        if prunable {
+            return;
+        }
+        match node.kind {
+            NodeKind::Leaf { start, end } => {
+                for i in start as usize..end as usize {
+                    // Leaf prefix invariant: memberships descend, so the
+                    // first rejection ends the accepted prefix.
+                    if !filter.accepts(self.mus[i]) {
+                        break;
+                    }
+                    let d2 = q.dist_sq(&self.pts[i]);
+                    let o = self.orig[i];
+                    let wins = match *best_orig {
+                        None => d2 < *best_sq,
+                        Some(bo) => d2 < *best_sq || (d2 == *best_sq && o < bo),
+                    };
+                    if wins {
+                        *best_sq = d2;
+                        *best_orig = Some(o);
+                    }
+                }
+            }
+            NodeKind::Internal { left, right } => {
+                let dl = q.dist_sq_to_box(
+                    self.nodes[left as usize].mbr.lo_coords(),
+                    self.nodes[left as usize].mbr.hi_coords(),
+                );
+                let dr = q.dist_sq_to_box(
+                    self.nodes[right as usize].mbr.lo_coords(),
+                    self.nodes[right as usize].mbr.hi_coords(),
+                );
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.nn_rec(first, q, filter, best_sq, best_orig);
+                self.nn_rec(second, q, filter, best_sq, best_orig);
+            }
+        }
+    }
+
+    /// Collect the original indices of all points passing `filter` that lie
+    /// within `radius` of `q`, in ascending original-index order.
+    pub fn within_radius_filtered(
+        &self,
+        q: &Point<D>,
+        radius: f64,
+        filter: LevelFilter,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !filter.accepts(node.max_mu) {
+                continue;
+            }
+            if q.dist_sq_to_box(node.mbr.lo_coords(), node.mbr.hi_coords()) > r2 {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, end } => {
+                    for i in start as usize..end as usize {
+                        if !filter.accepts(self.mus[i]) {
+                            break; // leaf prefix invariant
+                        }
+                        if q.dist_sq(&self.pts[i]) <= r2 {
+                            out.push(self.orig[i] as usize);
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tie_break_matches_canonical_contract() {
+        let pts = vec![Point::xy(2.0, 0.0); 5];
+        let mus = vec![1.0; 5];
+        let tree = ArenaKdTree::build(&pts, &mus);
+        let (i, d) = tree.nn_filtered(&Point::origin(), LevelFilter::support()).unwrap();
+        assert_eq!((i, d), (0, 2.0));
+    }
+
+    #[test]
+    fn strict_cap_excludes_equal_distance() {
+        let tree = ArenaKdTree::build(&[Point::xy(3.0, 4.0)], &[1.0]);
+        assert!(tree.nn_sq_within(&Point::origin(), LevelFilter::support(), 25.0).is_none());
+    }
+}

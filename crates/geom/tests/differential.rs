@@ -1,0 +1,427 @@
+//! The kernel-equivalence differential suite: the flat implicit
+//! [`KdTree`] must return **bit-identical** `(distance, index)` answers to
+//! the retained arena tree ([`ArenaKdTree`]) and to a brute-force oracle,
+//! across point counts straddling every leaf-size boundary, α levels,
+//! strictness, dimensionalities, and adversarial inputs (NaN coordinates,
+//! degenerate membership distributions, duplicated points).
+//!
+//! The contract being locked down:
+//!
+//! * `nn_sq_within` returns the candidate **strictly** closer than the
+//!   cap, ties broken by smallest original index — regardless of tree
+//!   shape or traversal order;
+//! * `within_radius_filtered` returns exactly the indices at `d² ≤ r²`,
+//!   ascending;
+//! * `bichromatic_closest_pair_sq` returns the lexicographically smallest
+//!   witness pair among the tied minima;
+//! * points with NaN coordinates never win and never poison an answer
+//!   (their candidate distance is NaN, which every evaluator ignores the
+//!   same way).
+
+use fuzzy_geom::reference::ArenaKdTree;
+use fuzzy_geom::{bichromatic_closest_pair_sq, KdTree, LevelFilter, Point};
+use proptest::prelude::*;
+
+/// splitmix64 — deterministic, dependency-free.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Membership distribution shapes the sweep exercises.
+#[derive(Clone, Copy, Debug)]
+enum MuShape {
+    /// Continuous values in (0, 1].
+    Continuous,
+    /// Every µ drawn from {0.2, 0.5, 0.8, 1.0} — heavy ties in the leaf
+    /// sort, prefix boundaries landing between equal values.
+    Quantized,
+    /// All memberships exactly 1.0 — the fully degenerate case where the
+    /// leaf order is decided by index tie-breaks alone.
+    AllOnes,
+}
+
+/// A D-dimensional cloud; `nan_every` > 0 poisons one coordinate of every
+/// `nan_every`-th point, `dup_every` > 0 duplicates every `dup_every`-th
+/// point exactly (forcing zero-distance ties).
+fn cloud<const D: usize>(
+    seed: u64,
+    n: usize,
+    shape: MuShape,
+    nan_every: usize,
+    dup_every: usize,
+) -> (Vec<Point<D>>, Vec<f64>) {
+    let mut rng = Mix(seed);
+    let mut pts: Vec<Point<D>> = Vec::with_capacity(n);
+    let mut mus = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut c = [0.0; D];
+        for x in c.iter_mut() {
+            *x = rng.f64() * 20.0 - 10.0;
+        }
+        if dup_every > 0 && i % dup_every == 0 && i > 0 {
+            c = *pts[i / 2].coords();
+        }
+        if nan_every > 0 && i % nan_every == nan_every - 1 {
+            c[i % D] = f64::NAN;
+        }
+        pts.push(Point::new(c));
+        let mu = match shape {
+            MuShape::Continuous => (rng.f64() * 0.999 + 0.001).min(1.0),
+            MuShape::Quantized => [0.2, 0.5, 0.8, 1.0][(rng.next() % 4) as usize],
+            MuShape::AllOnes => 1.0,
+        };
+        mus.push(mu);
+    }
+    // Like fuzzy objects: guarantee a kernel point.
+    mus[0] = 1.0;
+    (pts, mus)
+}
+
+/// Brute-force NN oracle with the canonical contract: the strictly-
+/// closer-than-cap minimum by `(d², index)`, NaN distances ignored.
+fn brute_nn<const D: usize>(
+    pts: &[Point<D>],
+    mus: &[f64],
+    q: &Point<D>,
+    f: LevelFilter,
+    cap_sq: f64,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (p, &mu)) in pts.iter().zip(mus).enumerate() {
+        if !f.accepts(mu) {
+            continue;
+        }
+        let d2 = p.dist_sq(q);
+        // NaN fails both comparisons, exactly like the kernels.
+        let wins = match best {
+            None => d2 < cap_sq,
+            Some((_, b)) => d2 < b,
+        };
+        if wins {
+            best = Some((i, d2));
+        }
+    }
+    best
+}
+
+/// Brute radius oracle: ascending indices at `d² ≤ r²`.
+fn brute_radius<const D: usize>(
+    pts: &[Point<D>],
+    mus: &[f64],
+    q: &Point<D>,
+    f: LevelFilter,
+    radius: f64,
+) -> Vec<usize> {
+    let r2 = radius * radius;
+    pts.iter()
+        .zip(mus)
+        .enumerate()
+        .filter(|(_, (p, &mu))| f.accepts(mu) && p.dist_sq(q) <= r2)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Brute closest-pair oracle: the strictly-closer-than-cap minimum by
+/// `(d², i, j)` lexicographically.
+fn brute_pair<const D: usize>(
+    pa: &[Point<D>],
+    ma: &[f64],
+    pb: &[Point<D>],
+    mb: &[f64],
+    fa: LevelFilter,
+    fb: LevelFilter,
+    cap_sq: f64,
+) -> Option<(f64, usize, usize)> {
+    let mut best: Option<(f64, usize, usize)> = None;
+    for (i, (p, &mu)) in pa.iter().zip(ma).enumerate() {
+        if !fa.accepts(mu) {
+            continue;
+        }
+        for (j, (q, &nu)) in pb.iter().zip(mb).enumerate() {
+            if !fb.accepts(nu) {
+                continue;
+            }
+            let d2 = p.dist_sq(q);
+            let wins = match best {
+                None => d2 < cap_sq,
+                Some((b, bi, bj)) => d2.to_bits() == b.to_bits() && (i, j) < (bi, bj) || d2 < b,
+            };
+            if wins {
+                best = Some((d2, i, j));
+            }
+        }
+    }
+    best
+}
+
+/// Run the full three-way comparison for one cloud and one filter, over a
+/// battery of query points (random, on-point, far away).
+fn check_cloud<const D: usize>(pts: &[Point<D>], mus: &[f64], f: LevelFilter, tag: &str) {
+    let flat = KdTree::build(pts, mus);
+    let arena = ArenaKdTree::build(pts, mus);
+    let mut rng = Mix(0xD1FF ^ pts.len() as u64);
+    let mut queries: Vec<Point<D>> = (0..6)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for x in c.iter_mut() {
+                *x = rng.f64() * 24.0 - 12.0;
+            }
+            Point::new(c)
+        })
+        .collect();
+    // On-point queries force zero-distance ties; with duplicated points
+    // several indices tie at exactly 0.
+    for i in [0, pts.len() / 2, pts.len() - 1] {
+        if pts[i].is_finite() {
+            queries.push(pts[i]);
+        }
+    }
+
+    for q in &queries {
+        // Unbounded NN.
+        let want = brute_nn(pts, mus, q, f, f64::INFINITY);
+        let got_flat = flat.nn_sq_within(q, f, f64::INFINITY);
+        let got_arena = arena.nn_sq_within(q, f, f64::INFINITY);
+        assert_nn_eq(want, got_flat, &format!("{tag}: flat vs brute (unbounded)"));
+        assert_nn_eq(want, got_arena, &format!("{tag}: arena vs brute (unbounded)"));
+
+        // Capped NN: at the answer (must prune to None) and just above.
+        if let Some((_, d2)) = want {
+            assert_nn_eq(None, flat.nn_sq_within(q, f, d2), &format!("{tag}: flat cap==answer"));
+            assert_nn_eq(None, arena.nn_sq_within(q, f, d2), &format!("{tag}: arena cap==answer"));
+            let above = d2 * (1.0 + 1e-12) + f64::MIN_POSITIVE;
+            assert_nn_eq(
+                brute_nn(pts, mus, q, f, above),
+                flat.nn_sq_within(q, f, above),
+                &format!("{tag}: flat cap just above"),
+            );
+        }
+
+        // Radius scans at several radii, including 0 (exact hits only).
+        for radius in [0.0, 1.0, 5.0, 30.0] {
+            let want = brute_radius(pts, mus, q, f, radius);
+            assert_eq!(
+                flat.within_radius_filtered(q, radius, f),
+                want,
+                "{tag}: flat radius {radius}"
+            );
+            assert_eq!(
+                arena.within_radius_filtered(q, radius, f),
+                want,
+                "{tag}: arena radius {radius}"
+            );
+        }
+    }
+}
+
+fn assert_nn_eq(want: Option<(usize, f64)>, got: Option<(usize, f64)>, tag: &str) {
+    match (want, got) {
+        (None, None) => {}
+        (Some((wi, wd)), Some((gi, gd))) => {
+            assert_eq!(wi, gi, "{tag}: index mismatch ({wd} vs {gd})");
+            assert_eq!(wd.to_bits(), gd.to_bits(), "{tag}: distance bits differ at index {wi}");
+        }
+        other => panic!("{tag}: presence mismatch {other:?}"),
+    }
+}
+
+/// Point counts chosen to straddle the implicit leaf size (16): below,
+/// exactly at, one past, a multiple, one past a multiple, and large
+/// enough for several levels of recursion.
+const SIZES: [usize; 8] = [1, 2, 15, 16, 17, 64, 65, 257];
+
+const FILTERS: [LevelFilter; 6] = [
+    LevelFilter { min: 0.0, strict: false },
+    LevelFilter { min: 0.0, strict: true },
+    LevelFilter { min: 0.2, strict: false },
+    LevelFilter { min: 0.5, strict: true },
+    LevelFilter { min: 0.8, strict: false },
+    LevelFilter { min: 1.0, strict: false },
+];
+
+#[test]
+fn flat_arena_and_brute_agree_2d() {
+    for (si, &n) in SIZES.iter().enumerate() {
+        for shape in [MuShape::Continuous, MuShape::Quantized, MuShape::AllOnes] {
+            let (pts, mus) = cloud::<2>(91 + si as u64, n, shape, 0, 0);
+            for f in FILTERS {
+                check_cloud(&pts, &mus, f, &format!("2d n={n} {shape:?} f={f:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_arena_and_brute_agree_3d() {
+    for (si, &n) in SIZES.iter().enumerate() {
+        let (pts, mus) = cloud::<3>(177 + si as u64, n, MuShape::Quantized, 0, 0);
+        for f in FILTERS {
+            check_cloud(&pts, &mus, f, &format!("3d n={n} f={f:?}"));
+        }
+    }
+}
+
+#[test]
+fn duplicated_points_tie_break_canonically() {
+    // Every other point is a duplicate: NN at a duplicated site ties at
+    // exactly zero and must resolve to the smallest original index in
+    // all three evaluators.
+    for &n in &[16usize, 48, 130] {
+        let (pts, mus) = cloud::<2>(7_000 + n as u64, n, MuShape::Quantized, 0, 2);
+        for f in FILTERS {
+            check_cloud(&pts, &mus, f, &format!("dup n={n} f={f:?}"));
+        }
+    }
+}
+
+#[test]
+fn nan_coordinates_never_win_or_poison() {
+    for &n in &[8usize, 17, 64, 129] {
+        for nan_every in [2usize, 3, 5] {
+            let (pts, mus) = cloud::<2>(31 * n as u64, n, MuShape::Continuous, nan_every, 0);
+            for f in [LevelFilter::at_least(0.0), LevelFilter::at_least(0.5)] {
+                check_cloud(&pts, &mus, f, &format!("nan n={n} every={nan_every} f={f:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_nan_cloud_returns_none() {
+    // Every candidate distance is NaN → every evaluator reports None /
+    // empty, not a NaN answer.
+    let pts: Vec<Point<2>> = (0..20).map(|i| Point::xy(f64::NAN, i as f64)).collect();
+    let mus: Vec<f64> = vec![1.0; 20];
+    let flat = KdTree::build(&pts, &mus);
+    let arena = ArenaKdTree::build(&pts, &mus);
+    let q = Point::xy(0.0, 0.0);
+    let f = LevelFilter::at_least(0.0);
+    assert_eq!(flat.nn_sq_within(&q, f, f64::INFINITY), None);
+    assert_eq!(arena.nn_sq_within(&q, f, f64::INFINITY), None);
+    assert!(flat.within_radius_filtered(&q, 1e9, f).is_empty());
+    assert!(arena.within_radius_filtered(&q, 1e9, f).is_empty());
+}
+
+#[test]
+fn closest_pair_matches_brute_bitwise_with_witnesses() {
+    for &(na, nb) in &[(5usize, 7usize), (16, 16), (33, 48), (90, 70)] {
+        for shape in [MuShape::Continuous, MuShape::Quantized] {
+            let (pa, ma) = cloud::<2>(na as u64 * 13 + 1, na, shape, 0, 0);
+            let (pb, mb) = cloud::<2>(nb as u64 * 17 + 2, nb, shape, 0, 0);
+            let ta = KdTree::build(&pa, &ma);
+            let tb = KdTree::build(&pb, &mb);
+            for f in [LevelFilter::at_least(0.0), LevelFilter::at_least(0.5)] {
+                let want = brute_pair(&pa, &ma, &pb, &mb, f, f, f64::INFINITY);
+                let got = bichromatic_closest_pair_sq(&ta, &tb, f, f, f64::INFINITY)
+                    .map(|r| (r.dist_sq, r.i, r.j));
+                match (want, got) {
+                    (None, None) => {}
+                    (Some((wd, wi, wj)), Some((gd, gi, gj))) => {
+                        assert_eq!(wd.to_bits(), gd.to_bits(), "na={na} nb={nb} {shape:?}");
+                        assert_eq!((wi, wj), (gi, gj), "witness pair, na={na} nb={nb}");
+                    }
+                    other => panic!("presence mismatch {other:?}"),
+                }
+                // Cap at the answer: strictly-closer semantics prune all.
+                if let Some((wd, _, _)) = want {
+                    assert!(bichromatic_closest_pair_sq(&ta, &tb, f, f, wd).is_none());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_cross_points_pick_lexicographic_pair() {
+    // Both sides share several exact sites: many (i, j) pairs tie at 0.
+    let shared = [Point::xy(1.0, 1.0), Point::xy(-2.0, 3.0)];
+    let mut pa: Vec<Point<2>> = vec![Point::xy(9.0, 9.0)];
+    let mut pb: Vec<Point<2>> = vec![Point::xy(-9.0, -9.0)];
+    for _ in 0..3 {
+        pa.extend_from_slice(&shared);
+        pb.extend_from_slice(&shared);
+    }
+    let ma = vec![1.0; pa.len()];
+    let mb = vec![1.0; pb.len()];
+    let ta = KdTree::build(&pa, &ma);
+    let tb = KdTree::build(&pb, &mb);
+    let f = LevelFilter::at_least(0.0);
+    let got = bichromatic_closest_pair_sq(&ta, &tb, f, f, f64::INFINITY).unwrap();
+    assert_eq!(got.dist_sq, 0.0);
+    // Smallest witness: pa[1] == pb[1] == shared[0].
+    assert_eq!((got.i, got.j), (1, 1));
+    assert_eq!(
+        brute_pair(&pa, &ma, &pb, &mb, f, f, f64::INFINITY),
+        Some((0.0, 1, 1)),
+        "oracle agrees on the lexicographic witness"
+    );
+}
+
+// ---- randomized layer on top of the deterministic sweeps ----
+
+fn arb_cloud2(max: usize) -> impl Strategy<Value = (Vec<Point<2>>, Vec<f64>)> {
+    prop::collection::vec(((-50.0..50.0f64, -50.0..50.0f64), 0.001..=1.0f64), 1..max).prop_map(
+        |v| {
+            let (coords, mut mus): (Vec<(f64, f64)>, Vec<f64>) = v.into_iter().unzip();
+            mus[0] = 1.0;
+            (coords.into_iter().map(|(x, y)| Point::xy(x, y)).collect(), mus)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random clouds: the flat tree, the arena reference and the brute
+    /// oracle return the identical `(index, d²-bits)` answer.
+    #[test]
+    fn random_clouds_agree_bitwise(
+        (pts, mus) in arb_cloud2(120),
+        qx in -60.0..60.0f64,
+        qy in -60.0..60.0f64,
+        lvl in 0.0..=1.0f64,
+        strict in any::<bool>(),
+    ) {
+        let q = Point::xy(qx, qy);
+        let f = LevelFilter { min: lvl, strict };
+        let flat = KdTree::build(&pts, &mus);
+        let arena = ArenaKdTree::build(&pts, &mus);
+        let want = brute_nn(&pts, &mus, &q, f, f64::INFINITY);
+        let got_flat = flat.nn_sq_within(&q, f, f64::INFINITY);
+        let got_arena = arena.nn_sq_within(&q, f, f64::INFINITY);
+        prop_assert_eq!(want.map(|(i, d)| (i, d.to_bits())),
+                        got_flat.map(|(i, d)| (i, d.to_bits())));
+        prop_assert_eq!(want.map(|(i, d)| (i, d.to_bits())),
+                        got_arena.map(|(i, d)| (i, d.to_bits())));
+    }
+
+    /// Random radius scans agree exactly (index sets, ascending).
+    #[test]
+    fn random_radius_scans_agree(
+        (pts, mus) in arb_cloud2(90),
+        qx in -60.0..60.0f64,
+        qy in -60.0..60.0f64,
+        radius in 0.0..80.0f64,
+        lvl in 0.0..=1.0f64,
+    ) {
+        let q = Point::xy(qx, qy);
+        let f = LevelFilter::at_least(lvl);
+        let flat = KdTree::build(&pts, &mus);
+        let arena = ArenaKdTree::build(&pts, &mus);
+        let want = brute_radius(&pts, &mus, &q, f, radius);
+        prop_assert_eq!(&flat.within_radius_filtered(&q, radius, f), &want);
+        prop_assert_eq!(&arena.within_radius_filtered(&q, radius, f), &want);
+    }
+}

@@ -62,7 +62,10 @@ pub use access::{
 pub use mutate::MutableIndex;
 pub use node::{Children, NodeId, RTree, RTreeConfig};
 pub use overlay::{delta_path_for, OverlayRTree};
-pub use paged::{PagedRTree, DEFAULT_CACHE_PAGES, DEFAULT_PAGE_SIZE};
+pub use paged::{
+    leaf_entry_len, paged_header_len, PagedRTree, DEFAULT_CACHE_PAGES, DEFAULT_PAGE_SIZE,
+    PAGED_VERSION,
+};
 pub use query::{EntryHit, RangeResult};
 pub use shard::{
     MassClassAssign, ShardAssign, ShardManifest, ShardMeta, ShardedIndex, StrCenterAssign,

@@ -8,6 +8,14 @@ use fuzzy_geom::Mbr;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NodeId(pub(crate) u32);
 
+impl NodeId {
+    /// Raw arena index — equal to the page number in a paged index file,
+    /// since serialization writes nodes in arena order.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
 /// Tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct RTreeConfig {

@@ -13,12 +13,17 @@
 //! [ header     ] magic "FZPT" | version | dims | page size | tree shape
 //!                | root MBR | FNV-1a checksum
 //! [ node pages ] page i = node i: kind u8, count u32, payload
-//!                (internal: child id + child MBR per entry; leaf: object
-//!                summaries in the FileStore encoding), zero padding,
+//!                (internal: child id + child MBR per entry; leaf: a
+//!                **columnar summary block** — ids, point counts, then one
+//!                contiguous f64 column per summary field), zero padding,
 //!                trailing FNV-1a checksum
 //! [ page table ] count + one u64 byte offset per page + FNV-1a checksum
 //! [ trailer    ] page-table offset | page count | magic "FZPT"
 //! ```
+//!
+//! Leaf pages are decoded **once** when they enter the buffer pool; every
+//! subsequent probe borrows the decoded entries straight from the cached
+//! page (`Arc`-guarded [`NodeRead`]) — no per-read record decoding.
 //!
 //! Writing goes through [`PagedRTree::bulk_write`], which reuses the STR
 //! packing of [`RTree::bulk_load`] (`crates/index/src/bulk.rs`) and dumps
@@ -31,7 +36,7 @@ use crate::access::{ChildRef, DecodedNode, NodeAccess, NodeRead};
 use crate::node::{Node, NodeId, RTree, RTreeConfig};
 use fuzzy_core::ObjectSummary;
 use fuzzy_geom::Mbr;
-use fuzzy_store::format::{decode_summary, encode_summary, fnv1a, summary_len, Decoder, Encoder};
+use fuzzy_store::format::{fnv1a, Decoder, Encoder};
 use fuzzy_store::pagecache::{PageCache, PageCacheStats};
 use fuzzy_store::StoreError;
 use std::fs::File;
@@ -41,8 +46,13 @@ use std::path::{Path, PathBuf};
 
 /// Index-file magic ("FuZzy Paged Tree").
 pub const PAGED_MAGIC: [u8; 4] = *b"FZPT";
-/// Index-file format version understood by this build.
-pub const PAGED_VERSION: u16 = 2;
+/// Index-file format version understood by this build. Version 3 switched
+/// leaf pages from per-entry summary records to a columnar block layout
+/// (`encode_leaf_entries`): one contiguous column per summary field, so
+/// a page decode is a handful of sequential column sweeps instead of an
+/// interleaved field-by-field walk, and the buffer pool caches the decoded
+/// entries for zero-copy borrowing by every later probe.
+pub const PAGED_VERSION: u16 = 3;
 /// Trailer length in bytes: page-table offset, page count, reserved, magic.
 pub const PAGED_TRAILER_LEN: usize = 8 + 8 + 4 + 4;
 /// Per-page overhead: kind byte, 3 reserved bytes, entry count, checksum.
@@ -67,11 +77,160 @@ fn corrupt(reason: impl Into<String>) -> StoreError {
     StoreError::Corrupt { reason: reason.into() }
 }
 
+/// Per-entry cost of the columnar leaf block: id (u64), point count (u32)
+/// and `9·D` f64 column cells (support lo/hi, kernel lo/hi, upper and
+/// lower conservative-line `m`/`t`, rep coordinate — per dimension).
+pub const fn leaf_entry_len(d: usize) -> usize {
+    8 + 4 + 9 * d * 8
+}
+
 /// Largest payload any node of this tree can need, in bytes.
 fn max_node_payload<const D: usize>(max_entries: usize) -> usize {
     let internal = max_entries * (8 + 16 * D);
-    let leaf = max_entries * summary_len(D);
+    let leaf = max_entries * leaf_entry_len(D);
     internal.max(leaf)
+}
+
+/// Encode `entries` as the v3 columnar leaf block: all ids, all point
+/// counts, then one contiguous `n×f64` column per summary field in a fixed
+/// order (normative spec: `docs/FORMAT.md`). Grouping by field turns the
+/// decode into sequential column sweeps and keeps equal-typed values
+/// adjacent on disk.
+fn encode_leaf_entries<const D: usize>(page: &mut Encoder, entries: &[ObjectSummary<D>]) {
+    for e in entries {
+        page.u64(e.id.0);
+    }
+    for e in entries {
+        page.u32(e.point_count);
+    }
+    for d in 0..D {
+        for e in entries {
+            page.f64(e.support_mbr.lo(d));
+        }
+        for e in entries {
+            page.f64(e.support_mbr.hi(d));
+        }
+    }
+    for d in 0..D {
+        for e in entries {
+            page.f64(e.kernel_mbr.lo(d));
+        }
+        for e in entries {
+            page.f64(e.kernel_mbr.hi(d));
+        }
+    }
+    for d in 0..D {
+        for e in entries {
+            page.f64(e.upper_lines[d].m);
+        }
+        for e in entries {
+            page.f64(e.upper_lines[d].t);
+        }
+    }
+    for d in 0..D {
+        for e in entries {
+            page.f64(e.lower_lines[d].m);
+        }
+        for e in entries {
+            page.f64(e.lower_lines[d].t);
+        }
+    }
+    for d in 0..D {
+        for e in entries {
+            page.f64(e.rep[d]);
+        }
+    }
+}
+
+/// Decode a v3 columnar leaf block of `count` entries (inverse of
+/// [`encode_leaf_entries`]); MBR columns are validated the same way
+/// [`decode_mbr`] validates internal-node rectangles.
+fn decode_leaf_entries<const D: usize>(
+    d: &mut Decoder<'_>,
+    count: usize,
+) -> Result<Vec<ObjectSummary<D>>, StoreError> {
+    use fuzzy_geom::{ConservativeLine, Point};
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(fuzzy_core::ObjectId(d.u64()?));
+    }
+    let mut counts = Vec::with_capacity(count);
+    for _ in 0..count {
+        counts.push(d.u32()?);
+    }
+    let mut column = |d: &mut Decoder<'_>| -> Result<Vec<f64>, StoreError> {
+        let mut col = Vec::with_capacity(count);
+        for _ in 0..count {
+            col.push(d.f64()?);
+        }
+        Ok(col)
+    };
+    let read_mbr_cols =
+        |d: &mut Decoder<'_>,
+         column: &mut dyn FnMut(&mut Decoder<'_>) -> Result<Vec<f64>, StoreError>|
+         -> Result<Vec<Mbr<D>>, StoreError> {
+            let mut lo = Vec::with_capacity(D);
+            let mut hi = Vec::with_capacity(D);
+            for _ in 0..D {
+                lo.push(column(d)?);
+                hi.push(column(d)?);
+            }
+            (0..count)
+                .map(|j| {
+                    let mut l = [0.0; D];
+                    let mut h = [0.0; D];
+                    for dim in 0..D {
+                        l[dim] = lo[dim][j];
+                        h[dim] = hi[dim][j];
+                    }
+                    if (0..D).all(|i| l[i] <= h[i]) {
+                        Ok(Mbr::new(l, h))
+                    } else {
+                        Err(corrupt("inverted MBR in leaf summary block"))
+                    }
+                })
+                .collect()
+        };
+    let support = read_mbr_cols(d, &mut column)?;
+    let kernel = read_mbr_cols(d, &mut column)?;
+    let read_lines = |d: &mut Decoder<'_>| -> Result<Vec<[ConservativeLine; D]>, StoreError> {
+        let mut cols = Vec::with_capacity(D);
+        for _ in 0..D {
+            cols.push((column(d)?, column(d)?));
+        }
+        Ok((0..count)
+            .map(|j| {
+                let mut lines = [ConservativeLine::ZERO; D];
+                for (dim, (m, t)) in cols.iter().enumerate() {
+                    lines[dim] = ConservativeLine { m: m[j], t: t[j] };
+                }
+                lines
+            })
+            .collect())
+    };
+    let upper = read_lines(d)?;
+    let lower = read_lines(d)?;
+    let mut rep_cols = Vec::with_capacity(D);
+    for _ in 0..D {
+        rep_cols.push(column(d)?);
+    }
+    Ok((0..count)
+        .map(|j| {
+            let mut rep = [0.0; D];
+            for dim in 0..D {
+                rep[dim] = rep_cols[dim][j];
+            }
+            ObjectSummary {
+                id: ids[j],
+                support_mbr: support[j],
+                kernel_mbr: kernel[j],
+                upper_lines: upper[j],
+                lower_lines: lower[j],
+                rep: Point::new(rep),
+                point_count: counts[j],
+            }
+        })
+        .collect())
 }
 
 /// Encode an MBR as `D × (lo, hi)` f64 pairs.
@@ -218,9 +377,7 @@ impl<const D: usize> PagedRTree<D> {
                 Node::Leaf { entries, .. } => {
                     page.bytes(&[0, 0, 0, 0]);
                     page.u32(entries.len() as u32);
-                    for entry in entries {
-                        encode_summary(&mut page, entry);
-                    }
+                    encode_leaf_entries(&mut page, entries);
                 }
                 // Freed arena slots keep node id == page number; they are
                 // unreferenced, so an empty leaf page is never read back.
@@ -423,13 +580,7 @@ impl<const D: usize> PagedRTree<D> {
                 }
                 Ok(DecodedNode::Internal(children))
             }
-            0 => {
-                let mut entries = Vec::with_capacity(count);
-                for _ in 0..count {
-                    entries.push(decode_summary::<D>(&mut d)?);
-                }
-                Ok(DecodedNode::Leaf(entries))
-            }
+            0 => Ok(DecodedNode::Leaf(decode_leaf_entries::<D>(&mut d, count)?)),
             other => Err(corrupt(format!("page {} has unknown node kind {other}", id.0))),
         }
     }

@@ -352,8 +352,9 @@ mod tests {
         let store = w.finish().unwrap();
         let _ = store.probe(ObjectId(1)).unwrap();
         let snap = store.stats();
-        // id(8) + count(4) + 3*(2*8+8) + fnv(8) = 92 bytes.
-        assert_eq!(snap.bytes_read, 92);
+        // id(8) + n(4) + flags(4) + perm(3×4) + µ(3×8) + cols(2×3×8) + fnv(8).
+        assert_eq!(snap.bytes_read, crate::format::record_len(2, 3) as u64);
+        assert_eq!(snap.bytes_read, 108);
         std::fs::remove_file(&path).unwrap();
     }
 }

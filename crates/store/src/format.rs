@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! [ header   ] magic "FZKN" | version u16 | dims u16 | reserved u64
-//! [ records  ] one per object: id u64 | n u32 | n × (D×f64 coords, f64 µ) | fnv u64
+//! [ records  ] one per object: id u64 | n u32 | flags u32
+//!              | perm n×u32 | µ n×f64 (descending) | cols D×n×f64 | fnv u64
 //! [ summaries] count u64, then one fixed-size summary per object
 //! [ index    ] count u64, then per object: id u64 | offset u64 | len u64
 //! [ trailer  ] summary_off u64 | index_off u64 | count u64 | magic "FZKN"
@@ -24,8 +25,13 @@ pub const MAGIC: [u8; 4] = *b"FZKN";
 /// checksum from bytewise FNV-1a to the word-at-a-time variant below —
 /// record decoding sits on the query hot path, and the byte-serial
 /// multiply chain of classic FNV cost more than the rest of the decode
-/// combined.
-pub const VERSION: u16 = 2;
+/// combined. Version 3 turned object records **columnar**: points are
+/// stored membership-descending as dimension-major coordinate columns
+/// plus the permutation that restores construction order, so a decoded
+/// object's [`MembershipPrefix`](fuzzy_core::MembershipPrefix) — the
+/// layout every hot distance kernel scans — is rebuilt straight from the
+/// record bytes without a sort.
+pub const VERSION: u16 = 3;
 /// Header length in bytes.
 pub const HEADER_LEN: usize = 4 + 2 + 2 + 8;
 /// Trailer length in bytes.
@@ -176,25 +182,46 @@ impl<'a> Decoder<'a> {
     }
 }
 
+/// Encoded size of one v3 object record with `n` points in `d` dimensions.
+pub const fn record_len(d: usize, n: usize) -> usize {
+    8 + 4 + 4 + n * 4 + n * 8 + d * n * 8 + 8
+}
+
 /// Encode one object record (including trailing checksum).
+///
+/// Records store the **membership-descending columnar** layout directly:
+/// the permutation back to construction order, the sorted memberships,
+/// then the dimension-major coordinate columns. Decoding therefore hands
+/// the distance kernels their scan layout without re-sorting (the
+/// `MembershipPrefix` cache is pre-filled), while the observable object
+/// round-trips exactly — same points, memberships and iteration order.
 pub fn encode_object<const D: usize>(obj: &FuzzyObject<D>) -> Vec<u8> {
-    let mut e = Encoder::with_capacity(12 + obj.len() * (D + 1) * 8 + 8);
+    let n = obj.len();
+    let pb = obj.by_membership();
+    let mut e = Encoder::with_capacity(record_len(D, n));
     e.u64(obj.id().0);
-    e.u32(obj.len() as u32);
-    for (p, mu) in obj.iter() {
-        for i in 0..D {
-            e.f64(p[i]);
-        }
+    e.u32(n as u32);
+    e.u32(0); // flags, reserved
+    for &i in pb.source_indices() {
+        e.u32(i);
+    }
+    for &mu in pb.memberships() {
         e.f64(mu);
+    }
+    for d in 0..D {
+        for &c in pb.coord_column(d) {
+            e.f64(c);
+        }
     }
     let sum = fnv1a(e.as_bytes());
     e.u64(sum);
     e.into_bytes()
 }
 
-/// Decode one object record, verifying the checksum and model invariants.
+/// Decode one object record, verifying the checksum, the columnar layout
+/// contract (permutation, descending memberships) and model invariants.
 pub fn decode_object<const D: usize>(bytes: &[u8]) -> Result<FuzzyObject<D>, StoreError> {
-    if bytes.len() < 12 + 8 {
+    if bytes.len() < record_len(D, 0) {
         return Err(StoreError::Corrupt { reason: "record too short".into() });
     }
     let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
@@ -208,7 +235,8 @@ pub fn decode_object<const D: usize>(bytes: &[u8]) -> Result<FuzzyObject<D>, Sto
     let mut d = Decoder::new(payload);
     let id = ObjectId(d.u64()?);
     let n = d.u32()? as usize;
-    let expected = n * (D + 1) * 8;
+    let _flags = d.u32()?;
+    let expected = n * 4 + n * 8 + D * n * 8;
     if d.remaining() != expected {
         return Err(StoreError::Corrupt {
             reason: format!(
@@ -217,17 +245,19 @@ pub fn decode_object<const D: usize>(bytes: &[u8]) -> Result<FuzzyObject<D>, Sto
             ),
         });
     }
-    let mut points = Vec::with_capacity(n);
+    let mut orig = Vec::with_capacity(n);
+    for _ in 0..n {
+        orig.push(d.u32()?);
+    }
     let mut mus = Vec::with_capacity(n);
     for _ in 0..n {
-        let mut c = [0.0; D];
-        for x in c.iter_mut() {
-            *x = d.f64()?;
-        }
-        points.push(Point::new(c));
         mus.push(d.f64()?);
     }
-    Ok(FuzzyObject::new(id, points, mus)?)
+    let mut cols = Vec::with_capacity(D * n);
+    for _ in 0..D * n {
+        cols.push(d.f64()?);
+    }
+    Ok(FuzzyObject::from_columnar(id, orig, mus, cols)?)
 }
 
 /// Fixed encoded size of one summary.
@@ -313,10 +343,44 @@ mod tests {
     fn object_roundtrip_is_exact() {
         let obj = sample_object(42);
         let bytes = encode_object(&obj);
+        assert_eq!(bytes.len(), record_len(2, obj.len()));
         let back: FuzzyObject<2> = decode_object(&bytes).unwrap();
         assert_eq!(back.id(), obj.id());
         assert_eq!(back.points(), obj.points());
         assert_eq!(back.memberships(), obj.memberships());
+        // v3 decoding pre-fills the membership-descending prefix layout —
+        // no sort on the probe path — and it matches a lazy build bitwise.
+        assert!(back.prefix_ready());
+        let pa = obj.by_membership();
+        let pb = back.by_membership();
+        assert_eq!(pa.points(), pb.points());
+        assert_eq!(pa.memberships(), pb.memberships());
+        assert_eq!(pa.source_indices(), pb.source_indices());
+        for d in 0..2 {
+            assert_eq!(pa.coord_column(d), pb.coord_column(d));
+        }
+    }
+
+    #[test]
+    fn unsorted_record_payload_rejected() {
+        // A forged record whose checksum is valid but whose memberships
+        // ascend must be rejected by the layout validation, not decoded
+        // into a silently wrong prefix.
+        let mut e = Encoder::new();
+        e.u64(9);
+        e.u32(2);
+        e.u32(0);
+        e.u32(0);
+        e.u32(1); // perm
+        e.f64(0.5);
+        e.f64(1.0); // µ ascending: invalid
+        for c in [0.0, 1.0, 0.0, 1.0] {
+            e.f64(c);
+        }
+        let sum = fnv1a(e.as_bytes());
+        e.u64(sum);
+        let err = decode_object::<2>(&e.into_bytes()).unwrap_err();
+        assert!(matches!(err, StoreError::Model(_)), "{err}");
     }
 
     #[test]

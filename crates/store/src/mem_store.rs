@@ -55,7 +55,7 @@ impl<const D: usize> MemStore<D> {
                 return Err(StoreError::DuplicateObject(obj.id()));
             }
             summaries.push(ObjectSummary::from_object(&obj));
-            sizes.insert(obj.id(), (12 + obj.len() * (D + 1) * 8 + 8) as u64);
+            sizes.insert(obj.id(), crate::format::record_len(D, obj.len()) as u64);
             map.insert(obj.id(), Arc::new(obj));
         }
         Ok(Self { objects: map, summaries, stats: IoStats::new(), sizes })

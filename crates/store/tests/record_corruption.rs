@@ -1,0 +1,174 @@
+//! The format-v3 corruption matrix for columnar object records and the
+//! store file around them: a record damaged in **any** way — truncated at
+//! every byte boundary, any single bit flipped, layout contracts forged
+//! behind a valid checksum, stale format versions — must surface as a
+//! typed [`StoreError`], never a panic and never a silently wrong object.
+//! Mirrors the `.fzsm` manifest matrix in
+//! `crates/index/tests/shard_manifest_corruption.rs`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use fuzzy_core::{FuzzyObject, ObjectId};
+use fuzzy_geom::Point;
+use fuzzy_store::format::{decode_object, encode_object, fnv1a, record_len, Encoder, VERSION};
+use fuzzy_store::{FileStore, FileStoreWriter, ObjectStore, StoreError};
+
+fn sample() -> FuzzyObject<2> {
+    let pts = vec![
+        Point::xy(1.5, -2.25),
+        Point::xy(0.0, 0.125),
+        Point::xy(-3.5, 7.0),
+        Point::xy(2.0, 2.0),
+        Point::xy(-1.0, -1.0),
+    ];
+    FuzzyObject::new(ObjectId(42), pts, vec![1.0, 0.5, 0.5, 0.25, 0.125]).unwrap()
+}
+
+/// Decode a mutated record; a panic is converted into a test failure
+/// carrying the mutation's coordinates.
+fn decode_must_error(bytes: &[u8], what: &str) -> StoreError {
+    let out = catch_unwind(AssertUnwindSafe(|| decode_object::<2>(bytes)));
+    match out {
+        Err(_) => panic!("decode panicked on {what}"),
+        Ok(Ok(_)) => panic!("decode accepted {what}"),
+        Ok(Err(e)) => e,
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_a_typed_error() {
+    let bytes = encode_object(&sample());
+    assert_eq!(bytes.len(), record_len(2, 5));
+    assert!(decode_object::<2>(&bytes).is_ok(), "fixture must decode clean");
+    for len in 0..bytes.len() {
+        let e = decode_must_error(&bytes[..len], &format!("truncation to {len} bytes"));
+        assert!(!e.to_string().is_empty());
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // The checksum covers the whole payload (and the checksum field
+    // itself is compared), so no flipped bit anywhere may decode.
+    let bytes = encode_object(&sample());
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut evil = bytes.clone();
+            evil[byte] ^= 1 << bit;
+            decode_must_error(&evil, &format!("bit {bit} of byte {byte} flipped"));
+        }
+    }
+}
+
+/// Forge records whose checksum is valid but whose **columnar layout**
+/// lies — the second line of defense behind the checksum. Each must land
+/// as `StoreError::Model`, not decode into a silently wrong prefix.
+#[test]
+fn forged_layout_violations_are_model_errors() {
+    let seal = |mut e: Encoder| -> Vec<u8> {
+        let sum = fnv1a(e.as_bytes());
+        e.u64(sum);
+        e.into_bytes()
+    };
+    // n = 2 skeleton: id, n, flags, perm, µ (desc), cols x then y.
+    let forge = |perm: [u32; 2], mus: [f64; 2], cols: [f64; 4]| -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(7);
+        e.u32(2);
+        e.u32(0);
+        for p in perm {
+            e.u32(p);
+        }
+        for m in mus {
+            e.f64(m);
+        }
+        for c in cols {
+            e.f64(c);
+        }
+        seal(e)
+    };
+
+    for (bytes, what) in [
+        (forge([0, 0], [1.0, 0.5], [0.0; 4]), "a duplicate permutation slot"),
+        (forge([0, 9], [1.0, 0.5], [0.0; 4]), "an out-of-range source index"),
+        (forge([0, 1], [0.5, 1.0], [0.0; 4]), "ascending memberships"),
+        (forge([1, 0], [1.0, 1.0], [0.0; 4]), "a wrong tie-break order"),
+        (forge([0, 1], [1.0, 0.0], [0.0; 4]), "a zero membership"),
+        (forge([0, 1], [1.0, 1.5], [0.0; 4]), "a membership above 1"),
+        (forge([0, 1], [0.9, 0.5], [0.0; 4]), "a missing kernel"),
+        (forge([0, 1], [1.0, 0.5], [f64::NAN, 0.0, 0.0, 0.0]), "a NaN coordinate"),
+    ] {
+        let e = decode_must_error(&bytes, what);
+        assert!(matches!(e, StoreError::Model(_)), "{what} gave {e}");
+    }
+
+    // Declared point count disagreeing with the payload size.
+    let mut e = Encoder::new();
+    e.u64(7);
+    e.u32(3); // claims 3 points, carries 2
+    e.u32(0);
+    for p in [0u32, 1] {
+        e.u32(p);
+    }
+    for m in [1.0, 0.5] {
+        e.f64(m);
+    }
+    for c in [0.0; 4] {
+        e.f64(c);
+    }
+    let bytes = seal(e);
+    let err = decode_must_error(&bytes, "a lying point count");
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fz-v3-corrupt-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn stale_version_files_are_version_mismatch() {
+    let path = tmp("stale");
+    let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+    w.append(&sample()).unwrap();
+    let store = w.finish().unwrap();
+    drop(store);
+
+    // Patch the header back to the previous format version: the open
+    // must refuse with the typed mismatch, not misparse v3 records with
+    // v2 expectations.
+    let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
+    let stale = VERSION - 1;
+    bytes[4..6].copy_from_slice(&stale.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    match FileStore::<2>::open(&path).unwrap_err() {
+        StoreError::VersionMismatch { found, expected } => {
+            assert_eq!(found, stale);
+            assert_eq!(expected, VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn flipped_record_bytes_fail_the_probe_not_the_open() {
+    let path = tmp("probe");
+    let mut w = FileStoreWriter::<2>::create(&path).unwrap();
+    w.append(&sample()).unwrap();
+    let store = w.finish().unwrap();
+    drop(store);
+
+    // Damage one byte inside the record region. The open (which only
+    // touches header, summaries, index, trailer) still succeeds; the
+    // probe must fail with a checksum error.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let record_mid = 16 + record_len(2, 5) / 2;
+    bytes[record_mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    let store = FileStore::<2>::open(&path).unwrap();
+    let err = store.probe(ObjectId(42)).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
