@@ -31,8 +31,10 @@ use std::path::Path;
 /// (`0` = the classic single-tree path) and a `shards` sweep that runs
 /// the default workload through the scatter-gather engine at each
 /// configured shard count — the shared-τ bound makes per-query object
-/// probes at S shards comparable to (and no worse than) one shard.
-pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v4";
+/// probes at S shards comparable to (and no worse than) one shard. v5
+/// adds a `metric` field to every run naming the distance metric the
+/// batch ran under (`l2` for all of the rectangle engine's sweeps).
+pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v5";
 
 /// Which index backend a bench run queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -184,6 +186,11 @@ fn record(
     Json::obj(vec![
         ("sweep", Json::str(sweep)),
         ("variant", Json::str(cfg.variant_name())),
+        // The distance metric the batch ran under. The suite currently
+        // sweeps the rectangle engine, which is the L2 specialization of
+        // the Metric seam; the field readies the schema for graph-metric
+        // sweeps without another version bump.
+        ("metric", Json::str("l2")),
         ("k", Json::num(k as f64)),
         ("alpha", Json::num(alpha)),
         ("threads", Json::num(threads as f64)),
@@ -213,6 +220,7 @@ const RUN_FIELDS: &[(&str, bool)] = &[
     // (name, is_number) — false means string.
     ("sweep", false),
     ("variant", false),
+    ("metric", false),
     ("k", true),
     ("alpha", true),
     ("threads", true),

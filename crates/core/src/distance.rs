@@ -1,5 +1,14 @@
 //! α-distance evaluation (Definition 3):
-//! `d_α(A, B) = min_{⟨a,b⟩ ∈ A_α×B_α} ‖a − b‖`.
+//! `d_α(A, B) = min_{⟨a,b⟩ ∈ A_α×B_α} d(a, b)`.
+//!
+//! The definition only needs a metric `d`; this module is the **L2
+//! specialization** — the columnar/kd fast path that
+//! [`crate::metric::L2`] routes its
+//! [`Metric::alpha_distance_sq_bounded`](crate::metric::Metric::alpha_distance_sq_bounded)
+//! hook to. Other metrics evaluate through the seam in [`crate::metric`]
+//! (the generic membership-filtered pair scan, or their own override);
+//! the engine above never calls this module directly, it calls the hook —
+//! which is why generic and specialized answers agree bitwise under L2.
 //!
 //! The paper's central cost statement — "the evaluation of α-distance is
 //! quadratic with the number of points" — makes this module the system's

@@ -17,6 +17,9 @@
 //!   MBR `M_A(α)*` of Equation (2).
 //! * [`distance`] — α-distance evaluators (Definition 3): a quadratic
 //!   brute-force reference and the kd dual-tree closest-pair evaluator.
+//! * [`metric`] — the pluggable [`Metric`] seam the query layer prunes
+//!   through: [`L2`] (every hook delegating to the specialized kernels)
+//!   and [`GraphMetric`] (shortest paths over a [`RoadNetwork`]).
 //! * [`DistanceProfile`] — the full step function `α ↦ d_α(A, Q)` and the
 //!   critical probability set `Ω_Q(A)` (Definition 7).
 
@@ -25,12 +28,14 @@
 pub mod boundary;
 pub mod distance;
 pub mod error;
+pub mod metric;
 pub mod object;
 pub mod profile;
 pub mod summary;
 pub mod threshold;
 
 pub use error::ModelError;
+pub use metric::{GraphMetric, Metric, RoadNetwork, L2};
 pub use object::{FuzzyObject, FuzzyObjectBuilder, MembershipPrefix, ObjectId};
 pub use profile::DistanceProfile;
 pub use summary::ObjectSummary;

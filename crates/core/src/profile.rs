@@ -89,12 +89,18 @@ impl DistanceProfile {
     /// Reference implementation: enumerate every pair, build the Pareto
     /// frontier of `(min(µ_a, µ_q), dist)`. `O(|A|·|Q|)` — tests only.
     pub fn compute_brute<const D: usize>(a: &FuzzyObject<D>, q: &FuzzyObject<D>) -> Self {
-        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(a.len() * q.len());
-        for (p, mu) in a.iter() {
-            for (r, nu) in q.iter() {
-                pairs.push((mu.min(nu), p.dist(r)));
-            }
-        }
+        Self::from_pairs(
+            a.iter().flat_map(|(p, mu)| q.iter().map(move |(r, nu)| (mu.min(nu), p.dist(r)))),
+        )
+    }
+
+    /// Build a profile from raw `(level, dist)` pairs — one per candidate
+    /// point pair, with `level = min(µ_a, µ_q)` and `dist` measured under
+    /// whatever metric produced them. This is the metric-generic profile
+    /// constructor: [`crate::metric::Metric::distance_profile`] defaults to
+    /// feeding it the full pair enumeration.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let pairs: Vec<(f64, f64)> = pairs.into_iter().collect();
         // Distinct levels descending.
         let mut levels: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
         levels.sort_by(|x, y| y.total_cmp(x));

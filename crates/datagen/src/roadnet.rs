@@ -1,0 +1,208 @@
+//! Road-network workload generator for the graph-metric evaluation.
+//!
+//! Produces two coupled artifacts from one seed:
+//!
+//! 1. **The network** — `vertices` random locations in a `span × span`
+//!    square, wired into a connected graph: a random spanning tree (each
+//!    vertex after the first attaches to a random earlier vertex) plus
+//!    `extra_edges` random chords. Every edge weight is the L2 length of
+//!    its coordinate segment, so graph distance ≥ straight-line distance
+//!    and the two metrics disagree in the way the experiment needs.
+//! 2. **Vertex-resident fuzzy objects** — each object lives on a home
+//!    vertex and spreads over its BFS neighbourhood: the home vertex
+//!    carries membership 1 (a guaranteed kernel), each further point sits
+//!    *exactly* on a vertex coordinate (bit-for-bit, so
+//!    [`fuzzy_core::GraphMetric`]'s exact coordinate→vertex snap always
+//!    hits) with membership decaying by hop count. An object is thus a
+//!    fuzzy location *on the network* — "the delivery van is at this
+//!    junction, probably, or one of the nearby ones".
+//!
+//! Everything is deterministic given [`RoadConfig::seed`].
+
+use fuzzy_core::{FuzzyObject, FuzzyObjectBuilder, ObjectId, RoadNetwork};
+use fuzzy_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Parameters of the road-network workload.
+#[derive(Clone, Copy, Debug)]
+pub struct RoadConfig {
+    /// Number of network vertices.
+    pub vertices: usize,
+    /// Chord edges added on top of the spanning tree.
+    pub extra_edges: usize,
+    /// Number of fuzzy objects placed on the network.
+    pub objects: usize,
+    /// Points per object (home vertex + BFS neighbourhood, capped by how
+    /// many vertices are reachable).
+    pub points_per_object: usize,
+    /// Side length of the coordinate square.
+    pub span: f64,
+    /// RNG seed; everything derives from it.
+    pub seed: u64,
+}
+
+impl Default for RoadConfig {
+    fn default() -> Self {
+        Self {
+            vertices: 400,
+            extra_edges: 200,
+            objects: 200,
+            points_per_object: 12,
+            span: 100.0,
+            seed: 0x0AD_CAFE,
+        }
+    }
+}
+
+impl RoadConfig {
+    /// Generate the network: spanning tree + chords, L2 edge weights.
+    pub fn network(&self) -> RoadNetwork<2> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.vertices.max(1);
+        let coords: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen::<f64>() * self.span, rng.gen::<f64>() * self.span]))
+            .collect();
+        let weight = |u: usize, v: usize| coords[u].dist(&coords[v]);
+        let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(n - 1 + self.extra_edges);
+        for v in 1..n {
+            let u = rng.gen_range(0..v);
+            edges.push((u as u32, v as u32, weight(u, v)));
+        }
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < self.extra_edges && attempts < self.extra_edges * 20 {
+            attempts += 1;
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let (a, b) = (u.min(v), u.max(v));
+            if edges.iter().any(|&(x, y, _)| (x, y) == (a as u32, b as u32)) {
+                continue;
+            }
+            edges.push((a as u32, b as u32, weight(a, b)));
+            added += 1;
+        }
+        RoadNetwork::new(coords, edges).expect("generated graph is valid by construction")
+    }
+
+    /// Generate the objects living on `net` (which must come from
+    /// [`RoadConfig::network`] with the same config for the coordinates to
+    /// line up). Objects are independent of each other; the iterator
+    /// streams.
+    pub fn objects<'a>(
+        &self,
+        net: &'a RoadNetwork<2>,
+    ) -> impl Iterator<Item = FuzzyObject<2>> + 'a {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_0B1E_C750_1234);
+        let cfg = *self;
+        let n = net.vertex_count();
+        (0..self.objects).map(move |i| {
+            let home = rng.gen_range(0..n) as u32;
+            cfg.one_object(net, ObjectId(i as u64), home)
+        })
+    }
+
+    /// A query object on a deterministic pseudo-random vertex (id in the
+    /// reserved upper range; not part of the dataset).
+    pub fn query_object(&self, net: &RoadNetwork<2>, query_seed: u64) -> FuzzyObject<2> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ query_seed.rotate_left(17));
+        let home = rng.gen_range(0..net.vertex_count()) as u32;
+        self.one_object(net, ObjectId(u64::MAX - query_seed), home)
+    }
+
+    /// Build one vertex-resident object: BFS from `home`, membership
+    /// `1 / (1 + hops)`, points bit-exactly on vertex coordinates.
+    fn one_object(&self, net: &RoadNetwork<2>, id: ObjectId, home: u32) -> FuzzyObject<2> {
+        let budget = self.points_per_object.max(1);
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); net.vertex_count()];
+        for &(u, v, _) in net.edges() {
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        for nbrs in &mut adjacency {
+            nbrs.sort_unstable();
+        }
+        let mut hops = vec![u32::MAX; net.vertex_count()];
+        hops[home as usize] = 0;
+        let mut queue = VecDeque::from([home]);
+        let mut b = FuzzyObjectBuilder::with_capacity(budget);
+        while let Some(v) = queue.pop_front() {
+            let h = hops[v as usize];
+            b.push(net.coords()[v as usize], 1.0 / (1.0 + h as f64));
+            if b.len() == budget {
+                break;
+            }
+            for &w in &adjacency[v as usize] {
+                if hops[w as usize] == u32::MAX {
+                    hops[w as usize] = h + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        b.build(id).expect("home vertex carries membership 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy_core::metric::Metric;
+    use fuzzy_core::GraphMetric;
+    use std::sync::Arc;
+
+    #[test]
+    fn network_is_connected_and_deterministic() {
+        let cfg = RoadConfig { vertices: 50, extra_edges: 20, ..Default::default() };
+        let a = cfg.network();
+        let b = cfg.network();
+        assert!(a.is_connected());
+        assert_eq!(a.edges(), b.edges());
+        for (p, q) in a.coords().iter().zip(b.coords()) {
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn objects_sit_exactly_on_vertices() {
+        let cfg = RoadConfig { vertices: 60, extra_edges: 30, objects: 20, ..Default::default() };
+        let net = cfg.network();
+        for obj in cfg.objects(&net) {
+            assert!(obj.len() > 1);
+            for p in obj.points() {
+                assert!(net.vertex_at(p).is_some(), "object point off-vertex");
+            }
+            // Home vertex has µ = 1 → non-empty kernel.
+            assert!(obj.memberships().contains(&1.0));
+        }
+    }
+
+    #[test]
+    fn graph_metric_evaluates_generated_objects() {
+        let cfg = RoadConfig {
+            vertices: 40,
+            extra_edges: 15,
+            objects: 6,
+            points_per_object: 8,
+            ..Default::default()
+        };
+        let net = Arc::new(cfg.network());
+        let metric = GraphMetric::new(net.clone());
+        let objs: Vec<_> = cfg.objects(&net).collect();
+        let q = cfg.query_object(&net, 1);
+        for o in &objs {
+            let d = metric.alpha_distance_sq_bounded(
+                &q,
+                o,
+                fuzzy_core::Threshold::at(0.5),
+                f64::INFINITY,
+            );
+            if let Some(d_sq) = d {
+                assert!(d_sq.is_finite() && d_sq >= 0.0);
+            }
+        }
+    }
+}

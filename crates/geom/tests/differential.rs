@@ -425,3 +425,81 @@ proptest! {
         prop_assert_eq!(&arena.within_radius_filtered(&q, radius, f), &want);
     }
 }
+
+// ---------------------------------------------------------------------
+// The metric seam under L2: the generic membership-filtered pair fold
+// (`fuzzy_core::metric::generic_alpha_distance_sq_bounded`, what any
+// non-L2 metric evaluates by default) must agree **bitwise** with the
+// adaptive L2 kernel (`Metric::alpha_distance_sq_bounded` on `L2`, which
+// routes to the kd machinery under test above) — same `Some` values to
+// the last bit, same `None` domination decisions, across the same
+// adversarial cloud shapes the kernel suite sweeps. This is the
+// refactor's core claim made falsifiable at the geometry layer: the seam
+// changed how distances are *organized*, never what they *are*.
+mod metric_seam {
+    use super::{cloud, Mix, MuShape};
+    use fuzzy_core::metric::{generic_alpha_distance_sq_bounded, Metric, L2};
+    use fuzzy_core::{FuzzyObject, ObjectId, Threshold};
+
+    fn object(seed: u64, n: usize, shape: MuShape, id: u64) -> FuzzyObject<2> {
+        let (pts, mus) = cloud::<2>(seed, n, shape, 0, 3);
+        FuzzyObject::new(ObjectId(id), pts, mus).unwrap()
+    }
+
+    #[test]
+    fn generic_fold_matches_l2_kernel_bitwise() {
+        let shapes = [MuShape::Continuous, MuShape::Quantized, MuShape::AllOnes];
+        for (si, &shape) in shapes.iter().enumerate() {
+            for n in [1usize, 2, 7, 33, 80] {
+                let a = object(1000 + si as u64 * 7 + n as u64, n, shape, 1);
+                let b = object(2000 + si as u64 * 13 + n as u64, n.max(3), shape, 2);
+                for alpha in [0.1, 0.2, 0.5, 0.8, 1.0] {
+                    for strict in [false, true] {
+                        let t = Threshold { value: alpha, strict };
+                        let kernel = L2.alpha_distance_sq_bounded(&a, &b, t, f64::INFINITY);
+                        let fold = generic_alpha_distance_sq_bounded(&L2, &a, &b, t, f64::INFINITY);
+                        assert_eq!(
+                            kernel.map(f64::to_bits),
+                            fold.map(f64::to_bits),
+                            "kernel vs generic fold diverged: shape {shape:?} n {n} t {t}"
+                        );
+                        // Seed domination must agree as well: seeding both
+                        // evaluators with the exact value forces `None`
+                        // from both (the strict-< contract).
+                        if let Some(d_sq) = kernel {
+                            assert_eq!(
+                                L2.alpha_distance_sq_bounded(&a, &b, t, d_sq),
+                                None,
+                                "kernel failed its own seed contract"
+                            );
+                            assert_eq!(
+                                generic_alpha_distance_sq_bounded(&L2, &a, &b, t, d_sq),
+                                None,
+                                "generic fold failed the seed contract"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_fold_matches_kernel_under_random_seeds() {
+        let mut rng = Mix(0xD1FF);
+        for round in 0..60u64 {
+            let a = object(round * 3 + 1, 24, MuShape::Quantized, 1);
+            let b = object(round * 3 + 2, 24, MuShape::Quantized, 2);
+            let t =
+                Threshold { value: [0.2, 0.5, 0.8][(round % 3) as usize], strict: round % 2 == 0 };
+            let seed_sq = rng.f64() * 900.0;
+            let kernel = L2.alpha_distance_sq_bounded(&a, &b, t, seed_sq);
+            let fold = generic_alpha_distance_sq_bounded(&L2, &a, &b, t, seed_sq);
+            assert_eq!(
+                kernel.map(f64::to_bits),
+                fold.map(f64::to_bits),
+                "seeded divergence at round {round} seed² {seed_sq}"
+            );
+        }
+    }
+}

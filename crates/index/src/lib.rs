@@ -15,7 +15,11 @@
 //!   (the paper's §6 cost model made literal);
 //! * [`NodeAccess`] — the trait both implement; the query processor in
 //!   `fuzzy-query` is generic over it and returns byte-identical answers
-//!   on either backend.
+//!   on either backend;
+//! * [`MTree`] — the covering-ball index for general metrics (graph
+//!   shortest-path distance has no rectangle geometry to prune with); it
+//!   also maintains coordinate MBRs and implements [`NodeAccess`], so the
+//!   rectangle-based machinery keeps working against it under L2.
 //!
 //! We could not reuse an off-the-shelf R-tree because the evaluation needs
 //! (a) fuzzy summaries as leaf payloads and (b) node-access accounting —
@@ -48,6 +52,7 @@ pub mod access;
 pub mod bulk;
 pub mod delete;
 pub mod insert;
+pub mod mtree;
 pub mod mutate;
 pub mod node;
 pub mod overlay;
@@ -59,6 +64,7 @@ pub mod validate;
 pub use access::{
     knn_by, range_search, ChildRef, DecodedNode, MinKey, NodeAccess, NodeRead, NodeView,
 };
+pub use mtree::{MTree, MTreeConfig, MTREE_MAGIC, MTREE_VERSION};
 pub use mutate::MutableIndex;
 pub use node::{Children, NodeId, RTree, RTreeConfig};
 pub use overlay::{delta_path_for, OverlayRTree};

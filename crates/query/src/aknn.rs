@@ -21,9 +21,21 @@
 //! instead of a by-value [`ObjectSummary`]. All transient state lives in a
 //! reusable [`QueryScratch`], so steady-state queries allocate nothing.
 //!
+//! ### Metric-generic pruning
+//!
+//! The traversal is generic over [`Metric`]: node and entry rectangles are
+//! scored through [`Metric::min_box_dist_sq`]/[`Metric::max_box_dist_sq`],
+//! the §3.4 representative bound through [`Metric::dist_sq`], and exact
+//! probes through [`Metric::alpha_distance_sq_bounded`]. Under
+//! [`fuzzy_core::L2`] every hook inlines to the pre-seam specialized call,
+//! so answers and counters are byte-identical to the L2-only engine
+//! (proven by the differential and shard-determinism suites); metrics
+//! without rectangle geometry degrade to sound `0`/`+∞` box bounds and
+//! rely on the M-tree backend (`fuzzy_index::mtree`) for real pruning.
+//!
 //! ### Bound-seeded probes
 //!
-//! Every object probe seeds [`alpha_distance_sq_bounded`] with the
+//! Every object probe seeds [`Metric::alpha_distance_sq_bounded`] with the
 //! tightest sound bound available: the entry's own upper bound `d⁺(E)`
 //! (inflated by a few ulps so the exact result is preserved bitwise) and
 //! the current k-th best upper bound τ over the *live* candidates. A probe
@@ -53,7 +65,7 @@ use crate::error::QueryError;
 use crate::result::{AknnResult, DistBound, Neighbor};
 use crate::shard::SharedTau;
 use crate::stats::QueryStats;
-use fuzzy_core::distance::alpha_distance_sq_bounded;
+use fuzzy_core::metric::Metric;
 use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary, Threshold};
 use fuzzy_geom::{Mbr, Point};
 use fuzzy_index::{MinKey, NodeAccess, NodeId, NodeView};
@@ -267,7 +279,7 @@ impl<const D: usize> QueryScratch<D> {
 /// This keeps the bookkeeping O(1) amortized per candidate instead of a
 /// full selection per probe.
 #[derive(Default)]
-struct SeedTracker {
+pub(crate) struct SeedTracker {
     live_ub: HashMap<ObjectId, f64>,
     tau_tmp: Vec<f64>,
     cached_tau: f64,
@@ -275,14 +287,14 @@ struct SeedTracker {
 }
 
 impl SeedTracker {
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.live_ub.clear();
         self.tau_tmp.clear();
         self.cached_tau = f64::INFINITY;
         self.dirty = true;
     }
 
-    fn insert(&mut self, id: ObjectId, ub_sq: f64) {
+    pub(crate) fn insert(&mut self, id: ObjectId, ub_sq: f64) {
         let old = self.live_ub.insert(id, ub_sq);
         // A new/changed bound below the cached τ (or a replaced bound that
         // was counted) can move the k-th smallest; at-or-above inserts
@@ -292,7 +304,7 @@ impl SeedTracker {
         }
     }
 
-    fn remove(&mut self, id: &ObjectId) {
+    pub(crate) fn remove(&mut self, id: &ObjectId) {
         if self.live_ub.remove(id).is_some() {
             self.dirty = true;
         }
@@ -302,7 +314,7 @@ impl SeedTracker {
     /// `+∞` when fewer than `k` candidates are live. Sound because every
     /// tracked bound belongs to a distinct candidate still guaranteed to
     /// reach the result competition.
-    fn tau_sq(&mut self, k: usize) -> f64 {
+    pub(crate) fn tau_sq(&mut self, k: usize) -> f64 {
         if self.live_ub.len() < k {
             return f64::INFINITY;
         }
@@ -337,12 +349,12 @@ pub(crate) fn check_deadline(deadline: Option<Instant>) -> Result<(), QueryError
 /// witness pair to floating-point rounding (the kernel's pruning compare
 /// is strict).
 #[inline]
-fn inflate_sq(hi_sq: f64) -> f64 {
+pub(crate) fn inflate_sq(hi_sq: f64) -> f64 {
     hi_sq * (1.0 + 1e-12) + f64::MIN_POSITIVE
 }
 
 /// What a probe learned about an object.
-enum Probed<const D: usize> {
+pub(crate) enum Probed<const D: usize> {
     /// Exact **squared** α-distance and the decoded object.
     Exact(f64, Arc<FuzzyObject<D>>),
     /// The probe was cut off by the τ seed: at least `k` live candidates
@@ -360,7 +372,9 @@ enum Probed<const D: usize> {
 /// duplicated objects). This single function serves the eager path, the
 /// lazy-probe eviction and the `force_exact` tail (the latter passes `+∞`
 /// seeds), so the probe accounting cannot diverge between them.
-fn probe_exact<S: ObjectStore<D>, const D: usize>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_exact<M: Metric<D> + ?Sized, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     store: &S,
     q: &FuzzyObject<D>,
     t: Threshold,
@@ -375,7 +389,7 @@ fn probe_exact<S: ObjectStore<D>, const D: usize>(
     stats.distance_evals += 1;
     let tau_eff = if tau_sq.is_finite() { inflate_sq(tau_sq) } else { f64::INFINITY };
     let seed_sq = own_hi_sq.min(tau_eff);
-    match alpha_distance_sq_bounded(&obj, q, t, seed_sq) {
+    match metric.alpha_distance_sq_bounded(&obj, q, t, seed_sq) {
         Some(d_sq) => Ok(Probed::Exact(d_sq, obj)),
         None if tau_eff <= own_hi_sq && tau_eff.is_finite() => Ok(Probed::Dominated),
         None => {
@@ -383,7 +397,7 @@ fn probe_exact<S: ObjectStore<D>, const D: usize>(
             // possible through floating-point degeneracies, or because no
             // seed was available and the cut is empty). Fall back to the
             // unbounded evaluation; still one probe, one evaluation.
-            let d_sq = alpha_distance_sq_bounded(&obj, q, t, f64::INFINITY).expect(
+            let d_sq = metric.alpha_distance_sq_bounded(&obj, q, t, f64::INFINITY).expect(
                 "object cut cannot be empty: kernels are non-empty and the query threshold \
                  admits the kernel",
             );
@@ -415,7 +429,8 @@ fn probe_exact<S: ObjectStore<D>, const D: usize>(
 /// would hold — instead of only through the scalar τ. Pass `&[]` when
 /// not scatter-gathering.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+pub(crate) fn search<M: Metric<D>, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     tree: &A,
     store: &S,
     q: &FuzzyObject<D>,
@@ -460,16 +475,16 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
 
     // Squared upper bound of an arena entry (`d⁺` of §3.3/§3.4).
     let entry_hi_sq = |st: &EntryState<D>| -> f64 {
-        let geo = st.bound_mbr.max_dist_sq(&q_cut);
+        let geo = metric.max_box_dist_sq(&st.bound_mbr, &q_cut);
         if cfg.improved_upper_bound {
-            geo.min(st.summary.rep_upper_bound_sq(samples))
+            geo.min(st.summary.rep_upper_bound_sq_in(metric, samples))
         } else {
             geo
         }
     };
 
     heap.push(MinKey {
-        key: tree.root_mbr().min_dist_sq(&q_cut),
+        key: metric.min_box_dist_sq(&tree.root_mbr(), &q_cut),
         item: Item::Node(tree.root_id()),
     });
     let mut out: Vec<FoundNeighbor<D>> = Vec::with_capacity(k);
@@ -535,7 +550,7 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                     NodeView::Nodes(kids) => {
                         for c in kids {
                             heap.push(MinKey {
-                                key: c.mbr.min_dist_sq(&q_cut),
+                                key: metric.min_box_dist_sq(&c.mbr, &q_cut),
                                 item: Item::Node(c.id),
                             });
                         }
@@ -548,7 +563,7 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                             } else {
                                 e.support_mbr
                             };
-                            let lo_sq = bound_mbr.min_dist_sq(&q_cut);
+                            let lo_sq = metric.min_box_dist_sq(&bound_mbr, &q_cut);
                             let idx = entries.len() as u32;
                             entries.push(EntryState { summary: *e, bound_mbr });
                             heap.push(MinKey { key: lo_sq, item: Item::Entry(idx) });
@@ -578,7 +593,7 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                     if let Some(sh) = shared {
                         tau_sq = tau_sq.min(sh.get());
                     }
-                    match probe_exact(store, q, t, id, f64::INFINITY, tau_sq, &mut stats)? {
+                    match probe_exact(metric, store, q, t, id, f64::INFINITY, tau_sq, &mut stats)? {
                         Probed::Exact(d_sq, obj) => {
                             if cfg.seeded_probes {
                                 seeds.insert(id, d_sq);
@@ -626,7 +641,8 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                     buffer.insert(pos, Deferred { entry: idx, lo_sq: key, hi_sq });
                     while buffer.len() > k - out.len() {
                         evict(
-                            heap, buffer, entries, seeds, store, q, t, k, cfg, shared, &mut stats,
+                            heap, buffer, entries, seeds, metric, store, q, t, k, cfg, shared,
+                            &mut stats,
                         )?;
                     }
                 }
@@ -635,7 +651,10 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                 // Make room first: accepting the object shrinks the buffer
                 // capacity, and a full buffer might hide a closer candidate.
                 while !buffer.is_empty() && buffer.len() > k - out.len() - 1 {
-                    evict(heap, buffer, entries, seeds, store, q, t, k, cfg, shared, &mut stats)?;
+                    evict(
+                        heap, buffer, entries, seeds, metric, store, q, t, k, cfg, shared,
+                        &mut stats,
+                    )?;
                 }
                 // Eviction may have pushed a closer object into H; re-check.
                 if heap.peek().is_some_and(|top| top.key < d_sq) {
@@ -670,7 +689,7 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
                     }
                     let hi = n.dist.hi();
                     let own = if hi.is_finite() { inflate_sq(hi * hi) } else { f64::INFINITY };
-                    match probe_exact(store, q, t, n.id, own, tau_g, &mut stats)? {
+                    match probe_exact(metric, store, q, t, n.id, own, tau_g, &mut stats)? {
                         Probed::Exact(d_sq, obj) => {
                             n.dist = DistBound::Exact(d_sq.sqrt());
                             n.object = Some(obj);
@@ -684,8 +703,16 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
         } else {
             for n in &mut out {
                 if n.object.is_none() {
-                    match probe_exact(store, q, t, n.id, f64::INFINITY, f64::INFINITY, &mut stats)?
-                    {
+                    match probe_exact(
+                        metric,
+                        store,
+                        q,
+                        t,
+                        n.id,
+                        f64::INFINITY,
+                        f64::INFINITY,
+                        &mut stats,
+                    )? {
                         Probed::Exact(d_sq, obj) => {
                             n.dist = DistBound::Exact(d_sq.sqrt());
                             n.object = Some(obj);
@@ -716,11 +743,12 @@ pub(crate) fn search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
 /// live-bound entry was removed *before* τ was computed, so τ counts `k`
 /// other candidates.
 #[allow(clippy::too_many_arguments)]
-fn evict<S: ObjectStore<D>, const D: usize>(
+fn evict<M: Metric<D>, S: ObjectStore<D>, const D: usize>(
     heap: &mut BinaryHeap<MinKey<Item<D>>>,
     buffer: &mut Vec<Deferred>,
     entries: &[EntryState<D>],
     seeds: &mut SeedTracker,
+    metric: &M,
     store: &S,
     q: &FuzzyObject<D>,
     t: Threshold,
@@ -740,7 +768,7 @@ fn evict<S: ObjectStore<D>, const D: usize>(
     if let Some(sh) = shared {
         tau_sq = tau_sq.min(sh.get());
     }
-    match probe_exact(store, q, t, id, own_hi_sq, tau_sq, stats)? {
+    match probe_exact(metric, store, q, t, id, own_hi_sq, tau_sq, stats)? {
         Probed::Exact(d_sq, obj) => {
             if cfg.seeded_probes {
                 seeds.insert(id, d_sq);
@@ -767,7 +795,8 @@ fn evict<S: ObjectStore<D>, const D: usize>(
 /// (distance, id) top-k stays byte-identical to a single-tree exact
 /// search over the union. Survivors all carry exact distances and the
 /// decoded object; the caller sorts and truncates.
-pub(crate) fn resolve_pool<S: ObjectStore<D>, const D: usize>(
+pub(crate) fn resolve_pool<M: Metric<D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -800,7 +829,7 @@ pub(crate) fn resolve_pool<S: ObjectStore<D>, const D: usize>(
         }
         let hi = n.dist.hi();
         let own = if hi.is_finite() { inflate_sq(hi * hi) } else { f64::INFINITY };
-        match probe_exact(store, q, t, n.id, own, tau_sq, stats)? {
+        match probe_exact(metric, store, q, t, n.id, own, tau_sq, stats)? {
             Probed::Exact(d_sq, obj) => {
                 seeds.insert(n.id, d_sq);
                 n.dist = DistBound::Exact(d_sq.sqrt());
@@ -814,7 +843,9 @@ pub(crate) fn resolve_pool<S: ObjectStore<D>, const D: usize>(
 }
 
 /// Public AKNN entry point used by [`crate::QueryEngine`].
-pub(crate) fn aknn_at<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn aknn_at<M: Metric<D>, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     tree: &A,
     store: &S,
     q: &FuzzyObject<D>,
@@ -823,7 +854,7 @@ pub(crate) fn aknn_at<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
     cfg: &AknnConfig,
     scratch: &mut QueryScratch<D>,
 ) -> Result<AknnResult, QueryError> {
-    let outcome = search(tree, store, q, k, t, cfg, SearchMode::Lazy, scratch, None, &[])?;
+    let outcome = search(metric, tree, store, q, k, t, cfg, SearchMode::Lazy, scratch, None, &[])?;
     Ok(AknnResult {
         neighbors: outcome
             .neighbors

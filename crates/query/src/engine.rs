@@ -7,11 +7,18 @@
 //! disk-resident `PagedRTree`) and the **object store** `S` (anything
 //! implementing [`ObjectStore`]), so the same query code serves a fully
 //! in-memory setup, a disk-resident one, or any mix.
+//!
+//! Every query method also has an `*_in` variant taking an explicit
+//! [`Metric`]; the plain methods are exact aliases for `*_in(&L2, ..)`.
+//! Under [`L2`] the generic path inlines to the specialized kernels, so
+//! answers and counters are byte-identical either way (the differential
+//! suites pin this).
 
 use crate::aknn::{aknn_at, search, AknnConfig, QueryScratch, SearchMode};
 use crate::error::QueryError;
 use crate::result::{AknnResult, Neighbor, RknnResult};
 use crate::rknn::{self, RknnAlgorithm};
+use fuzzy_core::metric::{Metric, L2};
 use fuzzy_core::{FuzzyObject, Threshold};
 use fuzzy_index::NodeAccess;
 use fuzzy_store::ObjectStore;
@@ -83,6 +90,28 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         self.aknn_with_scratch(q, k, alpha, cfg, &mut QueryScratch::new())
     }
 
+    /// [`QueryEngine::aknn`] under an explicit [`Metric`].
+    pub fn aknn_in<M: Metric<D>>(
+        &self,
+        metric: &M,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(QueryError::InvalidProbability { value: alpha });
+        }
+        self.aknn_at_with_scratch_in(
+            metric,
+            q,
+            k,
+            Threshold::at(alpha),
+            cfg,
+            &mut QueryScratch::new(),
+        )
+    }
+
     /// [`QueryEngine::aknn`] with caller-provided [`QueryScratch`]. Workers
     /// issuing many queries should reuse one scratch per thread — the
     /// steady-state search then allocates nothing.
@@ -112,6 +141,18 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         self.aknn_at_with_scratch(q, k, t, cfg, &mut QueryScratch::new())
     }
 
+    /// [`QueryEngine::aknn_at`] under an explicit [`Metric`].
+    pub fn aknn_at_in<M: Metric<D>>(
+        &self,
+        metric: &M,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        self.aknn_at_with_scratch_in(metric, q, k, t, cfg, &mut QueryScratch::new())
+    }
+
     /// [`QueryEngine::aknn_at`] with caller-provided scratch.
     pub fn aknn_at_with_scratch(
         &self,
@@ -121,10 +162,25 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         cfg: &AknnConfig,
         scratch: &mut QueryScratch<D>,
     ) -> Result<AknnResult, QueryError> {
+        self.aknn_at_with_scratch_in(&L2, q, k, t, cfg, scratch)
+    }
+
+    /// [`QueryEngine::aknn_at_with_scratch`] under an explicit [`Metric`].
+    /// This is the root of the AKNN call graph: every other `aknn*` method
+    /// funnels here, with the plain variants fixing `metric = &L2`.
+    pub fn aknn_at_with_scratch_in<M: Metric<D>>(
+        &self,
+        metric: &M,
+        q: &FuzzyObject<D>,
+        k: usize,
+        t: Threshold,
+        cfg: &AknnConfig,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<AknnResult, QueryError> {
         if k == 0 {
             return Err(QueryError::ZeroK);
         }
-        aknn_at(self.tree, self.store, q, k, t, cfg, scratch)
+        aknn_at(metric, self.tree, self.store, q, k, t, cfg, scratch)
     }
 
     /// Canonical exact AKNN: every neighbour probed to an exact distance,
@@ -144,9 +200,35 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         self.aknn_exact_with_scratch(q, k, alpha, cfg, &mut QueryScratch::new())
     }
 
+    /// [`QueryEngine::aknn_exact`] under an explicit [`Metric`].
+    pub fn aknn_exact_in<M: Metric<D>>(
+        &self,
+        metric: &M,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        self.aknn_exact_with_scratch_in(metric, q, k, alpha, cfg, &mut QueryScratch::new())
+    }
+
     /// [`QueryEngine::aknn_exact`] with caller-provided scratch.
     pub fn aknn_exact_with_scratch(
         &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<AknnResult, QueryError> {
+        self.aknn_exact_with_scratch_in(&L2, q, k, alpha, cfg, scratch)
+    }
+
+    /// [`QueryEngine::aknn_exact_with_scratch`] under an explicit
+    /// [`Metric`].
+    pub fn aknn_exact_with_scratch_in<M: Metric<D>>(
+        &self,
+        metric: &M,
         q: &FuzzyObject<D>,
         k: usize,
         alpha: f64,
@@ -160,6 +242,7 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
             return Err(QueryError::ZeroK);
         }
         let out = search(
+            metric,
             self.tree,
             self.store,
             q,
@@ -192,11 +275,53 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
         self.rknn_with_scratch(q, k, alpha_start, alpha_end, algo, cfg, &mut QueryScratch::new())
     }
 
+    /// [`QueryEngine::rknn`] under an explicit [`Metric`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn rknn_in<M: Metric<D>>(
+        &self,
+        metric: &M,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha_start: f64,
+        alpha_end: f64,
+        algo: RknnAlgorithm,
+        cfg: &AknnConfig,
+    ) -> Result<RknnResult, QueryError> {
+        self.rknn_with_scratch_in(
+            metric,
+            q,
+            k,
+            alpha_start,
+            alpha_end,
+            algo,
+            cfg,
+            &mut QueryScratch::new(),
+        )
+    }
+
     /// [`QueryEngine::rknn`] with caller-provided scratch; the inner AKNN
     /// invocations of Algorithms 3–5 all reuse it.
     #[allow(clippy::too_many_arguments)]
     pub fn rknn_with_scratch(
         &self,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha_start: f64,
+        alpha_end: f64,
+        algo: RknnAlgorithm,
+        cfg: &AknnConfig,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<RknnResult, QueryError> {
+        self.rknn_with_scratch_in(&L2, q, k, alpha_start, alpha_end, algo, cfg, scratch)
+    }
+
+    /// [`QueryEngine::rknn_with_scratch`] under an explicit [`Metric`].
+    /// Root of the RKNN call graph, as
+    /// [`QueryEngine::aknn_at_with_scratch_in`] is for AKNN.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rknn_with_scratch_in<M: Metric<D>>(
+        &self,
+        metric: &M,
         q: &FuzzyObject<D>,
         k: usize,
         alpha_start: f64,
@@ -218,6 +343,7 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> QueryEngine<'a, A,
             return Err(QueryError::InvalidRange { start: alpha_start, end: alpha_end });
         }
         rknn::run(
+            metric,
             &mut rknn::SingleTreeBackend { tree: self.tree, scratch },
             self.store,
             q,
@@ -334,6 +460,19 @@ impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SharedQueryEngine<A, S
         cfg: &AknnConfig,
     ) -> Result<AknnResult, QueryError> {
         self.as_borrowed().aknn(q, k, alpha, cfg)
+    }
+
+    /// Ad-hoc kNN under an explicit [`Metric`]; see
+    /// [`QueryEngine::aknn_in`].
+    pub fn aknn_in<M: Metric<D>>(
+        &self,
+        metric: &M,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        self.as_borrowed().aknn_in(metric, q, k, alpha, cfg)
     }
 
     /// AKNN at an explicit [`Threshold`]; see [`QueryEngine::aknn_at`].

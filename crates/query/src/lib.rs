@@ -46,6 +46,7 @@ pub mod epoch;
 pub mod error;
 pub mod interval;
 pub mod join;
+pub mod metric_search;
 pub mod result;
 pub mod rknn;
 pub mod shard;
@@ -62,6 +63,7 @@ pub use epoch::{DynamicQueryEngine, Versioned};
 pub use error::QueryError;
 pub use interval::{Interval, IntervalSet};
 pub use join::{alpha_distance_join, JoinPair, JoinResult};
+pub use metric_search::{metric_aknn, metric_aknn_brute};
 pub use result::{AknnResult, DistBound, Neighbor, RknnItem, RknnResult};
 pub use rknn::RknnAlgorithm;
 pub use shard::{

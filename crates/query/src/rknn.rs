@@ -24,6 +24,7 @@ use crate::result::{RknnItem, RknnResult};
 use crate::shard::{sharded_search, ShardScratch};
 use crate::stats::QueryStats;
 use crate::sweep::{exact_sweep, ProfiledCandidate};
+use fuzzy_core::metric::Metric;
 use fuzzy_core::{DistanceProfile, FuzzyObject, ObjectId, Threshold};
 use fuzzy_geom::Mbr;
 use fuzzy_index::NodeAccess;
@@ -43,9 +44,10 @@ use std::time::Instant;
 /// data; the caller sorts ids before refinement).
 pub(crate) trait SearchBackend<S: ObjectStore<D>, const D: usize> {
     /// Force-exact AKNN: the k nearest objects at `t`, every distance
-    /// probed exact.
-    fn search_exact(
+    /// probed exact under `metric`.
+    fn search_exact<M: Metric<D>>(
         &mut self,
+        metric: &M,
         store: &S,
         q: &FuzzyObject<D>,
         k: usize,
@@ -56,8 +58,9 @@ pub(crate) trait SearchBackend<S: ObjectStore<D>, const D: usize> {
     /// RSS candidate collection: ids of every object whose lower-bound
     /// distance from `q_cut` at `t_start` is within `r_sq` (squared).
     /// Charges node/bound costs to `stats`; the caller sorts the ids.
-    fn range_candidates(
+    fn range_candidates<M: Metric<D>>(
         &mut self,
+        metric: &M,
         q_cut: &Mbr<D>,
         t_start: Threshold,
         r_sq: f64,
@@ -75,26 +78,28 @@ pub(crate) struct SingleTreeBackend<'a, A, const D: usize> {
 impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SearchBackend<S, D>
     for SingleTreeBackend<'_, A, D>
 {
-    fn search_exact(
+    fn search_exact<M: Metric<D>>(
         &mut self,
+        metric: &M,
         store: &S,
         q: &FuzzyObject<D>,
         k: usize,
         t: Threshold,
         cfg: &AknnConfig,
     ) -> Result<SearchOutcome<D>, QueryError> {
-        search(self.tree, store, q, k, t, cfg, SearchMode::Exact, self.scratch, None, &[])
+        search(metric, self.tree, store, q, k, t, cfg, SearchMode::Exact, self.scratch, None, &[])
     }
 
-    fn range_candidates(
+    fn range_candidates<M: Metric<D>>(
         &mut self,
+        metric: &M,
         q_cut: &Mbr<D>,
         t_start: Threshold,
         r_sq: f64,
         cfg: &AknnConfig,
         stats: &mut QueryStats,
     ) -> Result<Vec<ObjectId>, QueryError> {
-        range_candidates_one(self.tree, q_cut, t_start, r_sq, cfg, stats)
+        range_candidates_one(metric, self.tree, q_cut, t_start, r_sq, cfg, stats)
     }
 }
 
@@ -109,19 +114,21 @@ pub(crate) struct ForestBackend<'a, A, const D: usize> {
 impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SearchBackend<S, D>
     for ForestBackend<'_, A, D>
 {
-    fn search_exact(
+    fn search_exact<M: Metric<D>>(
         &mut self,
+        metric: &M,
         store: &S,
         q: &FuzzyObject<D>,
         k: usize,
         t: Threshold,
         cfg: &AknnConfig,
     ) -> Result<SearchOutcome<D>, QueryError> {
-        sharded_search(self.shards, store, q, k, t, cfg, true, self.scratch)
+        sharded_search(metric, self.shards, store, q, k, t, cfg, true, self.scratch)
     }
 
-    fn range_candidates(
+    fn range_candidates<M: Metric<D>>(
         &mut self,
+        metric: &M,
         q_cut: &Mbr<D>,
         t_start: Threshold,
         r_sq: f64,
@@ -130,14 +137,15 @@ impl<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> SearchBackend<S, D>
     ) -> Result<Vec<ObjectId>, QueryError> {
         let mut ids = Vec::new();
         for shard in self.shards {
-            ids.extend(range_candidates_one(shard, q_cut, t_start, r_sq, cfg, stats)?);
+            ids.extend(range_candidates_one(metric, shard, q_cut, t_start, r_sq, cfg, stats)?);
         }
         Ok(ids)
     }
 }
 
 /// One tree's share of the Lemma-3 range scan (Algorithm 4, step 2).
-fn range_candidates_one<A: NodeAccess<D>, const D: usize>(
+fn range_candidates_one<M: Metric<D>, A: NodeAccess<D>, const D: usize>(
+    metric: &M,
     tree: &A,
     q_cut: &Mbr<D>,
     t_start: Threshold,
@@ -148,12 +156,12 @@ fn range_candidates_one<A: NodeAccess<D>, const D: usize>(
     let range = fuzzy_index::range_search(
         tree,
         r_sq,
-        |mbr| mbr.min_dist_sq(q_cut),
+        |mbr| metric.min_box_dist_sq(mbr, q_cut),
         |e| {
             if cfg.improved_lower_bound {
-                e.lower_bound_dist_sq(q_cut, t_start)
+                e.lower_bound_dist_sq_in(metric, q_cut, t_start)
             } else {
-                e.support_mbr.min_dist_sq(q_cut)
+                metric.min_box_dist_sq(&e.support_mbr, q_cut)
             }
         },
     )?;
@@ -205,10 +213,15 @@ impl<const D: usize> ProfileCache<D> {
         Self { map: HashMap::new(), computations: 0 }
     }
 
-    fn get_or_compute(&mut self, obj: &FuzzyObject<D>, q: &FuzzyObject<D>) -> &DistanceProfile {
+    fn get_or_compute<M: Metric<D>>(
+        &mut self,
+        metric: &M,
+        obj: &FuzzyObject<D>,
+        q: &FuzzyObject<D>,
+    ) -> &DistanceProfile {
         if !self.map.contains_key(&obj.id()) {
             self.computations += 1;
-            let p = DistanceProfile::compute(obj, q);
+            let p = metric.distance_profile(obj, q);
             self.map.insert(obj.id(), p);
         }
         &self.map[&obj.id()]
@@ -220,7 +233,8 @@ impl<const D: usize> ProfileCache<D> {
 }
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+pub(crate) fn run<M: Metric<D>, B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     backend: &mut B,
     store: &S,
     q: &FuzzyObject<D>,
@@ -233,11 +247,14 @@ pub(crate) fn run<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
     let start = Instant::now();
     let mut stats = QueryStats::default();
     let items = match algo {
-        RknnAlgorithm::Naive => naive(store, q, k, alpha_start, alpha_end, cfg, &mut stats)?,
+        RknnAlgorithm::Naive => {
+            naive(metric, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?
+        }
         RknnAlgorithm::Basic => {
-            basic(backend, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?
+            basic(metric, backend, store, q, k, alpha_start, alpha_end, cfg, &mut stats)?
         }
         RknnAlgorithm::Rss | RknnAlgorithm::RssIcr => rss(
+            metric,
             backend,
             store,
             q,
@@ -255,7 +272,9 @@ pub(crate) fn run<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
 }
 
 /// Naive: probe everything, profile everything, sweep exactly.
-fn naive<S: ObjectStore<D>, const D: usize>(
+#[allow(clippy::too_many_arguments)]
+fn naive<M: Metric<D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     store: &S,
     q: &FuzzyObject<D>,
     k: usize,
@@ -271,7 +290,7 @@ fn naive<S: ObjectStore<D>, const D: usize>(
         let probe = store.probe_traced(id)?;
         stats.object_accesses += probe.disk_read as u64;
         stats.profile_computations += 1;
-        profiles.push((id, DistanceProfile::compute(&probe.object, q)));
+        profiles.push((id, metric.distance_profile(&probe.object, q)));
     }
     stats.candidates = profiles.len() as u64;
     let cands: Vec<ProfiledCandidate<'_>> =
@@ -281,7 +300,8 @@ fn naive<S: ObjectStore<D>, const D: usize>(
 
 /// Algorithm 3: step through critical probabilities with one AKNN each.
 #[allow(clippy::too_many_arguments)]
-fn basic<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+fn basic<M: Metric<D>, B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     backend: &mut B,
     store: &S,
     q: &FuzzyObject<D>,
@@ -297,7 +317,7 @@ fn basic<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
 
     loop {
         check_deadline(cfg.deadline)?;
-        let out = backend.search_exact(store, q, k, t, cfg)?;
+        let out = backend.search_exact(metric, store, q, k, t, cfg)?;
         stats.aknn_calls += 1;
         stats.object_accesses += out.stats.object_accesses;
         stats.node_accesses += out.stats.node_accesses;
@@ -311,7 +331,7 @@ fn basic<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
         let mut alpha_star = f64::INFINITY;
         for n in &out.neighbors {
             let obj = n.object.as_ref().expect("force_exact probes every neighbour");
-            let beta = cache.get_or_compute(obj, q).next_critical(t).unwrap_or(1.0);
+            let beta = cache.get_or_compute(metric, obj, q).next_critical(t).unwrap_or(1.0);
             alpha_star = alpha_star.min(beta);
         }
         let hi = alpha_star.min(alpha_end);
@@ -331,7 +351,8 @@ fn basic<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
 
 /// Algorithms 4/5: reduce the search space, refine candidates in memory.
 #[allow(clippy::too_many_arguments)]
-fn rss<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+fn rss<M: Metric<D>, B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     backend: &mut B,
     store: &S,
     q: &FuzzyObject<D>,
@@ -344,7 +365,7 @@ fn rss<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
 ) -> Result<Vec<RknnItem>, QueryError> {
     // Step 1 — AKNN at α_e gives the pruning radius r = d_k(α_e).
     let t_end = Threshold::at(alpha_end);
-    let out_end = backend.search_exact(store, q, k, t_end, cfg)?;
+    let out_end = backend.search_exact(metric, store, q, k, t_end, cfg)?;
     stats.aknn_calls += 1;
     stats.object_accesses += out_end.stats.object_accesses;
     stats.node_accesses += out_end.stats.node_accesses;
@@ -366,7 +387,7 @@ fn rss<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
     let t_start = Threshold::at(alpha_start);
     let q_cut = q.cut_mbr(t_start).ok_or(QueryError::EmptyQueryCut)?;
     let r_sq = if r.is_finite() { r * r * (1.0 + 4.0 * f64::EPSILON) } else { f64::INFINITY };
-    let mut candidate_ids = backend.range_candidates(&q_cut, t_start, r_sq, cfg, stats)?;
+    let mut candidate_ids = backend.range_candidates(metric, &q_cut, t_start, r_sq, cfg, stats)?;
 
     // Probe every candidate once and build its profile.
     let mut cache: ProfileCache<D> = ProfileCache::new();
@@ -374,7 +395,7 @@ fn rss<B: SearchBackend<S, D>, S: ObjectStore<D>, const D: usize>(
         check_deadline(cfg.deadline)?;
         let probe = store.probe_traced(id)?;
         stats.object_accesses += probe.disk_read as u64;
-        cache.get_or_compute(&probe.object, q);
+        cache.get_or_compute(metric, &probe.object, q);
     }
     candidate_ids.sort_unstable();
     stats.candidates = candidate_ids.len() as u64;

@@ -37,6 +37,7 @@ use crate::join::{alpha_distance_join, JoinResult};
 use crate::result::{AknnResult, Neighbor, RknnResult};
 use crate::rknn::{self, RknnAlgorithm};
 use crate::stats::QueryStats;
+use fuzzy_core::metric::{Metric, L2};
 use fuzzy_core::{FuzzyObject, ObjectId, ObjectSummary, Threshold};
 use fuzzy_geom::Mbr;
 use fuzzy_index::{MutableIndex, NodeAccess, OverlayRTree};
@@ -151,7 +152,8 @@ fn inflate_sq(hi_sq: f64) -> f64 {
 /// `pruned = false` runs every shard independently (no τ exchange) —
 /// the reference the property suite compares against.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn sharded_search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+pub(crate) fn sharded_search<M: Metric<D>, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize>(
+    metric: &M,
     shards: &[A],
     store: &S,
     q: &FuzzyObject<D>,
@@ -169,8 +171,8 @@ pub(crate) fn sharded_search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize
 
     let mut order: Vec<usize> = (0..shards.len()).collect();
     order.sort_by(|&a, &b| {
-        let da = shards[a].root_mbr().min_dist_sq(&q_cut);
-        let db = shards[b].root_mbr().min_dist_sq(&q_cut);
+        let da = metric.min_box_dist_sq(&shards[a].root_mbr(), &q_cut);
+        let db = metric.min_box_dist_sq(&shards[b].root_mbr(), &q_cut);
         da.total_cmp(&db).then(a.cmp(&b))
     });
 
@@ -188,6 +190,7 @@ pub(crate) fn sharded_search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize
     let mut hi_tmp: Vec<f64> = Vec::new();
     for &si in &order {
         let out = search(
+            metric,
             &shards[si],
             store,
             q,
@@ -222,7 +225,7 @@ pub(crate) fn sharded_search<A: NodeAccess<D>, S: ObjectStore<D>, const D: usize
         }
     }
 
-    let mut merged = resolve_pool(store, q, k, t, pool, &mut stats)?;
+    let mut merged = resolve_pool(metric, store, q, k, t, pool, &mut stats)?;
     merged.sort_by(canonical_cmp);
     merged.truncate(k);
 
@@ -268,6 +271,34 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> ShardedQueryEngine
         self.aknn_with_scratch(q, k, alpha, cfg, &mut ShardScratch::new())
     }
 
+    /// [`Self::aknn`] under an explicit [`Metric`]: the scatter, the τ
+    /// exchange and the gather all prune through `metric`'s hooks. With
+    /// `&L2` this is byte-identical to [`Self::aknn`].
+    pub fn aknn_in<M: Metric<D>>(
+        &self,
+        metric: &M,
+        q: &FuzzyObject<D>,
+        k: usize,
+        alpha: f64,
+        cfg: &AknnConfig,
+    ) -> Result<AknnResult, QueryError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(QueryError::InvalidProbability { value: alpha });
+        }
+        let outcome = sharded_search(
+            metric,
+            self.shards,
+            self.store,
+            q,
+            k,
+            Threshold::at(alpha),
+            cfg,
+            true,
+            &mut ShardScratch::new(),
+        )?;
+        Ok(to_aknn_result(outcome))
+    }
+
     /// [`Self::aknn`] with caller-provided scratch (one per worker).
     pub fn aknn_with_scratch(
         &self,
@@ -292,7 +323,7 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> ShardedQueryEngine
         cfg: &AknnConfig,
         scratch: &mut ShardScratch<D>,
     ) -> Result<AknnResult, QueryError> {
-        let outcome = sharded_search(self.shards, self.store, q, k, t, cfg, true, scratch)?;
+        let outcome = sharded_search(&L2, self.shards, self.store, q, k, t, cfg, true, scratch)?;
         Ok(to_aknn_result(outcome))
     }
 
@@ -313,6 +344,7 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> ShardedQueryEngine
             return Err(QueryError::InvalidProbability { value: alpha });
         }
         let outcome = sharded_search(
+            &L2,
             self.shards,
             self.store,
             q,
@@ -365,6 +397,7 @@ impl<'a, A: NodeAccess<D>, S: ObjectStore<D>, const D: usize> ShardedQueryEngine
             return Err(QueryError::InvalidRange { start: alpha_start, end: alpha_end });
         }
         rknn::run(
+            &L2,
             &mut rknn::ForestBackend { shards: self.shards, scratch },
             self.store,
             q,

@@ -444,3 +444,67 @@ fn compaction_under_pinned_snapshots_is_byte_identical() {
     std::fs::remove_file(&manifest).ok();
     std::fs::remove_file(&store_path).ok();
 }
+
+/// The metric seam under `Metric = L2`: every explicit `*_in(&L2, ..)`
+/// entry point must fingerprint **bit-identically** against its committed
+/// plain counterpart — single-tree AKNN (lazy and exact), RKNN on every
+/// algorithm, and the scatter-gather engine at every shard count. The
+/// plain methods are documented as exact aliases of `*_in(&L2, ..)`;
+/// this pins the alias claim at the IEEE-754 level so a drive-by edit to
+/// the generic path cannot silently fork the two.
+#[test]
+fn metric_generic_l2_paths_match_committed_engine() {
+    use fuzzy_core::metric::L2;
+
+    const N: u64 = 60;
+    let store = MemStore::from_objects(objects(N)).unwrap();
+    let tree =
+        RTree::bulk_load(store.summaries().to_vec(), RTreeConfig { max_entries: 8, min_fill: 0.4 });
+    let engine = QueryEngine::new(&tree, &store);
+    let cfg = AknnConfig::lb_lp_ub();
+
+    let queries: Vec<FuzzyObject<2>> = [3u64, 17, 41]
+        .iter()
+        .map(|&id| store.probe(ObjectId(id)).unwrap().as_ref().clone())
+        .collect();
+
+    for q in &queries {
+        for (k, alpha) in [(1usize, 0.3), (5, 0.5), (10, 0.8)] {
+            let plain = engine.aknn(q, k, alpha, &cfg).unwrap();
+            let seamed = engine.aknn_in(&L2, q, k, alpha, &cfg).unwrap();
+            assert_eq!(aknn_line(&plain.neighbors), aknn_line(&seamed.neighbors));
+            assert_eq!(plain.stats.object_accesses, seamed.stats.object_accesses);
+            assert_eq!(plain.stats.node_accesses, seamed.stats.node_accesses);
+            assert_eq!(plain.stats.distance_evals, seamed.stats.distance_evals);
+
+            let plain = engine.aknn_exact(q, k, alpha, &cfg).unwrap();
+            let seamed = engine.aknn_exact_in(&L2, q, k, alpha, &cfg).unwrap();
+            assert_eq!(aknn_line(&plain.neighbors), aknn_line(&seamed.neighbors));
+            assert_eq!(plain.stats.object_accesses, seamed.stats.object_accesses);
+        }
+        for algo in
+            [RknnAlgorithm::Naive, RknnAlgorithm::Basic, RknnAlgorithm::Rss, RknnAlgorithm::RssIcr]
+        {
+            let plain = engine.rknn(q, 4, 0.3, 0.7, algo, &cfg).unwrap();
+            let seamed = engine.rknn_in(&L2, q, 4, 0.3, 0.7, algo, &cfg).unwrap();
+            assert_eq!(rknn_line(&plain.items), rknn_line(&seamed.items), "{}", algo.name());
+            assert_eq!(plain.stats.object_accesses, seamed.stats.object_accesses);
+            assert_eq!(plain.stats.candidates, seamed.stats.candidates);
+        }
+    }
+
+    for shards in SHARD_COUNTS {
+        let forest = mem_forest(&store, shards);
+        let sharded = ShardedQueryEngine::new(&forest, &store);
+        for q in &queries {
+            let plain = sharded.aknn(q, 5, 0.5, &cfg).unwrap();
+            let seamed = sharded.aknn_in(&L2, q, 5, 0.5, &cfg).unwrap();
+            assert_eq!(
+                aknn_line(&plain.neighbors),
+                aknn_line(&seamed.neighbors),
+                "S={shards}: sharded aknn_in(&L2) diverged"
+            );
+            assert_eq!(plain.stats.object_accesses, seamed.stats.object_accesses);
+        }
+    }
+}

@@ -29,6 +29,7 @@ pub mod format;
 pub mod mem_store;
 pub mod overlay;
 pub mod pagecache;
+pub mod roadnet;
 pub mod stats;
 
 pub use cache::CachedStore;
@@ -37,6 +38,7 @@ pub use file_store::{FileStore, FileStoreWriter};
 pub use mem_store::MemStore;
 pub use overlay::DeltaLog;
 pub use pagecache::{CachedPage, PageCache, PageCacheStats};
+pub use roadnet::{load_road_network, save_road_network, ROADNET_MAGIC, ROADNET_VERSION};
 pub use stats::{IoStats, IoStatsSnapshot};
 
 #[cfg(test)]
