@@ -33,8 +33,13 @@ use std::path::Path;
 /// configured shard count — the shared-τ bound makes per-query object
 /// probes at S shards comparable to (and no worse than) one shard. v5
 /// adds a `metric` field to every run naming the distance metric the
-/// batch ran under (`l2` for all of the rectangle engine's sweeps).
-pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v5";
+/// batch ran under (`l2` for all of the rectangle engine's sweeps). v6
+/// adds the `approx` sweep — the recall-vs-QPS axis: one exact-baseline
+/// row (`approx_backend: "exact"`) plus one row per approximate backend ×
+/// recall dial, every row tagged with its measured `recall_at_k` against
+/// the exact engine. The dial moves recall only; reported distances stay
+/// exact on every row.
+pub const SCHEMA: &str = "fuzzy-knn/bench-aknn/v6";
 
 /// Which index backend a bench run queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +95,22 @@ pub struct BenchOptions {
     /// to the pristine-index runs — the delta is the cost of querying
     /// through overlay/condensed structures.
     pub mutation_rate: f64,
+    /// Workload of the `approx` sweep. Approximate candidate generation
+    /// pays off where bound-based pruning struggles — many objects, heavy
+    /// support overlap — so the sweep measures its own denser dataset
+    /// (larger `n`, radius above the paper's 0.5) instead of the sparse
+    /// default workload, where the exact engine is already probe-optimal
+    /// and no candidate scheme could beat it. The exact baseline row runs
+    /// on this same workload, so every speedup in the sweep is
+    /// apples-to-apples.
+    pub approx_dataset: DatasetSpec,
+    /// Probe-budget ladder of the `approx` sweep's LSH rows (buckets
+    /// probed per table); empty skips the LSH rows.
+    pub lsh_budgets: Vec<f64>,
+    /// Pruning-slack ladder (ε) of the `approx` sweep's VP-tree rows;
+    /// empty skips the VP-tree rows. The sweep itself runs whenever
+    /// either ladder is nonempty.
+    pub vptree_slacks: Vec<f64>,
     /// True for the CI smoke configuration (recorded in the report).
     pub smoke: bool,
 }
@@ -103,6 +124,7 @@ impl BenchOptions {
                 n: 2_000,
                 points_per_object: 120,
                 seed: 42,
+                radius: None,
             },
             queries: 48,
             default_k: 10,
@@ -116,6 +138,15 @@ impl BenchOptions {
             cache_pages: fuzzy_index::DEFAULT_CACHE_PAGES,
             kernel: KernelOptions::full(),
             mutation_rate: 0.0,
+            approx_dataset: DatasetSpec {
+                kind: DatasetKind::Synthetic,
+                n: 20_000,
+                points_per_object: 24,
+                seed: 42,
+                radius: Some(6.0),
+            },
+            lsh_budgets: vec![1.0, 2.0, 4.0, 8.0],
+            vptree_slacks: vec![0.0, 0.5, 1.0, 1.5, 2.0, 3.0],
             smoke: false,
         }
     }
@@ -129,6 +160,7 @@ impl BenchOptions {
                 n: 80,
                 points_per_object: 30,
                 seed: 42,
+                radius: None,
             },
             queries: 4,
             default_k: 3,
@@ -142,6 +174,15 @@ impl BenchOptions {
             cache_pages: 64,
             kernel: KernelOptions::smoke(),
             mutation_rate: 0.25,
+            approx_dataset: DatasetSpec {
+                kind: DatasetKind::Synthetic,
+                n: 80,
+                points_per_object: 30,
+                seed: 42,
+                radius: Some(6.0),
+            },
+            lsh_budgets: vec![1.0, 4.0],
+            vptree_slacks: vec![0.0, 1.0],
             smoke: true,
         }
     }
@@ -440,6 +481,152 @@ fn shard_sweep(
     runs
 }
 
+/// One row of the `approx` sweep from a pile of per-query results: the
+/// full v6 field set, plus the sweep's own axes (`approx_backend`,
+/// `recall_dial`, `recall_at_k`). Every query runs single-threaded on
+/// the in-memory candidate structures, so the mean-query wall clock is
+/// directly comparable across rows — that comparison *is* the sweep.
+fn record_approx(
+    backend: &str,
+    dial: &str,
+    k: usize,
+    alpha: f64,
+    results: &[fuzzy_query::AknnResult],
+    batch: std::time::Duration,
+    recall: f64,
+) -> Json {
+    let mut total = fuzzy_query::QueryStats::default();
+    let mut walls: Vec<f64> = Vec::with_capacity(results.len());
+    for r in results {
+        total += r.stats;
+        walls.push(r.stats.wall.as_secs_f64() * 1e3);
+    }
+    walls.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if walls.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * walls.len() as f64).ceil() as usize;
+        walls[rank.clamp(1, walls.len()) - 1]
+    };
+    let ok = results.len().max(1) as f64;
+    let batch_secs = batch.as_secs_f64();
+    Json::obj(vec![
+        ("sweep", Json::str("approx")),
+        ("variant", Json::str("LB-LP-UB")),
+        ("metric", Json::str("l2")),
+        ("approx_backend", Json::str(backend)),
+        ("recall_dial", Json::str(dial)),
+        ("recall_at_k", Json::num(recall)),
+        ("k", Json::num(k as f64)),
+        ("alpha", Json::num(alpha)),
+        ("threads", Json::num(1.0)),
+        ("shards", Json::num(0.0)),
+        ("cache", Json::str("none")),
+        ("queries", Json::num(results.len() as f64)),
+        ("errors", Json::num(0.0)),
+        ("wall_ms_batch", Json::num(batch_secs * 1e3)),
+        ("wall_ms_mean_query", Json::num(total.wall.as_secs_f64() * 1e3 / ok)),
+        ("wall_ms_p50", Json::num(pct(50.0))),
+        ("wall_ms_p95", Json::num(pct(95.0))),
+        ("wall_ms_p99", Json::num(pct(99.0))),
+        ("qps", Json::num(if batch_secs > 0.0 { ok / batch_secs } else { 0.0 })),
+        ("object_accesses_total", Json::num(total.object_accesses as f64)),
+        ("object_accesses_mean", Json::num(total.object_accesses as f64 / ok)),
+        ("node_accesses_total", Json::num(total.node_accesses as f64)),
+        ("node_accesses_mean", Json::num(total.node_accesses as f64 / ok)),
+        ("node_disk_reads_total", Json::num(total.node_disk_reads as f64)),
+        ("node_disk_reads_mean", Json::num(total.node_disk_reads as f64 / ok)),
+        ("distance_evals_total", Json::num(total.distance_evals as f64)),
+        ("bound_evals_total", Json::num(total.bound_evals as f64)),
+    ])
+}
+
+/// The `approx` sweep — the recall-vs-QPS axis. One single-threaded
+/// exact-baseline row through `aknn_exact` (the speedup denominator),
+/// then one row per approximate backend × recall dial, each resolving an
+/// LSH or VP-tree candidate pool through the exact probe loop and tagged
+/// with its measured recall@k against the baseline answers. The dial
+/// ladders come from `opts.lsh_budgets` / `opts.vptree_slacks`, each
+/// closed with the backend's `exact` endpoint (recall 1.0 by
+/// construction, asserted here).
+fn approx_sweep(
+    env: &Env,
+    queries: &[fuzzy_core::FuzzyObject<2>],
+    opts: &BenchOptions,
+) -> Vec<Json> {
+    use fuzzy_core::metric::L2;
+    use fuzzy_core::Threshold;
+    use fuzzy_index::{LshConfig, LshIndex, RecallDial, VpTree, VpTreeConfig};
+    use fuzzy_query::{
+        approx_aknn_with_scratch, recall_at_k, AknnResult, ApproxConfig, QueryEngine, QueryScratch,
+    };
+    use std::time::Instant;
+
+    let k = opts.default_k;
+    let alpha = opts.default_alpha;
+    let t = Threshold::at(alpha);
+    let mut runs = Vec::new();
+    let mut scratch = QueryScratch::new();
+
+    // Exact baseline: the engine's own exact search over the in-memory
+    // tree, single-threaded — the denominator of every speedup claim.
+    let engine = QueryEngine::new(&env.tree, &env.store);
+    let best = AknnConfig::lb_lp_ub();
+    let started = Instant::now();
+    let exacts: Vec<AknnResult> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .aknn_exact_with_scratch(q, k, alpha, &best, &mut scratch)
+                .expect("exact baseline query")
+        })
+        .collect();
+    runs.push(record_approx("exact", "exact", k, alpha, &exacts, started.elapsed(), 1.0));
+
+    // Shared measurement loop for the backend rows.
+    let mut measure = |backend: &str,
+                       dial: RecallDial,
+                       go: &mut dyn FnMut(
+        &fuzzy_core::FuzzyObject<2>,
+        &ApproxConfig,
+        &mut QueryScratch<2>,
+    ) -> AknnResult| {
+        let cfg = ApproxConfig::at(dial);
+        let started = Instant::now();
+        let results: Vec<AknnResult> = queries.iter().map(|q| go(q, &cfg, &mut scratch)).collect();
+        let batch = started.elapsed();
+        let recall = results.iter().zip(&exacts).map(|(a, e)| recall_at_k(a, e)).sum::<f64>()
+            / results.len().max(1) as f64;
+        if matches!(dial, RecallDial::Exact) {
+            assert_eq!(recall, 1.0, "{backend}: the exact dial must have recall 1.0");
+        }
+        runs.push(record_approx(backend, &dial.label(), k, alpha, &results, batch, recall));
+    };
+
+    if !opts.lsh_budgets.is_empty() {
+        let lsh = LshIndex::build(env.store.summaries(), LshConfig::default());
+        let dials = opts.lsh_budgets.iter().map(|&b| RecallDial::Budget(b));
+        for dial in dials.chain([RecallDial::Exact]) {
+            measure("lsh", dial, &mut |q, cfg, scratch| {
+                approx_aknn_with_scratch(&L2, &lsh, &env.store, q, k, t, cfg, scratch)
+                    .expect("lsh approx query")
+            });
+        }
+    }
+    if !opts.vptree_slacks.is_empty() {
+        let vp = VpTree::build(&L2, env.store.summaries(), VpTreeConfig::default());
+        let dials = opts.vptree_slacks.iter().map(|&e| RecallDial::Budget(e));
+        for dial in dials.chain([RecallDial::Exact]) {
+            measure("vptree", dial, &mut |q, cfg, scratch| {
+                approx_aknn_with_scratch(&L2, &vp, &env.store, q, k, t, cfg, scratch)
+                    .expect("vptree approx query")
+            });
+        }
+    }
+    runs
+}
+
 /// Run every sweep and assemble the report.
 pub fn run(opts: &BenchOptions) -> Json {
     let env = Env::prepare(&opts.dataset);
@@ -512,6 +699,11 @@ pub fn run(opts: &BenchOptions) -> Json {
     if !opts.shard_counts.is_empty() {
         runs.extend(shard_sweep(&env, &queries, opts));
     }
+    if !opts.lsh_budgets.is_empty() || !opts.vptree_slacks.is_empty() {
+        let approx_env = Env::prepare(&opts.approx_dataset);
+        let approx_queries = opts.approx_dataset.queries(opts.queries);
+        runs.extend(approx_sweep(&approx_env, &approx_queries, opts));
+    }
 
     let kernel_rows = kernel::run(&opts.kernel);
 
@@ -556,6 +748,33 @@ pub fn run(opts: &BenchOptions) -> Json {
                     "shard_counts",
                     Json::Arr(opts.shard_counts.iter().map(|&s| Json::num(s as f64)).collect()),
                 ),
+                (
+                    "lsh_budgets",
+                    Json::Arr(opts.lsh_budgets.iter().map(|&b| Json::num(b)).collect()),
+                ),
+                (
+                    "vptree_slacks",
+                    Json::Arr(opts.vptree_slacks.iter().map(|&e| Json::num(e)).collect()),
+                ),
+                (
+                    "approx_dataset",
+                    Json::obj(vec![
+                        (
+                            "kind",
+                            Json::str(match opts.approx_dataset.kind {
+                                DatasetKind::Synthetic => "synthetic",
+                                DatasetKind::Cell => "cell",
+                            }),
+                        ),
+                        ("n", Json::num(opts.approx_dataset.n as f64)),
+                        (
+                            "points_per_object",
+                            Json::num(opts.approx_dataset.points_per_object as f64),
+                        ),
+                        ("seed", Json::num(opts.approx_dataset.seed as f64)),
+                        ("radius", opts.approx_dataset.radius.map(Json::num).unwrap_or(Json::Null)),
+                    ]),
+                ),
             ]),
         ),
         ("runs", Json::Arr(runs)),
@@ -594,6 +813,23 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
         }
         if run.get("errors").and_then(Json::as_num) != Some(0.0) {
             return Err(format!("runs[{i}] recorded query errors"));
+        }
+        // Every `approx`-sweep row carries the recall axis: which backend
+        // produced the pool, which dial setting, and the measured
+        // recall@k in [0, 1] against the exact engine.
+        if run.get("sweep").and_then(Json::as_str) == Some("approx") {
+            match run.get("recall_at_k") {
+                Some(Json::Num(r)) if (0.0..=1.0).contains(r) => {}
+                other => {
+                    return Err(format!("runs[{i}].recall_at_k must be in [0, 1], got {other:?}"))
+                }
+            }
+            for field in ["approx_backend", "recall_dial"] {
+                match run.get(field) {
+                    Some(Json::Str(_)) => {}
+                    _ => return Err(format!("runs[{i}].{field} must be a string")),
+                }
+            }
         }
     }
     let kernel_rows = report
@@ -640,11 +876,36 @@ mod tests {
         // All five sweeps are present (smoke sets a nonzero mutation
         // rate precisely so the dynamic-update path cannot rot unnoticed).
         let runs = reparsed.get("runs").unwrap().as_arr().unwrap();
-        for sweep in ["variant_threads", "k", "alpha", "cold_warm", "mutation", "shards"] {
+        for sweep in ["variant_threads", "k", "alpha", "cold_warm", "mutation", "shards", "approx"]
+        {
             assert!(
                 runs.iter().any(|r| r.get("sweep").and_then(Json::as_str) == Some(sweep)),
                 "missing sweep {sweep}"
             );
+        }
+        // The approx sweep carries the recall axis: an exact baseline row
+        // at recall 1.0 plus both backends' dial ladders, each closed
+        // with an exact-dial endpoint that must also hit recall 1.0.
+        let approx_rows: Vec<_> = runs
+            .iter()
+            .filter(|r| r.get("sweep").and_then(Json::as_str) == Some("approx"))
+            .collect();
+        for backend in ["exact", "lsh", "vptree"] {
+            assert!(
+                approx_rows
+                    .iter()
+                    .any(|r| r.get("approx_backend").and_then(Json::as_str) == Some(backend)),
+                "missing approx backend {backend}"
+            );
+        }
+        for row in &approx_rows {
+            if row.get("recall_dial").and_then(Json::as_str) == Some("exact") {
+                assert_eq!(
+                    row.get("recall_at_k").and_then(Json::as_num),
+                    Some(1.0),
+                    "exact dial rows must measure recall 1.0"
+                );
+            }
         }
         // Every paper variant appears in the variant sweep.
         for variant in ["Basic", "LB", "LB-LP", "LB-LP-UB"] {

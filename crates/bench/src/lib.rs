@@ -34,6 +34,12 @@ pub struct DatasetSpec {
     pub points_per_object: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Object-radius override for the synthetic generator (`None` keeps
+    /// the paper's 0.5). Larger radii in the same 100×100 space make
+    /// object supports overlap — the adverse regime for bound-based
+    /// pruning that the approximate sweep measures against. Ignored by
+    /// the cell generator.
+    pub radius: Option<f64>,
 }
 
 impl DatasetSpec {
@@ -42,8 +48,12 @@ impl DatasetSpec {
         let dir = PathBuf::from(
             std::env::var("FUZZY_DATASET_DIR").unwrap_or_else(|_| "target/fuzzy-datasets".into()),
         );
+        let radius = match self.radius {
+            Some(r) => format!("-r{r}"),
+            None => String::new(),
+        };
         dir.join(format!(
-            "{}-n{}-p{}-s{:x}.fzkn",
+            "{}-n{}-p{}-s{:x}{radius}.fzkn",
             match self.kind {
                 DatasetKind::Synthetic => "syn",
                 DatasetKind::Cell => "cell",
@@ -85,11 +95,13 @@ impl DatasetSpec {
     }
 
     fn synthetic(&self) -> SyntheticConfig {
+        let base = SyntheticConfig::default();
         SyntheticConfig {
             num_objects: self.n,
             points_per_object: self.points_per_object,
             seed: self.seed,
-            ..SyntheticConfig::default()
+            radius: self.radius.unwrap_or(base.radius),
+            ..base
         }
     }
 
@@ -263,8 +275,13 @@ mod tests {
     #[test]
     fn spec_paths_distinguish_parameters() {
         let _env = crate::dataset_dir_test_lock(); // path() reads the env var
-        let a =
-            DatasetSpec { kind: DatasetKind::Synthetic, n: 100, points_per_object: 50, seed: 1 };
+        let a = DatasetSpec {
+            kind: DatasetKind::Synthetic,
+            n: 100,
+            points_per_object: 50,
+            seed: 1,
+            radius: None,
+        };
         let b = DatasetSpec { n: 200, ..a };
         assert_ne!(a.path(), b.path());
         let c = DatasetSpec { kind: DatasetKind::Cell, ..a };
@@ -275,8 +292,13 @@ mod tests {
     fn end_to_end_small_experiment() {
         let _env = crate::dataset_dir_test_lock();
         std::env::set_var("FUZZY_DATASET_DIR", std::env::temp_dir().join("fzkn-bench-test"));
-        let spec =
-            DatasetSpec { kind: DatasetKind::Synthetic, n: 60, points_per_object: 40, seed: 5 };
+        let spec = DatasetSpec {
+            kind: DatasetKind::Synthetic,
+            n: 60,
+            points_per_object: 40,
+            seed: 5,
+            radius: None,
+        };
         let env = Env::prepare(&spec);
         assert_eq!(env.tree.len(), 60);
         let queries = spec.queries(2);

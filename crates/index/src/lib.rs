@@ -19,7 +19,10 @@
 //! * [`MTree`] — the covering-ball index for general metrics (graph
 //!   shortest-path distance has no rectangle geometry to prune with); it
 //!   also maintains coordinate MBRs and implements [`NodeAccess`], so the
-//!   rectangle-based machinery keeps working against it under L2.
+//!   rectangle-based machinery keeps working against it under L2;
+//! * [`ApproxIndex`] — the approximate candidate-generation family over
+//!   per-object expected centers ([`LshIndex`], [`VpTree`]), dialed by
+//!   [`RecallDial`] and always resolved through the exact probe loop.
 //!
 //! We could not reuse an off-the-shelf R-tree because the evaluation needs
 //! (a) fuzzy summaries as leaf payloads and (b) node-access accounting —
@@ -49,9 +52,11 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod approx;
 pub mod bulk;
 pub mod delete;
 pub mod insert;
+pub mod lsh;
 pub mod mtree;
 pub mod mutate;
 pub mod node;
@@ -60,10 +65,13 @@ pub mod paged;
 pub mod query;
 pub mod shard;
 pub mod validate;
+pub mod vptree;
 
 pub use access::{
     knn_by, range_search, ChildRef, DecodedNode, MinKey, NodeAccess, NodeRead, NodeView,
 };
+pub use approx::{ApproxIndex, RecallDial, FOF_BUILD_CAP};
+pub use lsh::{LshConfig, LshIndex, LSH_MAGIC, LSH_VERSION};
 pub use mtree::{MTree, MTreeConfig, MTREE_MAGIC, MTREE_VERSION};
 pub use mutate::MutableIndex;
 pub use node::{Children, NodeId, RTree, RTreeConfig};
@@ -77,6 +85,7 @@ pub use shard::{
     MassClassAssign, ShardAssign, ShardManifest, ShardMeta, ShardedIndex, StrCenterAssign,
 };
 pub use validate::ValidationError;
+pub use vptree::{VpTree, VpTreeConfig, VPTREE_MAGIC, VPTREE_VERSION};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -342,6 +342,41 @@ impl<const D: usize> MTree<D> {
         Ok(())
     }
 
+    /// The metric name a `.fzmt` file records, after the full envelope
+    /// check (magic, version, dimensionality, checksum). Lets a caller
+    /// type a metric mismatch *before* committing to a load — the server
+    /// uses this to answer a SWAP to a foreign-metric index with a
+    /// protocol error instead of a generic open failure.
+    pub fn stored_metric_name(path: impl AsRef<Path>) -> Result<String, StoreError> {
+        let bytes = fs::read(path)?;
+        let corrupt = |reason: &str| StoreError::Corrupt { reason: reason.to_string() };
+        if bytes.len() < 16 + 12 {
+            return Err(corrupt("fzmt file shorter than header + trailer"));
+        }
+        if bytes[..4] != MTREE_MAGIC || bytes[bytes.len() - 4..] != MTREE_MAGIC {
+            return Err(corrupt("bad fzmt magic"));
+        }
+        let mut head = Decoder::new(&bytes[4..16]);
+        let version = head.u16()?;
+        if version != MTREE_VERSION {
+            return Err(StoreError::VersionMismatch { found: version, expected: MTREE_VERSION });
+        }
+        let dims = head.u16()?;
+        if dims as usize != D {
+            return Err(StoreError::DimensionMismatch { found: dims, expected: D as u16 });
+        }
+        let body = &bytes[16..bytes.len() - 12];
+        let mut tail = Decoder::new(&bytes[bytes.len() - 12..bytes.len() - 4]);
+        if tail.u64()? != fnv1a(body) {
+            return Err(corrupt("fzmt body checksum mismatch"));
+        }
+        let mut d = Decoder::new(body);
+        let name_len = d.u32()? as usize;
+        Ok(std::str::from_utf8(d.bytes(name_len)?)
+            .map_err(|_| corrupt("metric name is not utf-8"))?
+            .to_string())
+    }
+
     /// Load a `.fzmt` file, verifying magic, version, dimensionality,
     /// checksum and that it was built under `metric` (by name).
     pub fn load<M: Metric<D>>(path: impl AsRef<Path>, metric: &M) -> Result<Self, StoreError> {

@@ -28,6 +28,11 @@
 //!   (`fuzzy_index::MutableIndex`: insert/delete/update on the in-memory
 //!   tree or the paged-overlay backend) safe under concurrent reads —
 //!   writers publish frozen snapshots, in-flight queries keep theirs.
+//! * **Approximate AKNN** ([`approx`]): candidate pools from an
+//!   `fuzzy_index::ApproxIndex` backend (multi-probe LSH or VP-tree over
+//!   expected centers), resolved through the exact probe loop and
+//!   optionally refined friend-of-a-friend — exact distances always,
+//!   recall set by the [`RecallDial`], measured by [`recall_at_k`].
 //! * **Shard forests** ([`shard`]): scatter-gather over a
 //!   `fuzzy_index::ShardedIndex` partition — per-shard bound-only
 //!   searches under a shared τ bound ([`SharedTau`]), then one global
@@ -40,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod aknn;
+pub mod approx;
 pub mod batch;
 pub mod engine;
 pub mod epoch;
@@ -54,6 +60,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use aknn::{AknnConfig, QueryScratch};
+pub use approx::{approx_aknn, approx_aknn_with_scratch, recall_at_k, ApproxConfig, RecallDial};
 pub use batch::{
     execute_caught, execute_caught_sharded, execute_one, execute_one_sharded, BatchExecutor,
     BatchOutcome, BatchRequest, BatchResponse, ThreadStats,

@@ -47,7 +47,7 @@ enum Pending {
 }
 
 /// The query-side ball: representative point and its metric spread.
-fn query_ball<M: Metric<D>, const D: usize>(
+pub(crate) fn query_ball<M: Metric<D> + ?Sized, const D: usize>(
     metric: &M,
     q: &FuzzyObject<D>,
 ) -> (fuzzy_geom::Point<D>, f64) {
@@ -57,7 +57,7 @@ fn query_ball<M: Metric<D>, const D: usize>(
 }
 
 /// Clamped squared lower bound from two balls at center distance `d`.
-fn ball_lb_sq(d: f64, q_spread: f64, other_radius: f64) -> f64 {
+pub(crate) fn ball_lb_sq(d: f64, q_spread: f64, other_radius: f64) -> f64 {
     let lb = (d - q_spread - other_radius).max(0.0);
     lb * lb
 }
@@ -148,7 +148,10 @@ pub fn metric_aknn<M: Metric<D>, S: ObjectStore<D>, const D: usize>(
                 let obj = store.probe(id).map_err(QueryError::Store)?;
                 stats.distance_evals += 1;
                 let seed = inflate_sq(tau_sq(&found));
-                if let Some(d_sq) = metric.alpha_distance_sq_bounded(q, &obj, t, seed) {
+                // Probed object first, constant query second: the kernel's
+                // second argument is the reusable side, and `q` is the one
+                // operand whose caches survive across probes.
+                if let Some(d_sq) = metric.alpha_distance_sq_bounded(&obj, q, t, seed) {
                     let pos = found.partition_point(|&(d, i)| d < d_sq || (d == d_sq && i < id));
                     found.insert(pos, (d_sq, id));
                     found.truncate(k);
@@ -190,7 +193,9 @@ pub fn metric_aknn_brute<M: Metric<D>, S: ObjectStore<D>, const D: usize>(
         stats.object_accesses += 1;
         let obj = store.probe(id).map_err(QueryError::Store)?;
         stats.distance_evals += 1;
-        if let Some(d_sq) = metric.alpha_distance_sq_bounded(q, &obj, t, f64::INFINITY) {
+        // Same operand order as the indexed path: the per-probe object is
+        // the throwaway side, the constant query keeps its warm caches.
+        if let Some(d_sq) = metric.alpha_distance_sq_bounded(&obj, q, t, f64::INFINITY) {
             all.push((d_sq, id));
         }
     }

@@ -99,6 +99,11 @@ pub enum ErrorCode {
     Store = 7,
     /// A SWAP request could not open or publish the new index.
     SwapFailed = 8,
+    /// The named index cannot back the serve path: an approximate
+    /// (`.fzlh`/`.fzvp`) file where an exact index is required, or a
+    /// metric index (`.fzmt`) built under a metric the server does not
+    /// serve.
+    IndexMismatch = 9,
 }
 
 impl ErrorCode {
@@ -114,6 +119,7 @@ impl ErrorCode {
             6 => Self::Panicked,
             7 => Self::Store,
             8 => Self::SwapFailed,
+            9 => Self::IndexMismatch,
             _ => return None,
         })
     }

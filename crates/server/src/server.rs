@@ -27,12 +27,14 @@ use crate::protocol::{
     inline_object, read_frame, ErrorCode, QuerySource, RawFrame, Request, Response, WireError,
     WIRE_DIMS,
 };
+use fuzzy_core::metric::L2;
+use fuzzy_core::Threshold;
 use fuzzy_index::{
-    delta_path_for, NodeAccess, OverlayRTree, PagedRTree, RTree, RTreeConfig, ShardedIndex,
+    delta_path_for, MTree, NodeAccess, OverlayRTree, PagedRTree, RTree, RTreeConfig, ShardedIndex,
 };
 use fuzzy_query::{
-    execute_caught, execute_caught_sharded, BatchRequest, BatchResponse, QueryEngine, QueryError,
-    QueryScratch, ShardScratch, ShardedQueryEngine, Versioned,
+    execute_caught, execute_caught_sharded, metric_aknn, BatchRequest, BatchResponse, QueryEngine,
+    QueryError, QueryScratch, ShardScratch, ShardedQueryEngine, Versioned,
 };
 use fuzzy_store::{FileStore, ObjectStore, StoreError};
 use std::io::Write;
@@ -63,6 +65,11 @@ pub enum ServeIndex {
     /// live SWAP between shardings of the same data is invisible on the
     /// wire.
     Sharded(Vec<OverlayRTree<WIRE_DIMS>>),
+    /// A covering-ball M-tree from a `.fzmt` file. The wire serves L2
+    /// only, so the loader rejects files built under any other metric
+    /// (a SWAP answers [`ErrorCode::IndexMismatch`]). AKNN requests run
+    /// through `metric_aknn`; RKNN rides the tree's `NodeAccess` face.
+    Metric(MTree<WIRE_DIMS>),
 }
 
 impl ServeIndex {
@@ -88,11 +95,26 @@ impl ServeIndex {
         Ok(Self::Sharded(shards))
     }
 
+    /// Open a metric index from a `.fzmt` file. The wire serves L2 only;
+    /// a file recording any other metric is rejected with a typed error
+    /// naming the mismatch.
+    pub fn open_metric(path: &str) -> Result<Self, StoreError> {
+        let name = MTree::<WIRE_DIMS>::stored_metric_name(path)?;
+        if name != "l2" {
+            return Err(StoreError::Corrupt {
+                reason: format!("metric mismatch: server serves 'l2', index records '{name}'"),
+            });
+        }
+        Ok(Self::Metric(MTree::load(path, &L2)?))
+    }
+
     /// Open whatever `path` names: a `.fzsm` manifest becomes a sharded
-    /// forest, anything else a paged tree.
+    /// forest, a `.fzmt` file a metric tree, anything else a paged tree.
     pub fn open(path: &str, cache_pages: usize) -> Result<Self, StoreError> {
         if is_sharded_path(path) {
             Self::open_sharded(path, cache_pages)
+        } else if is_metric_path(path) {
+            Self::open_metric(path)
         } else {
             Self::open_paged(path, cache_pages)
         }
@@ -104,13 +126,14 @@ impl ServeIndex {
             Self::Mem(t) => NodeAccess::len(t) as u64,
             Self::Paged(t) => NodeAccess::len(t) as u64,
             Self::Sharded(shards) => shards.iter().map(|s| NodeAccess::len(s) as u64).sum(),
+            Self::Metric(t) => NodeAccess::len(t) as u64,
         }
     }
 
     /// Number of shards (1 for the single-tree backends).
     pub fn shard_count(&self) -> usize {
         match self {
-            Self::Mem(_) | Self::Paged(_) => 1,
+            Self::Mem(_) | Self::Paged(_) | Self::Metric(_) => 1,
             Self::Sharded(shards) => shards.len(),
         }
     }
@@ -119,6 +142,20 @@ impl ServeIndex {
 /// Does `path` name a shard manifest (by extension)?
 pub fn is_sharded_path(path: &str) -> bool {
     std::path::Path::new(path).extension().is_some_and(|e| e.eq_ignore_ascii_case("fzsm"))
+}
+
+/// Does `path` name a metric M-tree file (by extension)?
+pub fn is_metric_path(path: &str) -> bool {
+    std::path::Path::new(path).extension().is_some_and(|e| e.eq_ignore_ascii_case("fzmt"))
+}
+
+/// Does `path` name an approximate candidate index (by extension)?
+/// These cannot back the serve path — they generate candidates, they do
+/// not answer queries — so a SWAP to one is an [`ErrorCode::IndexMismatch`].
+pub fn is_approx_path(path: &str) -> bool {
+    std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("fzlh") || e.eq_ignore_ascii_case("fzvp"))
 }
 
 /// Where the server listens.
@@ -464,9 +501,9 @@ fn handle_frame(
                     shared.counters.swaps.fetch_add(1, Ordering::Relaxed);
                     Response::Swapped { epoch: shared.index.epoch(), objects }
                 }
-                Err(e) => {
+                Err((code, message)) => {
                     shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    Response::Error { code: ErrorCode::SwapFailed, message: e }
+                    Response::Error { code, message }
                 }
             };
             write_response(writer, id, &resp);
@@ -617,6 +654,7 @@ fn run_job(shared: &Arc<Shared>, scratch: &mut WorkerScratch, job: Job) {
             &job.request,
             &mut scratch.sharded,
         ),
+        ServeIndex::Metric(tree) => execute_metric(tree, store, &job.request, &mut scratch.single),
     };
     let resp = match executed {
         Ok(BatchResponse::Aknn(r)) => {
@@ -634,6 +672,47 @@ fn run_job(shared: &Arc<Shared>, scratch: &mut WorkerScratch, job: Job) {
         }
     };
     write_response(&job.writer, job.request_id, &resp);
+}
+
+/// Execute one request against a metric snapshot. AKNN goes through the
+/// covering-ball search (`metric_aknn`); it has no deadline hook, so a
+/// request's `deadline_ms` is accepted but not enforced on this backend
+/// (documented in PROTOCOL.md). RKNN rides the tree's `NodeAccess` face
+/// through the classic engine, deadlines included. Both lanes catch
+/// panics at the per-query boundary like the other backends.
+fn execute_metric(
+    tree: &MTree<WIRE_DIMS>,
+    store: &FileStore<WIRE_DIMS>,
+    request: &BatchRequest<WIRE_DIMS>,
+    scratch: &mut QueryScratch<WIRE_DIMS>,
+) -> Result<BatchResponse, QueryError> {
+    match request {
+        BatchRequest::Aknn { query, k, alpha, cfg: _ } => {
+            // `Threshold::at` panics outside [0, 1]; validate like the
+            // exact engine does so a bad wire alpha stays a typed error.
+            if !(*alpha > 0.0 && *alpha <= 1.0) {
+                return Err(QueryError::InvalidProbability { value: *alpha });
+            }
+            let t = Threshold::at(*alpha);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                metric_aknn(&L2, tree, store, query, *k, t)
+            }))
+            .unwrap_or_else(|payload| {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(QueryError::Panicked { message })
+            })
+            .map(BatchResponse::Aknn)
+        }
+        BatchRequest::Rknn { .. } => {
+            execute_caught(&QueryEngine::new(tree, store), request, scratch)
+        }
+    }
 }
 
 enum CounterKind {
@@ -664,12 +743,41 @@ fn classify(e: &QueryError) -> (ErrorCode, CounterKind) {
 }
 
 /// Open the index a SWAP names. `:mem:` bulk-reloads from the store; a
-/// `.fzsm` path opens a shard forest, anything else a paged tree.
-fn open_swap_index(shared: &Shared, index_path: &str) -> Result<ServeIndex, String> {
+/// `.fzsm` path opens a shard forest, a `.fzmt` file a metric tree
+/// (l2 only), anything else a paged tree. Mismatches the server can
+/// diagnose by *kind* — an approximate candidate index, or a metric tree
+/// built under a metric the wire does not serve — answer
+/// [`ErrorCode::IndexMismatch`]; every other failure is a plain
+/// [`ErrorCode::SwapFailed`].
+fn open_swap_index(shared: &Shared, index_path: &str) -> Result<ServeIndex, (ErrorCode, String)> {
     if index_path == ":mem:" {
         return Ok(ServeIndex::mem_from_store(shared.store.as_ref()));
     }
-    ServeIndex::open(index_path, shared.cache_pages).map_err(|e| e.to_string())
+    if is_approx_path(index_path) {
+        return Err((
+            ErrorCode::IndexMismatch,
+            format!(
+                "'{index_path}' is an approximate candidate index; the serve path needs an \
+                 exact index (.fzpt/.fzsm/.fzmt)"
+            ),
+        ));
+    }
+    if is_metric_path(index_path) {
+        // Distinguish "wrong metric" (a mismatch by kind) from "broken
+        // file" (a plain swap failure) before committing to the load.
+        match MTree::<WIRE_DIMS>::stored_metric_name(index_path) {
+            Ok(name) if name != "l2" => {
+                return Err((
+                    ErrorCode::IndexMismatch,
+                    format!("server serves 'l2', index records metric '{name}'"),
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => return Err((ErrorCode::SwapFailed, e.to_string())),
+        }
+    }
+    ServeIndex::open(index_path, shared.cache_pages)
+        .map_err(|e| (ErrorCode::SwapFailed, e.to_string()))
 }
 
 /// Serialize and write one whole frame under the connection's writer

@@ -492,3 +492,121 @@ fn shutdown_frame_stops_the_daemon() {
         .expect("join() must return after a SHUTDOWN frame without an extra connection");
     std::fs::remove_file(&path).ok();
 }
+
+/// The metric backend behind the wire: a `.fzmt` file served after a
+/// live SWAP answers AKNN byte-identically to direct `metric_aknn` runs,
+/// RKNN rides the tree's `NodeAccess` face, and swaps to indexes the
+/// serve path cannot back — approximate candidate files, or a metric
+/// tree built under a metric the wire does not serve — answer the typed
+/// `IndexMismatch` code instead of swapping.
+#[test]
+fn metric_index_serves_and_mismatched_swaps_are_typed() {
+    use fuzzy_core::metric::{GraphMetric, RoadNetwork, L2};
+    use fuzzy_core::Threshold;
+    use fuzzy_index::{LshConfig, LshIndex, MTree, MTreeConfig};
+    use fuzzy_query::metric_aknn;
+    use std::sync::Arc;
+
+    let (path, store) = store_file("metric-serve", 48);
+    let pid = std::process::id();
+    let base = std::env::temp_dir();
+
+    // The exact metric tree the SWAP will load.
+    let objects: Vec<FuzzyObject<2>> =
+        (0..48).map(|i| store.probe(ObjectId(i)).unwrap().as_ref().clone()).collect();
+    let mtree = MTree::build(&L2, &objects, MTreeConfig::default());
+    let mtree_path = base.join(format!("fuzzy-serve-metric-{pid}.fzmt"));
+    mtree.save(&mtree_path).unwrap();
+
+    // A pristine approximate index: structurally valid, still unservable.
+    let lsh_path = base.join(format!("fuzzy-serve-metric-{pid}.fzlh"));
+    LshIndex::build(store.summaries(), LshConfig::default()).save(&lsh_path).unwrap();
+
+    // A metric tree under the graph metric: valid file, wrong metric.
+    let net = RoadNetwork::new(
+        vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0), Point::xy(0.0, 1.0)],
+        vec![(0, 1, 1.0), (1, 2, 1.0)],
+    )
+    .unwrap();
+    let graph = GraphMetric::new(Arc::new(net));
+    let graph_path = base.join(format!("fuzzy-serve-metric-{pid}-graph.fzmt"));
+    MTree::build(&graph, &objects, MTreeConfig::default()).save(&graph_path).unwrap();
+
+    // Reference answers straight through `metric_aknn`.
+    let work: Vec<(u64, u32, f64)> =
+        (0..48).map(|i| (i, 2 + (i % 6) as u32, [0.3, 0.5, 0.8][(i % 3) as usize])).collect();
+    let expected: Vec<String> = work
+        .iter()
+        .map(|&(id, k, alpha)| {
+            let q = store.probe(ObjectId(id)).unwrap();
+            let r = metric_aknn(&L2, &mtree, &store, &q, k as usize, Threshold::at(alpha)).unwrap();
+            fingerprint(&r.neighbors)
+        })
+        .collect();
+
+    let opts = ServeOptions { workers: 2, ..ServeOptions::default() };
+    let index = ServeIndex::mem_from_store(&store);
+    let handle = serve(store, index, &ListenAddr::parse("127.0.0.1:0"), &opts).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Mismatched swaps first: typed rejection, the live index is untouched.
+    for (target, needle) in [(&lsh_path, "approximate"), (&graph_path, "metric 'graph'")] {
+        match client.call(&Request::Swap { index_path: target.display().to_string() }).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::IndexMismatch, "swap to {}", target.display());
+                assert!(message.contains(needle), "message {message:?} must name the mismatch");
+            }
+            other => panic!("swap to {} must be rejected: {other:?}", target.display()),
+        }
+    }
+
+    // The real swap: the metric tree goes live.
+    match client.call(&Request::Swap { index_path: mtree_path.display().to_string() }).unwrap() {
+        Response::Swapped { objects, .. } => assert_eq!(objects, 48),
+        other => panic!("metric SWAP: {other:?}"),
+    }
+    match client.call(&Request::Info).unwrap() {
+        Response::Info { objects, .. } => assert_eq!(objects, 48),
+        other => panic!("INFO: {other:?}"),
+    }
+
+    // Served answers are byte-identical to the direct metric runs.
+    for (&(id, k, alpha), want) in work.iter().zip(&expected) {
+        let req = aknn_request(id, k, alpha, fuzzy_server::WireVariant::LbLpUb);
+        match client.call(&req).unwrap() {
+            Response::Aknn { neighbors, .. } => {
+                assert_eq!(&fingerprint(&neighbors), want, "query {id} diverged on the wire");
+            }
+            other => panic!("AKNN {id}: {other:?}"),
+        }
+    }
+
+    // RKNN answers through the tree's NodeAccess face.
+    let rknn = Request::Rknn {
+        query: QuerySource::Stored(ObjectId(7)),
+        k: 3,
+        alpha_start: 0.3,
+        alpha_end: 0.8,
+        algo: fuzzy_query::RknnAlgorithm::Rss,
+        variant: fuzzy_server::WireVariant::LbLpUb,
+        deadline_ms: 0,
+    };
+    match client.call(&rknn).unwrap() {
+        Response::Rknn { .. } => {}
+        other => panic!("RKNN over the metric snapshot: {other:?}"),
+    }
+
+    // A bad alpha stays a typed error on this backend too.
+    match client.call(&aknn_request(3, 5, 0.0, fuzzy_server::WireVariant::Basic)).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::InvalidArgument),
+        other => panic!("alpha=0 must be rejected: {other:?}"),
+    }
+
+    handle.stop();
+    for p in [&path, &mtree_path, &lsh_path, &graph_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
